@@ -1,0 +1,133 @@
+// Command experiments regenerates every table and figure from the
+// paper's evaluation section.
+//
+// Usage:
+//
+//	experiments [-n insts] [-profile insts] [-serial] [-md report.md]
+//	            [-only fig1,fig3,...]
+//
+// With no -only filter it runs the full set: Figure 1 (reuse degrees),
+// Table 1 (machine config), Figure 3 (static RVP), Figure 4 (recovery
+// mechanisms), Figure 5 (dynamic RVP, loads), Figure 6 (dynamic RVP, all
+// instructions), Table 2 (coverage/accuracy), Figure 7 (realistic
+// re-allocation), Figure 8 (16-wide machine), plus the extension tables
+// (predictor cost/benefit and the confidence-threshold sweep) under
+// "ext". With -md, a markdown report is also written.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"rvpsim/internal/exp"
+	"rvpsim/internal/stats"
+)
+
+func main() {
+	n := flag.Uint64("n", 2_000_000, "committed-instruction budget per run")
+	prof := flag.Uint64("profile", 0, "profiling budget (default n/4)")
+	serial := flag.Bool("serial", false, "run workloads serially")
+	md := flag.String("md", "", "also write a markdown report to this file")
+	only := flag.String("only", "", "comma-separated subset: fig1,tab1,fig3,fig4,fig5,fig6,tab2,fig7,fig8,ext")
+	flag.Parse()
+
+	opts := exp.DefaultOptions()
+	opts.Insts = *n
+	if *prof != 0 {
+		opts.ProfileInsts = *prof
+	} else {
+		opts.ProfileInsts = *n / 4
+	}
+	opts.Parallel = !*serial
+	r := exp.NewRunner(opts)
+
+	want := map[string]bool{}
+	if *only != "" {
+		for _, s := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(s)] = true
+		}
+	}
+	sel := func(k string) bool { return len(want) == 0 || want[k] }
+
+	var report strings.Builder
+	fmt.Fprintf(&report, "# rvpsim experiment report\n\n%d committed instructions per run.\n\n", *n)
+
+	emit := func(tables ...*stats.Table) {
+		for _, t := range tables {
+			fmt.Println(t)
+			report.WriteString(t.Markdown())
+			report.WriteByte('\n')
+		}
+	}
+
+	type job struct {
+		key string
+		run func() error
+	}
+	one := func(f func() (*stats.Table, error)) func() error {
+		return func() error {
+			t, err := f()
+			if err != nil {
+				return err
+			}
+			emit(t)
+			return nil
+		}
+	}
+	jobs := []job{
+		{"fig1", one(r.Figure1)},
+		{"tab1", func() error {
+			s := r.Table1()
+			fmt.Println(s)
+			fmt.Fprintf(&report, "### Table 1\n\n```\n%s```\n\n", s)
+			return nil
+		}},
+		{"fig3", one(r.Figure3)},
+		{"fig4", one(r.Figure4)},
+		{"fig5", one(r.Figure5)},
+		{"fig6", one(r.Figure6)},
+		{"tab2", func() error {
+			cov, acc, err := r.Table2()
+			if err != nil {
+				return err
+			}
+			emit(cov, acc)
+			return nil
+		}},
+		{"fig7", one(r.Figure7)},
+		{"fig8", one(r.Figure8)},
+		{"ext", func() error {
+			t, err := r.StorageTable()
+			if err != nil {
+				return err
+			}
+			t2, err := r.ThresholdTable()
+			if err != nil {
+				return err
+			}
+			emit(t, t2)
+			return nil
+		}},
+	}
+	for _, j := range jobs {
+		if !sel(j.key) {
+			continue
+		}
+		start := time.Now()
+		if err := j.run(); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", j.key, err)
+			os.Exit(1)
+		}
+		fmt.Printf("[%s done in %v]\n\n", j.key, time.Since(start).Round(time.Millisecond))
+	}
+	if *md != "" {
+		if err := os.WriteFile(*md, []byte(report.String()), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: write %s: %v\n", *md, err)
+			os.Exit(1)
+		}
+		fmt.Printf("markdown report written to %s\n", *md)
+	}
+}

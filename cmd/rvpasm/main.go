@@ -1,0 +1,79 @@
+// Command rvpasm assembles, validates, and disassembles programs in the
+// simulator's assembly dialect.
+//
+// Usage:
+//
+//	rvpasm -f prog.s              # assemble + validate, print a summary
+//	rvpasm -f prog.s -d           # assemble, then disassemble to stdout
+//	rvpasm -w li -d               # disassemble a built-in workload
+//	rvpasm -f prog.s -run -n 1000 # assemble and run functionally
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"rvpsim/internal/asm"
+	"rvpsim/internal/emu"
+	"rvpsim/internal/isa"
+	"rvpsim/internal/program"
+	"rvpsim/internal/workloads"
+)
+
+func main() {
+	file := flag.String("f", "", "assembly file")
+	wl := flag.String("w", "", "built-in workload name instead of a file")
+	dis := flag.Bool("d", false, "print disassembly")
+	run := flag.Bool("run", false, "run the program functionally and print final r0")
+	n := flag.Uint64("n", 1_000_000, "functional run budget")
+	flag.Parse()
+
+	var (
+		p   *program.Program
+		err error
+	)
+	switch {
+	case *wl != "":
+		p, err = workloads.ByName(*wl)
+	case *file != "":
+		var src []byte
+		if src, err = os.ReadFile(*file); err == nil {
+			p, err = asm.Assemble(*file, string(src), asm.Options{})
+		}
+	default:
+		err = fmt.Errorf("one of -f or -w is required")
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rvpasm:", err)
+		os.Exit(1)
+	}
+
+	classes := map[isa.Class]int{}
+	for _, in := range p.Insts {
+		classes[isa.Classify(in.Op)]++
+	}
+	fmt.Printf("%s: %d instructions, %d procedures, %d data chunks\n",
+		p.Name, len(p.Insts), len(p.Procs), len(p.Data))
+	fmt.Printf("  mix: %d alu, %d load, %d store, %d branch, %d fp\n",
+		classes[isa.ClassIntALU]+classes[isa.ClassIntMul]+classes[isa.ClassIntDiv],
+		classes[isa.ClassLoad], classes[isa.ClassStore], classes[isa.ClassBranch],
+		classes[isa.ClassFPAdd]+classes[isa.ClassFPMul]+classes[isa.ClassFPDiv])
+
+	if *dis {
+		fmt.Print(asm.Disassemble(p))
+	}
+	if *run {
+		s := emu.MustNew(p)
+		executed := s.Run(*n)
+		if s.Err() != nil {
+			fmt.Fprintln(os.Stderr, "rvpasm: run:", s.Err())
+			os.Exit(1)
+		}
+		state := "running"
+		if s.Halted {
+			state = "halted"
+		}
+		fmt.Printf("  ran %d instructions (%s), r0 = %d\n", executed, state, int64(s.Regs[isa.RV]))
+	}
+}

@@ -1,0 +1,64 @@
+// Command rvprofile prints a workload's register-reuse profile: the
+// Figure 1 reuse fractions and the per-instruction lists the compiler
+// model consumes (same-register / dead / live / last-value).
+//
+// Usage:
+//
+//	rvprofile [-w workload | -f prog.s] [-n insts] [-t threshold] [-v]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"rvpsim"
+)
+
+func main() {
+	wl := flag.String("w", "li", "workload name")
+	file := flag.String("f", "", "assembly file to profile instead of a workload")
+	n := flag.Uint64("n", 1_000_000, "committed-instruction budget")
+	threshold := flag.Float64("t", 0.8, "predictability threshold")
+	flag.Parse()
+
+	var (
+		prog *rvpsim.Program
+		err  error
+	)
+	if *file != "" {
+		var src []byte
+		if src, err = os.ReadFile(*file); err == nil {
+			prog, err = rvpsim.Assemble(*file, string(src))
+		}
+	} else {
+		prog, err = rvpsim.Workload(*wl)
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	pr, err := rvpsim.ProfileProgram(prog, *n)
+	if err != nil {
+		fatal(err)
+	}
+	s := pr.LoadReuse()
+	fmt.Printf("program %s: register-value reuse for loads (Figure 1 bars)\n", prog.Name())
+	fmt.Printf("  same register    %5.1f%%\n", 100*s.Same)
+	fmt.Printf("  dead register    %5.1f%%\n", 100*s.Dead)
+	fmt.Printf("  any register     %5.1f%%\n", 100*s.Any)
+	fmt.Printf("  register or lvp  %5.1f%%\n", 100*s.OrLV)
+
+	for _, level := range []rvpsim.Support{rvpsim.SupportDead, rvpsim.SupportDeadLV, rvpsim.SupportLiveLV} {
+		hints := pr.Hints(*threshold, level, false)
+		fmt.Printf("hints at %.0f%% threshold, level %v: %d instructions\n",
+			100**threshold, level, len(hints))
+	}
+	marked := pr.MarkedLoads(*threshold, rvpsim.SupportLiveLV)
+	fmt.Printf("static RVP marked loads (live_lv): %d\n", len(marked))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rvprofile:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,187 @@
+// Command rvpsim runs one workload (or an assembly file) on the simulated
+// machine under a chosen value predictor and prints the run statistics.
+//
+// Usage:
+//
+//	rvpsim [-w workload | -f prog.s] [-p predictor] [-n insts]
+//	       [-recovery refetch|reissue|selective] [-wide] [-support level]
+//
+// Predictors: none, drvp, drvp_loads, lvp, lvp_loads, grp, and the
+// hint-assisted drvp variants drvp_dead, drvp_dead_lv (which profile the
+// program first). -wide selects the 16-issue machine.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"rvpsim"
+)
+
+func main() {
+	wl := flag.String("w", "li", "workload name (see -list)")
+	file := flag.String("f", "", "assembly file to run instead of a workload")
+	predName := flag.String("p", "drvp", "predictor: none|drvp|drvp_loads|drvp_dead|drvp_dead_lv|lvp|lvp_loads|grp")
+	n := flag.Uint64("n", 2_000_000, "committed-instruction budget (0 = to HALT)")
+	recovery := flag.String("recovery", "selective", "value-mispredict recovery: refetch|reissue|selective")
+	wide := flag.Bool("wide", false, "use the 16-issue machine")
+	list := flag.Bool("list", false, "list workloads and exit")
+	top := flag.Int("top", 0, "report the N most-predicted static instructions")
+	flag.Parse()
+
+	if *list {
+		for _, name := range rvpsim.Workloads() {
+			fmt.Println(name)
+		}
+		return
+	}
+
+	prog, err := loadProgram(*wl, *file)
+	if err != nil {
+		fatal(err)
+	}
+
+	cfg := rvpsim.BaselineConfig()
+	if *wide {
+		cfg = rvpsim.AggressiveConfig()
+	}
+	switch *recovery {
+	case "refetch":
+		cfg.Recovery = rvpsim.RecoverRefetch
+	case "reissue":
+		cfg.Recovery = rvpsim.RecoverReissue
+	case "selective":
+		cfg.Recovery = rvpsim.RecoverSelective
+	default:
+		fatal(fmt.Errorf("unknown recovery %q", *recovery))
+	}
+
+	pred, err := makePredictor(*predName, prog, *n)
+	if err != nil {
+		fatal(err)
+	}
+
+	var st rvpsim.Stats
+	type agg struct {
+		execs, predicted, correct uint64
+		lat                       int64
+	}
+	perInst := map[int]*agg{}
+	if *top > 0 {
+		st, err = rvpsim.RunTraced(prog, cfg, pred, *n, func(tr rvpsim.TraceRecord) {
+			a := perInst[tr.Index]
+			if a == nil {
+				a = &agg{}
+				perInst[tr.Index] = a
+			}
+			a.execs++
+			a.lat += tr.DoneAt - tr.Dispatch
+			if tr.Predicted {
+				a.predicted++
+				if tr.Correct {
+					a.correct++
+				}
+			}
+		})
+	} else {
+		st, err = rvpsim.Run(prog, cfg, pred, *n)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("program      %s (%d static instructions)\n", prog.Name(), prog.Len())
+	fmt.Printf("predictor    %s, recovery %s\n", *predName, *recovery)
+	fmt.Printf("committed    %d instructions in %d cycles (IPC %.3f)\n", st.Committed, st.Cycles, st.IPC())
+	fmt.Printf("predictions  %d (%.1f%% of instructions), %.2f%% correct\n",
+		st.Predicted, 100*st.Coverage(), 100*st.Accuracy())
+	fmt.Printf("branches     %.2f%% conditional mispredict rate\n", 100*st.BranchMispredictRate())
+	fmt.Printf("caches       L1D %.1f%% miss, L1I %.1f%% miss, L2 %.1f%% miss\n",
+		missPct(st.DL1Hits, st.DL1Misses), missPct(st.IL1Hits, st.IL1Misses), missPct(st.L2Hits, st.L2Misses))
+
+	if *top > 0 {
+		idxs := make([]int, 0, len(perInst))
+		for i := range perInst {
+			idxs = append(idxs, i)
+		}
+		sort.Slice(idxs, func(a, b int) bool {
+			return perInst[idxs[a]].predicted > perInst[idxs[b]].predicted
+		})
+		if len(idxs) > *top {
+			idxs = idxs[:*top]
+		}
+		fmt.Printf("\nmost-predicted static instructions:\n")
+		fmt.Printf("%8s %-28s %10s %10s %8s %9s\n", "index", "instruction", "execs", "predicted", "acc%", "avg lat")
+		for _, i := range idxs {
+			a := perInst[i]
+			if a.predicted == 0 {
+				break
+			}
+			fmt.Printf("%8d %-28s %10d %10d %7.1f%% %9.1f\n",
+				i, prog.InstString(i), a.execs, a.predicted,
+				100*float64(a.correct)/float64(a.predicted),
+				float64(a.lat)/float64(a.execs))
+		}
+	}
+}
+
+func loadProgram(wl, file string) (*rvpsim.Program, error) {
+	if file != "" {
+		src, err := os.ReadFile(file)
+		if err != nil {
+			return nil, err
+		}
+		return rvpsim.Assemble(file, string(src))
+	}
+	return rvpsim.Workload(wl)
+}
+
+func makePredictor(name string, prog *rvpsim.Program, budget uint64) (rvpsim.Predictor, error) {
+	profileHints := func(level rvpsim.Support, loadsOnly bool) (rvpsim.ReuseHints, error) {
+		pr, err := rvpsim.ProfileProgram(prog, budget/4)
+		if err != nil {
+			return nil, err
+		}
+		return pr.Hints(0.8, level, loadsOnly), nil
+	}
+	switch name {
+	case "none":
+		return rvpsim.NoPrediction(), nil
+	case "drvp":
+		return rvpsim.DynamicRVP(), nil
+	case "drvp_loads":
+		return rvpsim.DynamicRVPLoads(), nil
+	case "drvp_dead":
+		h, err := profileHints(rvpsim.SupportDead, false)
+		if err != nil {
+			return nil, err
+		}
+		return rvpsim.DynamicRVPWithHints(h, false), nil
+	case "drvp_dead_lv":
+		h, err := profileHints(rvpsim.SupportDeadLV, false)
+		if err != nil {
+			return nil, err
+		}
+		return rvpsim.DynamicRVPWithHints(h, false), nil
+	case "lvp":
+		return rvpsim.LastValue(false), nil
+	case "lvp_loads":
+		return rvpsim.LastValue(true), nil
+	case "grp":
+		return rvpsim.GabbayRegisterPredictor(), nil
+	}
+	return nil, fmt.Errorf("unknown predictor %q", name)
+}
+
+func missPct(hits, misses uint64) float64 {
+	if hits+misses == 0 {
+		return 0
+	}
+	return 100 * float64(misses) / float64(hits+misses)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rvpsim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,3 @@
+module rvpsim
+
+go 1.22

@@ -1,0 +1,331 @@
+// Package asm implements a two-pass assembler for the simulator's ISA.
+//
+// Source syntax, by example:
+//
+//	; comments run to end of line (also '#')
+//	.text
+//	.proc main
+//	main:
+//	        li      r1, 100         ; pseudo: lda r1, 100(r31)
+//	        lda     r2, table       ; data symbol reference
+//	loop:
+//	        ldq     r3, 0(r2)
+//	        add     r4, r4, r3
+//	        addi    r2, r2, 8
+//	        subi    r1, r1, 1
+//	        bne     r1, loop
+//	        halt
+//	.endproc
+//
+//	.data
+//	.org 0x100000
+//	table:
+//	        .quad 1, 2, 3, 4
+//	        .double 3.5, -1.25
+//	        .space 16               ; 16 zero words
+//
+// Registers are r0..r31 (aliases: sp=r30, ra=r26, zero=r31) and f0..f31
+// (alias fzero=f31). Branch targets are labels; the assembler resolves them
+// to absolute instruction indices. Immediates may be decimal, hex (0x...),
+// character ('c'), or SYMBOL+offset where SYMBOL is a data symbol.
+package asm
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"rvpsim/internal/isa"
+	"rvpsim/internal/program"
+)
+
+// Options configures assembly.
+type Options struct {
+	// CodeBase overrides the default code base address.
+	CodeBase uint64
+	// StackTop overrides the default initial stack pointer.
+	StackTop uint64
+	// ExternalSyms provides data symbols defined outside the source text
+	// (e.g. data segments generated programmatically).
+	ExternalSyms map[string]uint64
+}
+
+// Error describes an assembly error with its source line.
+type Error struct {
+	File string
+	Line int
+	Msg  string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%s:%d: %s", e.File, e.Line, e.Msg) }
+
+type assembler struct {
+	name string
+	opts Options
+
+	labels   map[string]int
+	dataSyms map[string]uint64
+
+	insts []isa.Inst
+	procs []program.Procedure
+	data  []program.DataChunk
+
+	// pass-2 state
+	curProc   int // index into procs, -1 when outside a .proc
+	dataAddr  uint64
+	curChunk  *program.DataChunk
+	inData    bool
+	entryName string
+	passNum   int
+}
+
+// Assemble assembles src into a runnable program.
+func Assemble(name, src string, opts Options) (*program.Program, error) {
+	a := &assembler{
+		name:     name,
+		opts:     opts,
+		labels:   map[string]int{},
+		dataSyms: map[string]uint64{},
+		curProc:  -1,
+	}
+	for s, addr := range opts.ExternalSyms {
+		a.dataSyms[s] = addr
+	}
+	if err := a.pass(src, 1); err != nil {
+		return nil, err
+	}
+	a.insts = a.insts[:0]
+	a.procs = a.procs[:0]
+	a.data = a.data[:0]
+	a.curProc = -1
+	a.dataAddr = 0
+	a.curChunk = nil
+	a.inData = false
+	if err := a.pass(src, 2); err != nil {
+		return nil, err
+	}
+	p := &program.Program{
+		Name:     name,
+		Insts:    a.insts,
+		Procs:    a.procs,
+		Data:     a.data,
+		Labels:   a.labels,
+		DataSyms: a.dataSyms,
+		CodeBase: program.DefaultCodeBase,
+		StackTop: program.DefaultStackTop,
+	}
+	if opts.CodeBase != 0 {
+		p.CodeBase = opts.CodeBase
+	}
+	if opts.StackTop != 0 {
+		p.StackTop = opts.StackTop
+	}
+	entry := a.entryName
+	if entry == "" {
+		entry = "main"
+	}
+	if idx, ok := a.labels[entry]; ok {
+		p.Entry = idx
+	} else {
+		p.Entry = 0
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// MustAssemble assembles src and panics on error; for workloads and tests.
+func MustAssemble(name, src string, opts Options) *program.Program {
+	p, err := Assemble(name, src, opts)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func (a *assembler) errf(line int, format string, args ...any) error {
+	return &Error{File: a.name, Line: line, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (a *assembler) pass(src string, pass int) error {
+	a.passNum = pass
+	lines := strings.Split(src, "\n")
+	for ln, raw := range lines {
+		line := stripComment(raw)
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		// Labels (possibly several) at line start.
+		for {
+			i := strings.IndexByte(line, ':')
+			if i < 0 {
+				break
+			}
+			head := strings.TrimSpace(line[:i])
+			if !isIdent(head) {
+				break
+			}
+			if err := a.defineLabel(head, ln+1, pass); err != nil {
+				return err
+			}
+			line = strings.TrimSpace(line[i+1:])
+		}
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, ".") {
+			if err := a.directive(line, ln+1, pass); err != nil {
+				return err
+			}
+			continue
+		}
+		if a.inData {
+			return a.errf(ln+1, "instruction %q inside .data section", line)
+		}
+		if err := a.instruction(line, ln+1, pass); err != nil {
+			return err
+		}
+	}
+	if a.curProc != -1 {
+		a.procs[a.curProc].End = len(a.insts)
+		a.curProc = -1
+	}
+	a.closeChunk()
+	return nil
+}
+
+func (a *assembler) defineLabel(name string, line, pass int) error {
+	if a.inData {
+		if pass == 1 {
+			if _, dup := a.dataSyms[name]; dup {
+				return a.errf(line, "duplicate data symbol %q", name)
+			}
+			a.dataSyms[name] = a.dataAddr
+		}
+		return nil
+	}
+	if pass == 1 {
+		if _, dup := a.labels[name]; dup {
+			return a.errf(line, "duplicate label %q", name)
+		}
+		a.labels[name] = len(a.insts)
+	}
+	return nil
+}
+
+func (a *assembler) directive(line string, ln, pass int) error {
+	fields := splitOperands(line)
+	dir := fields[0]
+	args := fields[1:]
+	switch dir {
+	case ".text":
+		a.closeChunk()
+		a.inData = false
+	case ".data":
+		if a.curProc != -1 {
+			a.procs[a.curProc].End = len(a.insts)
+			a.curProc = -1
+		}
+		a.inData = true
+	case ".org":
+		if len(args) != 1 {
+			return a.errf(ln, ".org wants one address")
+		}
+		v, err := a.evalConst(args[0], ln)
+		if err != nil {
+			return err
+		}
+		a.closeChunk()
+		a.dataAddr = uint64(v)
+	case ".entry":
+		if len(args) != 1 {
+			return a.errf(ln, ".entry wants one label")
+		}
+		a.entryName = args[0]
+	case ".proc":
+		if a.inData {
+			return a.errf(ln, ".proc inside .data")
+		}
+		if len(args) != 1 {
+			return a.errf(ln, ".proc wants one name")
+		}
+		if a.curProc != -1 {
+			a.procs[a.curProc].End = len(a.insts)
+		}
+		a.procs = append(a.procs, program.Procedure{Name: args[0], Start: len(a.insts)})
+		a.curProc = len(a.procs) - 1
+	case ".endproc":
+		if a.curProc == -1 {
+			return a.errf(ln, ".endproc without .proc")
+		}
+		a.procs[a.curProc].End = len(a.insts)
+		a.curProc = -1
+	case ".quad":
+		if !a.inData {
+			return a.errf(ln, ".quad outside .data")
+		}
+		for _, arg := range args {
+			v, err := a.evalConst(arg, ln)
+			if err != nil {
+				return err
+			}
+			a.emitWord(uint64(v))
+		}
+	case ".double":
+		if !a.inData {
+			return a.errf(ln, ".double outside .data")
+		}
+		for _, arg := range args {
+			f, err := strconv.ParseFloat(arg, 64)
+			if err != nil {
+				return a.errf(ln, "bad float %q", arg)
+			}
+			a.emitWord(math.Float64bits(f))
+		}
+	case ".space":
+		if !a.inData {
+			return a.errf(ln, ".space outside .data")
+		}
+		if len(args) != 1 {
+			return a.errf(ln, ".space wants one count")
+		}
+		n, err := a.evalConst(args[0], ln)
+		if err != nil {
+			return err
+		}
+		for i := int64(0); i < n; i++ {
+			a.emitWord(0)
+		}
+	default:
+		return a.errf(ln, "unknown directive %q", dir)
+	}
+	return nil
+}
+
+func (a *assembler) closeChunk() {
+	if a.curChunk != nil {
+		a.data = append(a.data, *a.curChunk)
+		a.curChunk = nil
+	}
+}
+
+func (a *assembler) emitWord(w uint64) {
+	if a.curChunk == nil {
+		a.curChunk = &program.DataChunk{Addr: a.dataAddr}
+	}
+	a.curChunk.Words = append(a.curChunk.Words, w)
+	a.dataAddr += 8
+}
+
+func (a *assembler) emit(in isa.Inst) { a.insts = append(a.insts, in) }
+
+// codeBase returns the code base address the assembled program will use.
+func (a *assembler) codeBase() uint64 {
+	if a.opts.CodeBase != 0 {
+		return a.opts.CodeBase
+	}
+	return program.DefaultCodeBase
+}

@@ -1,0 +1,270 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+
+	"rvpsim/internal/isa"
+)
+
+const sumSrc = `
+; sum the table
+.text
+.proc main
+main:
+        lda     r2, table
+        li      r1, 4
+        clr     r4
+loop:
+        ldq     r3, 0(r2)
+        add     r4, r4, r3
+        addi    r2, r2, 8
+        subi    r1, r1, 1
+        bne     r1, loop
+        mov     r0, r4
+        halt
+.endproc
+
+.data
+.org 0x100000
+table:
+        .quad 1, 2, 3, 4
+`
+
+func TestAssembleSum(t *testing.T) {
+	p, err := Assemble("sum", sumSrc, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Insts) != 10 {
+		t.Fatalf("got %d instructions, want 10", len(p.Insts))
+	}
+	if p.Entry != p.Labels["main"] {
+		t.Errorf("entry = %d, want label main (%d)", p.Entry, p.Labels["main"])
+	}
+	if got := p.DataSyms["table"]; got != 0x100000 {
+		t.Errorf("table = %#x, want 0x100000", got)
+	}
+	// lda r2, table resolves to the data address.
+	if p.Insts[0].Op != isa.LDA || p.Insts[0].Imm != 0x100000 {
+		t.Errorf("inst 0 = %v, want lda r2, 0x100000", p.Insts[0])
+	}
+	// bne targets the loop label.
+	bne := p.Insts[7]
+	if bne.Op != isa.BNE || int(bne.Imm) != p.Labels["loop"] {
+		t.Errorf("inst 7 = %v, want bne to loop (%d)", bne, p.Labels["loop"])
+	}
+	if len(p.Data) != 1 || len(p.Data[0].Words) != 4 || p.Data[0].Words[2] != 3 {
+		t.Errorf("data = %+v, want one chunk of [1 2 3 4]", p.Data)
+	}
+	if len(p.Procs) != 1 || p.Procs[0].Name != "main" || p.Procs[0].Start != 0 || p.Procs[0].End != 10 {
+		t.Errorf("procs = %+v", p.Procs)
+	}
+}
+
+func TestAssembleMemOperands(t *testing.T) {
+	src := `
+.text
+main:
+        ldq r1, 16(r2)
+        ldq r1, (r2)
+        stq r1, -8(sp)
+        ldq r1, buf+24
+        rvp_ldq r5, 8(r6)
+        halt
+.data
+.org 0x2000
+buf:    .quad 0
+`
+	p, err := Assemble("t", src, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []isa.Inst{
+		{Op: isa.LDQ, Rd: 1, Ra: 2, Imm: 16},
+		{Op: isa.LDQ, Rd: 1, Ra: 2, Imm: 0},
+		{Op: isa.STQ, Rd: 1, Ra: isa.RSP, Imm: -8},
+		{Op: isa.LDQ, Rd: 1, Ra: isa.RZero, Imm: 0x2000 + 24},
+		{Op: isa.RVPLDQ, Rd: 5, Ra: 6, Imm: 8},
+	}
+	for i, w := range want {
+		if p.Insts[i] != w {
+			t.Errorf("inst %d = %v, want %v", i, p.Insts[i], w)
+		}
+	}
+}
+
+func TestAssemblePseudoOps(t *testing.T) {
+	src := `
+.text
+main:
+        call    f
+        jmp     end
+f:
+        ret
+end:
+        halt
+`
+	p, err := Assemble("t", src, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Insts[0].Op != isa.BR || p.Insts[0].Rd != isa.RRA || int(p.Insts[0].Imm) != p.Labels["f"] {
+		t.Errorf("call = %v", p.Insts[0])
+	}
+	if p.Insts[1].Op != isa.BR || p.Insts[1].Rd != isa.RZero {
+		t.Errorf("jmp = %v", p.Insts[1])
+	}
+	if p.Insts[2].Op != isa.RET || p.Insts[2].Ra != isa.RRA {
+		t.Errorf("ret = %v", p.Insts[2])
+	}
+}
+
+func TestAssembleFP(t *testing.T) {
+	src := `
+.text
+main:
+        ldt f1, v
+        fadd f2, f1, f1
+        fmul f3, f2, f1
+        fcmplt f4, f3, f1
+        fbne f4, main
+        halt
+.data
+.org 0x3000
+v:      .double 2.5
+`
+	p, err := Assemble("t", src, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Insts[0].Op != isa.LDT || !p.Insts[0].Rd.IsFP() {
+		t.Errorf("ldt = %v", p.Insts[0])
+	}
+	if p.Insts[1] != (isa.Inst{Op: isa.FADD, Rd: isa.FPReg(2), Ra: isa.FPReg(1), Rb: isa.FPReg(1)}) {
+		t.Errorf("fadd = %v", p.Insts[1])
+	}
+	if p.Data[0].Words[0] != 0x4004000000000000 { // bits of 2.5
+		t.Errorf("double 2.5 = %#x", p.Data[0].Words[0])
+	}
+}
+
+func TestAssembleExternalSyms(t *testing.T) {
+	src := `
+.text
+main:
+        lda r1, ext
+        ldq r2, ext+8(r31)
+        halt
+`
+	p, err := Assemble("t", src, Options{ExternalSyms: map[string]uint64{"ext": 0x40000}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Insts[0].Imm != 0x40000 {
+		t.Errorf("lda imm = %#x", p.Insts[0].Imm)
+	}
+	if p.Insts[1].Imm != 0x40008 {
+		t.Errorf("ldq imm = %#x", p.Insts[1].Imm)
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	cases := []struct {
+		name, src, wantSub string
+	}{
+		{"unknown mnemonic", "main:\n frob r1, r2, r3\n halt", "unknown mnemonic"},
+		{"undefined label", "main:\n br nowhere\n halt", "undefined label"},
+		{"undefined symbol", "main:\n lda r1, nosym\n halt", "undefined symbol"},
+		{"duplicate label", "main:\nmain:\n halt", "duplicate label"},
+		{"bad register", "main:\n add r1, r2, r99\n halt", "bad register"},
+		{"wrong arity", "main:\n add r1, r2\n halt", "wants 3 operands"},
+		{"no halt", "main:\n nop", "no HALT"},
+		{"inst in data", ".data\n.org 0x100\n add r1, r2, r3", "inside .data"},
+		{"bad directive", ".frobnicate\nmain:\n halt", "unknown directive"},
+		{"quad outside data", ".text\n.quad 4\nmain:\n halt", "outside .data"},
+	}
+	for _, c := range cases {
+		_, err := Assemble("t", c.src, Options{})
+		if err == nil {
+			t.Errorf("%s: expected error", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.wantSub) {
+			t.Errorf("%s: error %q does not contain %q", c.name, err, c.wantSub)
+		}
+	}
+}
+
+func TestAssembleErrorHasLine(t *testing.T) {
+	_, err := Assemble("file", "main:\n nop\n frob r1\n halt", Options{})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if !strings.Contains(err.Error(), "file:3:") {
+		t.Errorf("error %q lacks file:line", err)
+	}
+}
+
+func TestAssembleCharAndHex(t *testing.T) {
+	src := `
+.text
+main:
+        li r1, 'A'
+        li r2, 0x10
+        li r3, -5
+        halt
+`
+	p, err := Assemble("t", src, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Insts[0].Imm != 65 || p.Insts[1].Imm != 16 || p.Insts[2].Imm != -5 {
+		t.Errorf("imms = %d %d %d", p.Insts[0].Imm, p.Insts[1].Imm, p.Insts[2].Imm)
+	}
+}
+
+func TestAssembleSpaceDirective(t *testing.T) {
+	src := `
+.text
+main:
+        halt
+.data
+.org 0x1000
+a:      .space 3
+b:      .quad 7
+`
+	p, err := Assemble("t", src, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.DataSyms["b"] != 0x1000+24 {
+		t.Errorf("b = %#x, want %#x", p.DataSyms["b"], 0x1000+24)
+	}
+	if n := len(p.Data[0].Words); n != 4 {
+		t.Errorf("chunk has %d words, want 4", n)
+	}
+}
+
+func TestAssembleMultipleOrgChunks(t *testing.T) {
+	src := `
+.text
+main:
+        halt
+.data
+.org 0x1000
+a:      .quad 1
+.org 0x2000
+b:      .quad 2
+`
+	p, err := Assemble("t", src, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Data) != 2 {
+		t.Fatalf("chunks = %d, want 2", len(p.Data))
+	}
+	if p.Data[0].Addr != 0x1000 || p.Data[1].Addr != 0x2000 {
+		t.Errorf("chunk addrs = %#x %#x", p.Data[0].Addr, p.Data[1].Addr)
+	}
+}

@@ -1,0 +1,102 @@
+package asm
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"rvpsim/internal/isa"
+	"rvpsim/internal/program"
+)
+
+// Disassemble renders a program back into assembler-like text: one line
+// per instruction with its index, labels reconstructed from branch
+// targets and procedure boundaries, and data symbols for reference.
+// The output is for humans (reports, debugging); it is also accepted by
+// the assembler for all label-free instruction forms.
+func Disassemble(p *program.Program) string {
+	var b strings.Builder
+	labels := reconstructLabels(p)
+
+	fmt.Fprintf(&b, "; program %q: %d instructions, entry %d\n", p.Name, len(p.Insts), p.Entry)
+	curProc := ""
+	for i, in := range p.Insts {
+		if pr := p.ProcAt(i); pr != nil && pr.Start == i && pr.Name != curProc {
+			fmt.Fprintf(&b, ".proc %s\n", pr.Name)
+			curProc = pr.Name
+		}
+		if l, ok := labels[i]; ok {
+			fmt.Fprintf(&b, "%s:\n", l)
+		}
+		fmt.Fprintf(&b, "%6d: %s", i, formatInst(in, labels))
+		b.WriteByte('\n')
+		if pr := p.ProcAt(i); pr != nil && pr.End == i+1 {
+			fmt.Fprintf(&b, ".endproc\n")
+		}
+	}
+	if len(p.DataSyms) > 0 {
+		b.WriteString("; data symbols:\n")
+		names := make([]string, 0, len(p.DataSyms))
+		for n := range p.DataSyms {
+			names = append(names, n)
+		}
+		sort.Slice(names, func(a, c int) bool { return p.DataSyms[names[a]] < p.DataSyms[names[c]] })
+		for _, n := range names {
+			fmt.Fprintf(&b, ";   %-16s %#x\n", n, p.DataSyms[n])
+		}
+	}
+	return b.String()
+}
+
+// DisassembleInst renders one instruction, resolving branch targets to a
+// label map when provided.
+func DisassembleInst(in isa.Inst, labels map[int]string) string {
+	return formatInst(in, labels)
+}
+
+func formatInst(in isa.Inst, labels map[int]string) string {
+	if isa.IsCondBranch(in.Op) || in.Op == isa.BR {
+		if l, ok := labels[int(in.Imm)]; ok {
+			if in.Op == isa.BR {
+				return fmt.Sprintf("%s %s", in.Op, l)
+			}
+			return fmt.Sprintf("%s %s, %s", in.Op, in.Ra, l)
+		}
+	}
+	return in.String()
+}
+
+// reconstructLabels invents a label for every branch target (and the
+// entry point), reusing procedure names where the target is a procedure
+// start.
+func reconstructLabels(p *program.Program) map[int]string {
+	labels := map[int]string{}
+	for i := range p.Procs {
+		labels[p.Procs[i].Start] = p.Procs[i].Name
+	}
+	if _, ok := labels[p.Entry]; !ok {
+		labels[p.Entry] = "main"
+	}
+	// Prefer original label names where the program still carries them.
+	byIndex := map[int][]string{}
+	for name, idx := range p.Labels {
+		byIndex[idx] = append(byIndex[idx], name)
+	}
+	for idx, names := range byIndex {
+		sort.Strings(names)
+		if _, ok := labels[idx]; !ok {
+			labels[idx] = names[0]
+		}
+	}
+	n := 0
+	for _, in := range p.Insts {
+		if isa.IsCondBranch(in.Op) || in.Op == isa.BR {
+			t := int(in.Imm)
+			if _, ok := labels[t]; !ok {
+				labels[t] = fmt.Sprintf("L%d", n)
+				n++
+			}
+		}
+	}
+	return labels
+}

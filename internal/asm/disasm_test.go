@@ -1,0 +1,67 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+
+	"rvpsim/internal/isa"
+)
+
+func TestDisassembleRoundTrips(t *testing.T) {
+	p, err := Assemble("t", sumSrc, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Disassemble(p)
+	for _, want := range []string{".proc main", "main:", "loop:", "bne r1, loop", "halt", "table"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("disassembly missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDisassembleInventedLabels(t *testing.T) {
+	src := `
+.text
+main:
+        beq r1, skip
+        nop
+skip:
+        halt
+`
+	p, err := Assemble("t", src, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drop the original label table to force reconstruction.
+	p.Labels = map[string]int{}
+	out := Disassemble(p)
+	if !strings.Contains(out, "L0:") {
+		t.Errorf("no invented label in:\n%s", out)
+	}
+	if !strings.Contains(out, "beq r1, L0") {
+		t.Errorf("branch not resolved to invented label:\n%s", out)
+	}
+}
+
+func TestDisassembleInst(t *testing.T) {
+	in := isa.Inst{Op: isa.BNE, Ra: 3, Imm: 7}
+	if got := DisassembleInst(in, map[int]string{7: "top"}); got != "bne r3, top" {
+		t.Errorf("got %q", got)
+	}
+	if got := DisassembleInst(in, nil); got != "bne r3, 7" {
+		t.Errorf("got %q", got)
+	}
+}
+
+// TestDisassembleAllWorkloadOps ensures every opcode that appears in the
+// test corpus formats without panicking and mentions its mnemonic.
+func TestDisassembleEveryOpcode(t *testing.T) {
+	for op := 0; op < isa.NumOps; op++ {
+		in := isa.Inst{Op: isa.Op(op), Rd: 1, Ra: 2, Rb: 3, Imm: 4}
+		s := DisassembleInst(in, nil)
+		if s == "" {
+			t.Errorf("opcode %v produced empty disassembly", isa.Op(op))
+		}
+	}
+}

@@ -1,0 +1,433 @@
+package asm
+
+import (
+	"strconv"
+	"strings"
+
+	"rvpsim/internal/isa"
+)
+
+// stripComment removes ';' and '#' comments.
+func stripComment(s string) string {
+	if i := strings.IndexAny(s, ";#"); i >= 0 {
+		return s[:i]
+	}
+	return s
+}
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == '.':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// splitOperands splits "op a, b, c" into ["op","a","b","c"].
+func splitOperands(line string) []string {
+	var fields []string
+	i := strings.IndexAny(line, " \t")
+	if i < 0 {
+		return []string{line}
+	}
+	fields = append(fields, line[:i])
+	for _, part := range strings.Split(line[i:], ",") {
+		part = strings.TrimSpace(part)
+		if part != "" {
+			fields = append(fields, part)
+		}
+	}
+	return fields
+}
+
+var regAliases = map[string]isa.Reg{
+	"sp": isa.RSP, "ra": isa.RRA, "zero": isa.RZero, "fzero": isa.FZero,
+}
+
+// parseReg parses r0..r31, f0..f31 and aliases.
+func parseReg(s string) (isa.Reg, bool) {
+	if r, ok := regAliases[s]; ok {
+		return r, true
+	}
+	if len(s) < 2 {
+		return 0, false
+	}
+	n, err := strconv.Atoi(s[1:])
+	if err != nil || n < 0 || n > 31 {
+		return 0, false
+	}
+	switch s[0] {
+	case 'r':
+		return isa.IntReg(n), true
+	case 'f':
+		return isa.FPReg(n), true
+	}
+	return 0, false
+}
+
+// evalConst evaluates an integer constant or SYMBOL+offset expression
+// against the data symbol table.
+func (a *assembler) evalConst(s string, ln int) (int64, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return 0, a.errf(ln, "empty constant")
+	}
+	// SYMBOL+offset / SYMBOL-offset
+	if !isDigitStart(s) && s[0] != '-' && s[0] != '\'' {
+		sym, off := s, int64(0)
+		if i := strings.IndexAny(s[1:], "+-"); i >= 0 {
+			sym = s[:i+1]
+			rest := s[i+1:]
+			v, err := parseInt(rest)
+			if err != nil {
+				return 0, a.errf(ln, "bad offset in %q", s)
+			}
+			off = v
+		}
+		addr, ok := a.dataSyms[sym]
+		if !ok {
+			// Code labels resolve to their simulated-memory address so
+			// that "lda rX, proc" + "jsr (rX)" works.
+			if idx, isLabel := a.labels[sym]; isLabel {
+				return int64(a.codeBase()) + int64(idx)*8, nil
+			}
+			if a.passNum == 1 {
+				// Data symbols may be defined later in the file; pass 2
+				// resolves them for real.
+				return 0, nil
+			}
+			return 0, a.errf(ln, "undefined symbol %q", sym)
+		}
+		return int64(addr) + off, nil
+	}
+	if s[0] == '\'' {
+		if len(s) >= 3 && s[len(s)-1] == '\'' {
+			return int64(s[1]), nil
+		}
+		return 0, a.errf(ln, "bad character literal %q", s)
+	}
+	v, err := parseInt(s)
+	if err != nil {
+		return 0, a.errf(ln, "bad constant %q", s)
+	}
+	return v, nil
+}
+
+func isDigitStart(s string) bool { return s[0] >= '0' && s[0] <= '9' }
+
+func parseInt(s string) (int64, error) {
+	neg := false
+	if strings.HasPrefix(s, "-") {
+		neg = true
+		s = s[1:]
+	} else if strings.HasPrefix(s, "+") {
+		s = s[1:]
+	}
+	var v uint64
+	var err error
+	if strings.HasPrefix(s, "0x") || strings.HasPrefix(s, "0X") {
+		v, err = strconv.ParseUint(s[2:], 16, 64)
+	} else {
+		v, err = strconv.ParseUint(s, 10, 64)
+	}
+	if err != nil {
+		return 0, err
+	}
+	if neg {
+		return -int64(v), nil
+	}
+	return int64(v), nil
+}
+
+// parseMem parses "disp(reg)" | "(reg)" | "SYMBOL" | "SYMBOL+off(reg)" into
+// a base register and displacement. A bare symbol or constant uses r31.
+func (a *assembler) parseMem(s string, ln int) (base isa.Reg, disp int64, err error) {
+	base = isa.RZero
+	open := strings.IndexByte(s, '(')
+	if open >= 0 {
+		if !strings.HasSuffix(s, ")") {
+			return 0, 0, a.errf(ln, "bad memory operand %q", s)
+		}
+		r, ok := parseReg(s[open+1 : len(s)-1])
+		if !ok {
+			return 0, 0, a.errf(ln, "bad base register in %q", s)
+		}
+		base = r
+		s = strings.TrimSpace(s[:open])
+		if s == "" {
+			return base, 0, nil
+		}
+	}
+	disp, err = a.evalConst(s, ln)
+	return base, disp, err
+}
+
+// instruction parses and emits one instruction (pass independent; labels
+// are resolved on pass 2, and pass 1 tolerates unresolved ones).
+func (a *assembler) instruction(line string, ln, pass int) error {
+	f := splitOperands(line)
+	mn := strings.ToLower(f[0])
+	args := f[1:]
+
+	resolveLabel := func(s string) (int64, error) {
+		if idx, ok := a.labels[s]; ok {
+			return int64(idx), nil
+		}
+		if pass == 1 {
+			return 0, nil // not yet defined; fine on pass 1
+		}
+		return 0, a.errf(ln, "undefined label %q", s)
+	}
+	wantArgs := func(n int) error {
+		if len(args) != n {
+			return a.errf(ln, "%s wants %d operands, got %d", mn, n, len(args))
+		}
+		return nil
+	}
+	reg := func(s string) (isa.Reg, error) {
+		r, ok := parseReg(s)
+		if !ok {
+			return 0, a.errf(ln, "bad register %q", s)
+		}
+		return r, nil
+	}
+
+	// Pseudo-instructions.
+	switch mn {
+	case "mov": // mov rd, ra  ->  add rd, ra, zero  (or fadd for FP)
+		if err := wantArgs(2); err != nil {
+			return err
+		}
+		rd, err := reg(args[0])
+		if err != nil {
+			return err
+		}
+		ra, err := reg(args[1])
+		if err != nil {
+			return err
+		}
+		if rd.IsFP() != ra.IsFP() {
+			return a.errf(ln, "mov between register files; use itof/ftoi")
+		}
+		if rd.IsFP() {
+			a.emit(isa.Inst{Op: isa.FADD, Rd: rd, Ra: ra, Rb: isa.FZero})
+		} else {
+			a.emit(isa.Inst{Op: isa.ADD, Rd: rd, Ra: ra, Rb: isa.RZero})
+		}
+		return nil
+	case "li": // li rd, imm  ->  lda rd, imm(zero)
+		if err := wantArgs(2); err != nil {
+			return err
+		}
+		rd, err := reg(args[0])
+		if err != nil {
+			return err
+		}
+		v, err := a.evalConst(args[1], ln)
+		if err != nil {
+			return err
+		}
+		a.emit(isa.Inst{Op: isa.LDA, Rd: rd, Ra: isa.RZero, Imm: v})
+		return nil
+	case "clr": // clr rd -> add rd, zero, zero
+		if err := wantArgs(1); err != nil {
+			return err
+		}
+		rd, err := reg(args[0])
+		if err != nil {
+			return err
+		}
+		if rd.IsFP() {
+			a.emit(isa.Inst{Op: isa.FADD, Rd: rd, Ra: isa.FZero, Rb: isa.FZero})
+		} else {
+			a.emit(isa.Inst{Op: isa.ADD, Rd: rd, Ra: isa.RZero, Rb: isa.RZero})
+		}
+		return nil
+	case "call": // call label  ->  li at+jsr via BR-with-link: br-style direct call
+		// Direct call: BR with link register ra: we encode as BR rd=r26
+		// target label.
+		if err := wantArgs(1); err != nil {
+			return err
+		}
+		t, err := resolveLabel(args[0])
+		if err != nil {
+			return err
+		}
+		a.emit(isa.Inst{Op: isa.BR, Rd: isa.RRA, Imm: t})
+		return nil
+	case "jmp": // jmp label -> br without link
+		if err := wantArgs(1); err != nil {
+			return err
+		}
+		t, err := resolveLabel(args[0])
+		if err != nil {
+			return err
+		}
+		a.emit(isa.Inst{Op: isa.BR, Rd: isa.RZero, Imm: t})
+		return nil
+	case "ret":
+		switch len(args) {
+		case 0:
+			a.emit(isa.Inst{Op: isa.RET, Ra: isa.RRA})
+			return nil
+		case 1:
+			s := strings.Trim(args[0], "()")
+			r, err := reg(s)
+			if err != nil {
+				return err
+			}
+			a.emit(isa.Inst{Op: isa.RET, Ra: r})
+			return nil
+		default:
+			return a.errf(ln, "ret wants 0 or 1 operands")
+		}
+	case "jsr": // jsr (ra) | jsr rd, (ra)
+		switch len(args) {
+		case 1:
+			r, err := reg(strings.Trim(args[0], "()"))
+			if err != nil {
+				return err
+			}
+			a.emit(isa.Inst{Op: isa.JSR, Rd: isa.RRA, Ra: r})
+			return nil
+		case 2:
+			rd, err := reg(args[0])
+			if err != nil {
+				return err
+			}
+			r, err := reg(strings.Trim(args[1], "()"))
+			if err != nil {
+				return err
+			}
+			a.emit(isa.Inst{Op: isa.JSR, Rd: rd, Ra: r})
+			return nil
+		default:
+			return a.errf(ln, "jsr wants 1 or 2 operands")
+		}
+	}
+
+	op, ok := isa.OpByName[mn]
+	if !ok {
+		return a.errf(ln, "unknown mnemonic %q", mn)
+	}
+
+	switch isa.Classify(op) {
+	case isa.ClassNop, isa.ClassHalt:
+		if err := wantArgs(0); err != nil {
+			return err
+		}
+		a.emit(isa.Inst{Op: op})
+		return nil
+
+	case isa.ClassLoad, isa.ClassStore:
+		if err := wantArgs(2); err != nil {
+			return err
+		}
+		rd, err := reg(args[0])
+		if err != nil {
+			return err
+		}
+		base, disp, err := a.parseMem(args[1], ln)
+		if err != nil {
+			return err
+		}
+		a.emit(isa.Inst{Op: op, Rd: rd, Ra: base, Imm: disp})
+		return nil
+
+	case isa.ClassBranch:
+		switch op {
+		case isa.BR:
+			if err := wantArgs(1); err != nil {
+				return err
+			}
+			t, err := resolveLabel(args[0])
+			if err != nil {
+				return err
+			}
+			a.emit(isa.Inst{Op: op, Rd: isa.RZero, Imm: t})
+			return nil
+		default: // conditional
+			if err := wantArgs(2); err != nil {
+				return err
+			}
+			ra, err := reg(args[0])
+			if err != nil {
+				return err
+			}
+			t, err := resolveLabel(args[1])
+			if err != nil {
+				return err
+			}
+			a.emit(isa.Inst{Op: op, Ra: ra, Imm: t})
+			return nil
+		}
+	}
+
+	// ALU / FP forms.
+	switch op {
+	case isa.LDA, isa.LDAH:
+		if err := wantArgs(2); err != nil {
+			return err
+		}
+		rd, err := reg(args[0])
+		if err != nil {
+			return err
+		}
+		base, disp, err := a.parseMem(args[1], ln)
+		if err != nil {
+			return err
+		}
+		a.emit(isa.Inst{Op: op, Rd: rd, Ra: base, Imm: disp})
+		return nil
+	case isa.ITOF, isa.FTOI, isa.CVTQT, isa.CVTTQ:
+		if err := wantArgs(2); err != nil {
+			return err
+		}
+		rd, err := reg(args[0])
+		if err != nil {
+			return err
+		}
+		ra, err := reg(args[1])
+		if err != nil {
+			return err
+		}
+		a.emit(isa.Inst{Op: op, Rd: rd, Ra: ra})
+		return nil
+	}
+
+	if err := wantArgs(3); err != nil {
+		return err
+	}
+	rd, err := reg(args[0])
+	if err != nil {
+		return err
+	}
+	ra, err := reg(args[1])
+	if err != nil {
+		return err
+	}
+	if isa.HasImm(op) {
+		v, err := a.evalConst(args[2], ln)
+		if err != nil {
+			return err
+		}
+		a.emit(isa.Inst{Op: op, Rd: rd, Ra: ra, Imm: v})
+		return nil
+	}
+	rb, err := reg(args[2])
+	if err != nil {
+		return err
+	}
+	a.emit(isa.Inst{Op: op, Rd: rd, Ra: ra, Rb: rb})
+	return nil
+}

@@ -1,0 +1,207 @@
+// Package bpred implements the paper's Table 1 branch prediction logic:
+// a gshare direction predictor with a 2K-entry, 2-bit pattern history
+// table, a 256-entry branch target buffer, and a return-address stack.
+package bpred
+
+import (
+	"rvpsim/internal/isa"
+)
+
+// Config sizes the predictor.
+type Config struct {
+	PHTEntries  int // pattern history table entries (power of two)
+	HistoryBits int // global history length
+	BTBEntries  int // branch target buffer entries
+	BTBAssoc    int // BTB associativity
+	RASEntries  int // return-address stack depth
+}
+
+// DefaultConfig is the paper's configuration: 2K x 2-bit PHT gshare and a
+// 256-entry BTB.
+func DefaultConfig() Config {
+	return Config{PHTEntries: 2048, HistoryBits: 11, BTBEntries: 256, BTBAssoc: 4, RASEntries: 16}
+}
+
+// Predictor is the branch prediction unit. PCs are instruction indices
+// (the simulator's fetch unit works in index space; the hash spreads them).
+type Predictor struct {
+	cfg     Config
+	pht     []uint8 // 2-bit saturating counters
+	history uint64
+	histMsk uint64
+
+	btbTags  []uint64
+	btbTgts  []int
+	btbValid []bool
+	btbLRU   []uint8
+	btbSets  int
+
+	ras    []int
+	rasTop int
+
+	// Statistics.
+	CondSeen    uint64
+	CondMispred uint64
+	TargetMiss  uint64 // taken control transfers whose target was unknown
+	RASCorrect  uint64
+	RASWrong    uint64
+	UncondSeen  uint64
+}
+
+// New builds a predictor.
+func New(cfg Config) *Predictor {
+	sets := cfg.BTBEntries / cfg.BTBAssoc
+	return &Predictor{
+		cfg:      cfg,
+		pht:      make([]uint8, cfg.PHTEntries),
+		histMsk:  uint64(1)<<cfg.HistoryBits - 1,
+		btbTags:  make([]uint64, cfg.BTBEntries),
+		btbTgts:  make([]int, cfg.BTBEntries),
+		btbValid: make([]bool, cfg.BTBEntries),
+		btbLRU:   make([]uint8, cfg.BTBEntries),
+		btbSets:  sets,
+		ras:      make([]int, cfg.RASEntries),
+	}
+}
+
+func (p *Predictor) phtIndex(pc int) int {
+	return int((uint64(pc) ^ p.history) & uint64(p.cfg.PHTEntries-1))
+}
+
+// PredictCond predicts the direction of the conditional branch at pc and
+// returns the predicted taken/not-taken.
+func (p *Predictor) PredictCond(pc int) bool {
+	return p.pht[p.phtIndex(pc)] >= 2
+}
+
+// UpdateCond trains the direction predictor with the branch's outcome and
+// records whether the prediction was correct. It returns correct.
+func (p *Predictor) UpdateCond(pc int, taken, predicted bool) bool {
+	p.CondSeen++
+	i := p.phtIndex(pc)
+	c := p.pht[i]
+	if taken {
+		if c < 3 {
+			c++
+		}
+	} else if c > 0 {
+		c--
+	}
+	p.pht[i] = c
+	p.history = (p.history<<1 | b2u(taken)) & p.histMsk
+	if predicted != taken {
+		p.CondMispred++
+		return false
+	}
+	return true
+}
+
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// btbLookup returns the predicted target for pc, ok == false on miss.
+func (p *Predictor) btbLookup(pc int) (int, bool) {
+	set := pc & (p.btbSets - 1)
+	base := set * p.cfg.BTBAssoc
+	for w := 0; w < p.cfg.BTBAssoc; w++ {
+		if p.btbValid[base+w] && p.btbTags[base+w] == uint64(pc) {
+			p.btbTouch(base, w)
+			return p.btbTgts[base+w], true
+		}
+	}
+	return 0, false
+}
+
+func (p *Predictor) btbTouch(base, w int) {
+	old := p.btbLRU[base+w]
+	for i := 0; i < p.cfg.BTBAssoc; i++ {
+		if p.btbLRU[base+i] > old {
+			p.btbLRU[base+i]--
+		}
+	}
+	p.btbLRU[base+w] = uint8(p.cfg.BTBAssoc - 1)
+}
+
+// btbInsert installs pc -> target.
+func (p *Predictor) btbInsert(pc, target int) {
+	set := pc & (p.btbSets - 1)
+	base := set * p.cfg.BTBAssoc
+	victim := 0
+	for w := 0; w < p.cfg.BTBAssoc; w++ {
+		if !p.btbValid[base+w] {
+			victim = w
+			break
+		}
+		if p.btbLRU[base+w] < p.btbLRU[base+victim] {
+			victim = w
+		}
+	}
+	p.btbTags[base+victim] = uint64(pc)
+	p.btbTgts[base+victim] = target
+	p.btbValid[base+victim] = true
+	p.btbTouch(base, victim)
+}
+
+// PredictTarget predicts the target of the control transfer at pc with
+// opcode op; returnsite is pc+1 pushed for calls. ok == false means the
+// front end cannot redirect (treated as a fetch break by the pipeline).
+func (p *Predictor) PredictTarget(op isa.Op, pc int) (int, bool) {
+	switch op {
+	case isa.RET:
+		if p.rasTop > 0 {
+			return p.ras[p.rasTop-1], true
+		}
+		return 0, false
+	default:
+		return p.btbLookup(pc)
+	}
+}
+
+// OnFetchCall pushes the return site when the fetch unit speculatively
+// follows a call.
+func (p *Predictor) OnFetchCall(returnSite int) {
+	if p.rasTop < len(p.ras) {
+		p.ras[p.rasTop] = returnSite
+		p.rasTop++
+	} else {
+		// Wrap: overwrite the bottom (simple circular behaviour).
+		copy(p.ras, p.ras[1:])
+		p.ras[len(p.ras)-1] = returnSite
+	}
+}
+
+// OnFetchReturn pops the RAS when the fetch unit follows a return.
+func (p *Predictor) OnFetchReturn() {
+	if p.rasTop > 0 {
+		p.rasTop--
+	}
+}
+
+// UpdateTarget trains the BTB with an executed control transfer and
+// records target-prediction statistics. predictedTarget/predictedOK are
+// what PredictTarget returned at fetch. It reports whether the predicted
+// target was correct.
+func (p *Predictor) UpdateTarget(op isa.Op, pc, target, predictedTarget int, predictedOK bool) bool {
+	p.UncondSeen++
+	correct := predictedOK && predictedTarget == target
+	if op == isa.RET {
+		if correct {
+			p.RASCorrect++
+		} else {
+			p.RASWrong++
+		}
+		return correct
+	}
+	if !correct {
+		p.TargetMiss++
+		p.btbInsert(pc, target)
+	}
+	return correct
+}
+
+// Config returns the predictor's configuration.
+func (p *Predictor) Config() Config { return p.cfg }

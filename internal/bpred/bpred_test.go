@@ -1,0 +1,137 @@
+package bpred
+
+import (
+	"testing"
+
+	"rvpsim/internal/isa"
+)
+
+func TestGshareLearnsAlwaysTaken(t *testing.T) {
+	p := New(DefaultConfig())
+	pc := 100
+	// Train: always taken. The global history register shifts for the
+	// first HistoryBits updates, touching a fresh PHT index each time, so
+	// warm-up takes a little over HistoryBits iterations.
+	for i := 0; i < 50; i++ {
+		pred := p.PredictCond(pc)
+		p.UpdateCond(pc, true, pred)
+	}
+	if !p.PredictCond(pc) {
+		t.Error("did not learn always-taken")
+	}
+	if p.CondSeen != 50 {
+		t.Errorf("CondSeen = %d", p.CondSeen)
+	}
+	// Mispredicts should have stopped after warm-up.
+	if p.CondMispred > 15 {
+		t.Errorf("mispredicts = %d, want <= 15", p.CondMispred)
+	}
+}
+
+func TestGshareLearnsAlternating(t *testing.T) {
+	// With global history, a strict alternation is learnable.
+	p := New(DefaultConfig())
+	pc := 7
+	mispredLate := 0
+	for i := 0; i < 200; i++ {
+		taken := i%2 == 0
+		pred := p.PredictCond(pc)
+		correct := p.UpdateCond(pc, taken, pred)
+		if i >= 100 && !correct {
+			mispredLate++
+		}
+	}
+	if mispredLate > 5 {
+		t.Errorf("late mispredicts = %d, want few (history should capture alternation)", mispredLate)
+	}
+}
+
+func TestBTBLearnsTarget(t *testing.T) {
+	p := New(DefaultConfig())
+	pc, tgt := 50, 90
+	if _, ok := p.PredictTarget(isa.BR, pc); ok {
+		t.Error("cold BTB hit")
+	}
+	p.UpdateTarget(isa.BR, pc, tgt, 0, false)
+	got, ok := p.PredictTarget(isa.BR, pc)
+	if !ok || got != tgt {
+		t.Errorf("PredictTarget = %d, %v", got, ok)
+	}
+	if !p.UpdateTarget(isa.BR, pc, tgt, got, ok) {
+		t.Error("correct target reported wrong")
+	}
+}
+
+func TestBTBReplacement(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.BTBEntries = 8
+	cfg.BTBAssoc = 2 // 4 sets
+	p := New(cfg)
+	// Three branches mapping to set 2 (pc % 4 == 2): 2, 6, 10.
+	p.UpdateTarget(isa.BR, 2, 100, 0, false)
+	p.UpdateTarget(isa.BR, 6, 200, 0, false)
+	p.PredictTarget(isa.BR, 2) // touch 2: 6 becomes LRU
+	p.UpdateTarget(isa.BR, 10, 300, 0, false)
+	if _, ok := p.PredictTarget(isa.BR, 2); !ok {
+		t.Error("recently used entry evicted")
+	}
+	if _, ok := p.PredictTarget(isa.BR, 6); ok {
+		t.Error("LRU entry survived")
+	}
+}
+
+func TestRAS(t *testing.T) {
+	p := New(DefaultConfig())
+	p.OnFetchCall(11)
+	p.OnFetchCall(22)
+	tgt, ok := p.PredictTarget(isa.RET, 0)
+	if !ok || tgt != 22 {
+		t.Errorf("RAS top = %d, %v", tgt, ok)
+	}
+	p.OnFetchReturn()
+	tgt, _ = p.PredictTarget(isa.RET, 0)
+	if tgt != 11 {
+		t.Errorf("RAS next = %d", tgt)
+	}
+	p.OnFetchReturn()
+	if _, ok := p.PredictTarget(isa.RET, 0); ok {
+		t.Error("empty RAS predicted")
+	}
+}
+
+func TestRASOverflowWraps(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.RASEntries = 2
+	p := New(cfg)
+	p.OnFetchCall(1)
+	p.OnFetchCall(2)
+	p.OnFetchCall(3) // overwrites oldest
+	tgt, ok := p.PredictTarget(isa.RET, 0)
+	if !ok || tgt != 3 {
+		t.Errorf("top after overflow = %d", tgt)
+	}
+	p.OnFetchReturn()
+	tgt, _ = p.PredictTarget(isa.RET, 0)
+	if tgt != 2 {
+		t.Errorf("second after overflow = %d", tgt)
+	}
+}
+
+func TestRASStats(t *testing.T) {
+	p := New(DefaultConfig())
+	p.OnFetchCall(5)
+	tgt, ok := p.PredictTarget(isa.RET, 0)
+	p.OnFetchReturn()
+	if !p.UpdateTarget(isa.RET, 0, 5, tgt, ok) {
+		t.Error("correct return counted wrong")
+	}
+	if p.RASCorrect != 1 || p.RASWrong != 0 {
+		t.Errorf("RAS stats = %d/%d", p.RASCorrect, p.RASWrong)
+	}
+	if p.UpdateTarget(isa.RET, 0, 99, tgt, ok) {
+		t.Error("wrong return counted correct")
+	}
+	if p.RASWrong != 1 {
+		t.Errorf("RASWrong = %d", p.RASWrong)
+	}
+}

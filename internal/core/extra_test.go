@@ -1,0 +1,121 @@
+package core
+
+import "testing"
+
+func TestStridePredictorLearnsStride(t *testing.T) {
+	p := NewStridePredictor(DefaultStrideConfig())
+	in := ldq(3, 4)
+	v := uint64(100)
+	// Train on a stride of 8: install + stride detect + 7 confirmations.
+	for i := 0; i < 10; i++ {
+		p.Commit(5, in, 0, v)
+		v += 8
+	}
+	d := p.Decide(5, in)
+	if !d.Predict {
+		t.Fatal("stride not learned")
+	}
+	if d.Value != v {
+		t.Errorf("predicted %d, want %d", d.Value, v)
+	}
+	// A break in the stride resets confidence.
+	p.Commit(5, in, 0, v+999)
+	if p.Decide(5, in).Predict {
+		t.Error("still predicting after stride break")
+	}
+}
+
+func TestStridePredictorZeroStrideIsLastValue(t *testing.T) {
+	p := NewStridePredictor(DefaultStrideConfig())
+	in := ldq(3, 4)
+	for i := 0; i < 9; i++ {
+		p.Commit(5, in, 0, 42)
+	}
+	d := p.Decide(5, in)
+	if !d.Predict || d.Value != 42 {
+		t.Errorf("decision = %+v, want constant 42", d)
+	}
+}
+
+func TestStridePredictorTagStealing(t *testing.T) {
+	cfg := DefaultStrideConfig()
+	cfg.Entries = 16
+	p := NewStridePredictor(cfg)
+	in := ldq(3, 4)
+	for i := 0; i < 10; i++ {
+		p.Commit(3, in, 0, uint64(i))
+	}
+	if !p.Decide(3, in).Predict {
+		t.Fatal("owner not trained")
+	}
+	p.Commit(3+16, in, 0, 7) // alias steals the entry
+	if p.Decide(3, in).Predict {
+		t.Error("stolen entry still predicts for old owner")
+	}
+}
+
+func TestContextPredictorLearnsAlternation(t *testing.T) {
+	// Alternating values defeat last-value and stride predictors but are
+	// an order-2 context pattern.
+	p := NewContextPredictor(DefaultContextConfig())
+	in := ldq(3, 4)
+	vals := []uint64{10, 20}
+	for i := 0; i < 60; i++ {
+		v := vals[i%2]
+		d := p.Decide(7, in)
+		p.Commit(7, in, d.Value, v)
+	}
+	d := p.Decide(7, in)
+	if !d.Predict {
+		t.Fatal("context predictor did not learn alternation")
+	}
+	if d.Value != vals[0] && d.Value != vals[1] {
+		t.Errorf("predicted %d, want one of %v", d.Value, vals)
+	}
+	// Check it actually predicts the NEXT value in the sequence: after an
+	// even number of commits the next value is vals[0].
+	if d.Value != vals[0] {
+		t.Errorf("predicted %d, want %d (next in sequence)", d.Value, vals[0])
+	}
+}
+
+func TestContextPredictorResets(t *testing.T) {
+	p := NewContextPredictor(DefaultContextConfig())
+	in := ldq(3, 4)
+	for i := 0; i < 30; i++ {
+		p.Commit(7, in, 0, 5)
+	}
+	if !p.Decide(7, in).Predict {
+		t.Fatal("not trained")
+	}
+	p.Reset()
+	if p.Decide(7, in).Predict {
+		t.Error("Reset did not clear")
+	}
+}
+
+func TestStorageCosts(t *testing.T) {
+	// The paper's storage argument: RVP counters are a tiny fraction of
+	// any buffer-based scheme.
+	rvp := RVPStorageBits(DefaultCounterConfig())
+	lvp := NewLVP(DefaultLVPConfig(), "lvp").StorageBits()
+	stride := NewStridePredictor(DefaultStrideConfig()).StorageBits()
+	ctx := NewContextPredictor(DefaultContextConfig()).StorageBits()
+	if rvp != 1024*3 {
+		t.Errorf("RVP storage = %d bits, want 3072", rvp)
+	}
+	if lvp < 20*rvp {
+		t.Errorf("LVP storage %d not >> RVP %d", lvp, rvp)
+	}
+	if stride <= lvp {
+		t.Errorf("stride storage %d not above LVP %d", stride, lvp)
+	}
+	if ctx <= stride {
+		t.Errorf("context storage %d not above stride %d", ctx, stride)
+	}
+}
+
+func TestExtraPredictorsImplementInterface(t *testing.T) {
+	var _ Predictor = NewStridePredictor(DefaultStrideConfig())
+	var _ Predictor = NewContextPredictor(DefaultContextConfig())
+}

@@ -1,0 +1,248 @@
+package core
+
+import (
+	"rvpsim/internal/isa"
+)
+
+// DynamicRVP is the paper's dynamic register value predictor: a table of
+// small resetting confidence counters indexed by instruction PC and *no*
+// value storage. An instruction whose counter is confident is predicted
+// to produce the value already in its destination register (or, with
+// compiler hints, in a correlated register / its own reserved register).
+type DynamicRVP struct {
+	name     string
+	counters *CounterTable
+	hints    ReuseHints
+	loadOnly bool
+	lastOut  map[int]uint64 // per-static-instruction last result (LV hints)
+}
+
+// DynamicRVPOption configures NewDynamicRVP.
+type DynamicRVPOption func(*DynamicRVP)
+
+// WithHints supplies profile-derived compiler re-allocation hints.
+func WithHints(h ReuseHints) DynamicRVPOption {
+	return func(p *DynamicRVP) { p.hints = h }
+}
+
+// LoadsOnly restricts prediction to load instructions.
+func LoadsOnly() DynamicRVPOption {
+	return func(p *DynamicRVP) { p.loadOnly = true }
+}
+
+// WithName overrides the report name.
+func WithName(name string) DynamicRVPOption {
+	return func(p *DynamicRVP) { p.name = name }
+}
+
+// NewDynamicRVP builds a dynamic RVP predictor with the given counter
+// configuration.
+func NewDynamicRVP(cfg CounterConfig, opts ...DynamicRVPOption) *DynamicRVP {
+	p := &DynamicRVP{
+		name:     "drvp",
+		counters: NewCounterTable(cfg),
+		lastOut:  make(map[int]uint64),
+	}
+	for _, o := range opts {
+		o(p)
+	}
+	return p
+}
+
+// Name implements Predictor.
+func (p *DynamicRVP) Name() string { return p.name }
+
+// eligible reports whether the predictor considers this instruction at all.
+func (p *DynamicRVP) eligible(in isa.Inst) bool {
+	if !in.WritesReg() {
+		return false
+	}
+	if p.loadOnly {
+		return isa.IsLoad(in.Op)
+	}
+	// Control transfers that write a link register are not usefully
+	// predictable (their value is the PC); the paper predicts
+	// register-writing computation and load instructions.
+	if isa.Classify(in.Op) == isa.ClassBranch {
+		return false
+	}
+	return true
+}
+
+// source returns the prediction source for the instruction.
+func (p *DynamicRVP) source(idx int, in isa.Inst) (Kind, isa.Reg) {
+	if h, ok := p.hints[idx]; ok {
+		switch h.Kind {
+		case KindOtherReg:
+			return KindOtherReg, h.Reg
+		case KindLastValue:
+			return KindLastValue, in.Rd
+		}
+	}
+	return KindSameReg, in.Rd
+}
+
+// Decide implements Predictor.
+func (p *DynamicRVP) Decide(idx int, in isa.Inst) Decision {
+	if !p.eligible(in) {
+		return Decision{}
+	}
+	k, r := p.source(idx, in)
+	d := Decision{Kind: k, Reg: r}
+	if k == KindLastValue {
+		d.Value = p.lastOut[idx]
+	}
+	d.Predict = p.counters.Confident(idx)
+	return d
+}
+
+// Commit implements Predictor: reuse is "the source value equalled the
+// result".
+func (p *DynamicRVP) Commit(idx int, in isa.Inst, predicted, actual uint64) {
+	if !p.eligible(in) {
+		return
+	}
+	p.counters.Update(idx, predicted == actual)
+	k, _ := p.source(idx, in)
+	if k == KindLastValue {
+		p.lastOut[idx] = actual
+	}
+}
+
+// LastOut returns the instruction's previous result for KindLastValue
+// sources (zero before the first execution).
+func (p *DynamicRVP) LastOut(idx int) uint64 { return p.lastOut[idx] }
+
+// Reset implements Predictor.
+func (p *DynamicRVP) Reset() {
+	p.counters.Reset()
+	p.lastOut = make(map[int]uint64)
+}
+
+// StaticRVP models the paper's static scheme: the compiler marks
+// profitable loads with rvp_load opcodes (or, equivalently here, supplies
+// the marked set), and the hardware predicts every execution of a marked
+// load with no confidence hardware at all.
+type StaticRVP struct {
+	name    string
+	marked  map[int]bool
+	hints   ReuseHints
+	lastOut map[int]uint64
+}
+
+// NewStaticRVP builds a static RVP predictor from the marked-instruction
+// set and reuse hints produced by the profiler.
+func NewStaticRVP(name string, marked map[int]bool, hints ReuseHints) *StaticRVP {
+	return &StaticRVP{name: name, marked: marked, hints: hints, lastOut: make(map[int]uint64)}
+}
+
+// Name implements Predictor.
+func (p *StaticRVP) Name() string { return p.name }
+
+// Decide implements Predictor. An instruction is predicted iff it is
+// marked (static RVP applies to loads; the marked set contains loads).
+// Control transfers are never predicted even if a stale mark aliases one.
+func (p *StaticRVP) Decide(idx int, in isa.Inst) Decision {
+	if !in.WritesReg() || !p.marked[idx] || isa.Classify(in.Op) == isa.ClassBranch {
+		return Decision{}
+	}
+	d := Decision{Predict: true, Kind: KindSameReg, Reg: in.Rd}
+	if h, ok := p.hints[idx]; ok {
+		switch h.Kind {
+		case KindOtherReg:
+			d.Kind, d.Reg = KindOtherReg, h.Reg
+		case KindLastValue:
+			d.Kind = KindLastValue
+			d.Value = p.lastOut[idx]
+		}
+	}
+	return d
+}
+
+// Commit implements Predictor (static RVP has no counters; it only tracks
+// last outputs for KindLastValue hints).
+func (p *StaticRVP) Commit(idx int, in isa.Inst, predicted, actual uint64) {
+	if h, ok := p.hints[idx]; ok && h.Kind == KindLastValue {
+		p.lastOut[idx] = actual
+	}
+}
+
+// LastOut returns the instruction's previous result.
+func (p *StaticRVP) LastOut(idx int) uint64 { return p.lastOut[idx] }
+
+// Reset implements Predictor.
+func (p *StaticRVP) Reset() { p.lastOut = make(map[int]uint64) }
+
+// GabbayRVP is the Gabbay & Mendelson register-file predictor the paper
+// compares against: confidence counters associated with *architectural
+// registers* rather than instructions, so every instruction writing a
+// register shares that register's counter — the interference the paper
+// blames for its poor coverage.
+type GabbayRVP struct {
+	name     string
+	cfg      CounterConfig
+	counters *CounterTable
+	loadOnly bool
+}
+
+// NewGabbayRVP builds the register-indexed predictor. Entries beyond the
+// 64 architectural registers are unused; the counter parameters (bits,
+// threshold) match cfg.
+func NewGabbayRVP(cfg CounterConfig, loadOnly bool) *GabbayRVP {
+	c := cfg
+	c.Entries = 64
+	c.Tagged = false
+	return &GabbayRVP{name: "grp", cfg: c, counters: NewCounterTable(c), loadOnly: loadOnly}
+}
+
+// Name implements Predictor.
+func (p *GabbayRVP) Name() string { return p.name }
+
+func (p *GabbayRVP) eligible(in isa.Inst) bool {
+	if !in.WritesReg() {
+		return false
+	}
+	if p.loadOnly {
+		return isa.IsLoad(in.Op)
+	}
+	return isa.Classify(in.Op) != isa.ClassBranch
+}
+
+// Decide implements Predictor: the counter is indexed by the destination
+// register number.
+func (p *GabbayRVP) Decide(idx int, in isa.Inst) Decision {
+	if !p.eligible(in) {
+		return Decision{}
+	}
+	d := Decision{Kind: KindSameReg, Reg: in.Rd}
+	if p.counters.Confident(int(in.Rd)) {
+		d.Predict = true
+	}
+	return d
+}
+
+// Commit implements Predictor.
+func (p *GabbayRVP) Commit(idx int, in isa.Inst, predicted, actual uint64) {
+	if !p.eligible(in) {
+		return
+	}
+	p.counters.Update(int(in.Rd), predicted == actual)
+}
+
+// Reset implements Predictor.
+func (p *GabbayRVP) Reset() { p.counters.Reset() }
+
+// NoPredictor never predicts; it is the no_predict baseline.
+type NoPredictor struct{}
+
+// Name implements Predictor.
+func (NoPredictor) Name() string { return "no_predict" }
+
+// Decide implements Predictor.
+func (NoPredictor) Decide(int, isa.Inst) Decision { return Decision{} }
+
+// Commit implements Predictor.
+func (NoPredictor) Commit(int, isa.Inst, uint64, uint64) {}
+
+// Reset implements Predictor.
+func (NoPredictor) Reset() {}

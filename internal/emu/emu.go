@@ -1,0 +1,301 @@
+// Package emu implements the architectural (functional) emulator for the
+// simulator's ISA. It executes programs in order along the correct path
+// and produces per-instruction execution records; both the register-reuse
+// profiler and the timing pipeline's oracle execution are built on it.
+package emu
+
+import (
+	"fmt"
+	"math"
+
+	"rvpsim/internal/isa"
+	"rvpsim/internal/mem"
+	"rvpsim/internal/program"
+)
+
+// Exec describes one executed (committed) instruction. OldDest is the
+// value the destination register held *before* the write — the value
+// register value prediction would have used.
+type Exec struct {
+	Index   int      // static instruction index
+	Inst    isa.Inst // the instruction
+	PC      uint64   // simulated-memory address of the instruction
+	Next    int      // index of the next instruction executed
+	WroteRd bool     // instruction architecturally wrote Rd
+	OldDest uint64   // prior value of Rd (valid when WroteRd)
+	NewDest uint64   // value written to Rd (valid when WroteRd)
+	EA      uint64   // effective address (loads/stores)
+	IsMem   bool     // load or store
+	Taken   bool     // branch outcome (control transfers)
+	IsCTI   bool     // control-transfer instruction
+}
+
+// State is the architectural machine state.
+type State struct {
+	Prog   *program.Program
+	Mem    *mem.Memory
+	Regs   [isa.NumRegs]uint64
+	PC     int // instruction index
+	Halted bool
+	Count  uint64 // committed instructions
+
+	err error
+}
+
+// New creates an architectural state for prog: memory is populated with
+// the encoded code image and all data chunks, the stack pointer is set,
+// and the PC points at the entry instruction.
+func New(prog *program.Program) (*State, error) {
+	s := &State{Prog: prog, Mem: mem.NewMemory(), PC: prog.Entry}
+	for i, in := range prog.Insts {
+		w, err := isa.Encode(in)
+		if err != nil {
+			return nil, fmt.Errorf("emu: instruction %d: %w", i, err)
+		}
+		s.Mem.WriteWord(prog.PC(i), w)
+	}
+	for _, c := range prog.Data {
+		for i, w := range c.Words {
+			s.Mem.WriteWord(c.Addr+uint64(i)*8, w)
+		}
+	}
+	s.Regs[isa.RSP] = prog.StackTop
+	return s, nil
+}
+
+// MustNew is New, panicking on error (for assembler-validated programs).
+func MustNew(prog *program.Program) *State {
+	s, err := New(prog)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Err returns the first execution error (bad PC, bad JSR target).
+func (s *State) Err() error { return s.err }
+
+func (s *State) read(r isa.Reg) uint64 {
+	if r.IsZero() {
+		return 0
+	}
+	return s.Regs[r]
+}
+
+func (s *State) write(r isa.Reg, v uint64) {
+	if !r.IsZero() {
+		s.Regs[r] = v
+	}
+}
+
+func f(v uint64) float64  { return math.Float64frombits(v) }
+func fb(v float64) uint64 { return math.Float64bits(v) }
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+func fb2u(b bool) uint64 {
+	if b {
+		return fb(1.0)
+	}
+	return fb(0.0)
+}
+
+// Step executes one instruction and returns its execution record. After
+// HALT (or an error), Step returns ok == false.
+func (s *State) Step() (Exec, bool) {
+	if s.Halted || s.err != nil {
+		return Exec{}, false
+	}
+	if s.PC < 0 || s.PC >= len(s.Prog.Insts) {
+		s.err = fmt.Errorf("emu: pc %d out of range", s.PC)
+		return Exec{}, false
+	}
+	i := s.PC
+	in := s.Prog.Insts[i]
+	e := Exec{Index: i, Inst: in, PC: s.Prog.PC(i), Next: i + 1}
+
+	a := s.read(in.Ra)
+	b := s.read(in.Rb)
+	var result uint64
+	writes := in.WritesReg()
+
+	switch in.Op {
+	case isa.NOP:
+	case isa.ADD:
+		result = a + b
+	case isa.ADDI:
+		result = a + uint64(in.Imm)
+	case isa.SUB:
+		result = a - b
+	case isa.SUBI:
+		result = a - uint64(in.Imm)
+	case isa.MUL:
+		result = a * b
+	case isa.MULI:
+		result = a * uint64(in.Imm)
+	case isa.DIV:
+		if b != 0 {
+			result = uint64(int64(a) / int64(b))
+		}
+	case isa.REM:
+		if b != 0 {
+			result = uint64(int64(a) % int64(b))
+		}
+	case isa.AND:
+		result = a & b
+	case isa.ANDI:
+		result = a & uint64(in.Imm)
+	case isa.OR:
+		result = a | b
+	case isa.ORI:
+		result = a | uint64(in.Imm)
+	case isa.XOR:
+		result = a ^ b
+	case isa.XORI:
+		result = a ^ uint64(in.Imm)
+	case isa.SLL:
+		result = a << (b & 63)
+	case isa.SLLI:
+		result = a << (uint64(in.Imm) & 63)
+	case isa.SRL:
+		result = a >> (b & 63)
+	case isa.SRLI:
+		result = a >> (uint64(in.Imm) & 63)
+	case isa.SRA:
+		result = uint64(int64(a) >> (b & 63))
+	case isa.SRAI:
+		result = uint64(int64(a) >> (uint64(in.Imm) & 63))
+	case isa.CMPEQ:
+		result = b2u(a == b)
+	case isa.CMPEQI:
+		result = b2u(int64(a) == in.Imm)
+	case isa.CMPLT:
+		result = b2u(int64(a) < int64(b))
+	case isa.CMPLTI:
+		result = b2u(int64(a) < in.Imm)
+	case isa.CMPLE:
+		result = b2u(int64(a) <= int64(b))
+	case isa.CMPLEI:
+		result = b2u(int64(a) <= in.Imm)
+	case isa.CMPULT:
+		result = b2u(a < b)
+	case isa.LDA:
+		result = a + uint64(in.Imm)
+	case isa.LDAH:
+		result = a + uint64(in.Imm)<<16
+	case isa.LDQ, isa.RVPLDQ, isa.LDT, isa.RVPLDT:
+		e.EA = a + uint64(in.Imm)
+		e.IsMem = true
+		result = s.Mem.ReadWord(e.EA)
+	case isa.STQ, isa.STT:
+		e.EA = a + uint64(in.Imm)
+		e.IsMem = true
+		s.Mem.WriteWord(e.EA, s.read(in.Rd))
+	case isa.BEQ:
+		e.IsCTI = true
+		e.Taken = int64(a) == 0
+	case isa.BNE:
+		e.IsCTI = true
+		e.Taken = int64(a) != 0
+	case isa.BLT:
+		e.IsCTI = true
+		e.Taken = int64(a) < 0
+	case isa.BGE:
+		e.IsCTI = true
+		e.Taken = int64(a) >= 0
+	case isa.BGT:
+		e.IsCTI = true
+		e.Taken = int64(a) > 0
+	case isa.BLE:
+		e.IsCTI = true
+		e.Taken = int64(a) <= 0
+	case isa.FBEQ:
+		e.IsCTI = true
+		e.Taken = f(a) == 0
+	case isa.FBNE:
+		e.IsCTI = true
+		e.Taken = f(a) != 0
+	case isa.BR:
+		e.IsCTI = true
+		e.Taken = true
+		if writes {
+			result = s.Prog.PC(i + 1)
+		}
+		e.Next = int(in.Imm)
+	case isa.JSR:
+		e.IsCTI = true
+		e.Taken = true
+		result = s.Prog.PC(i + 1)
+		e.Next = s.Prog.Index(a)
+	case isa.RET:
+		e.IsCTI = true
+		e.Taken = true
+		e.Next = s.Prog.Index(a)
+	case isa.FADD:
+		result = fb(f(a) + f(b))
+	case isa.FSUB:
+		result = fb(f(a) - f(b))
+	case isa.FMUL:
+		result = fb(f(a) * f(b))
+	case isa.FDIV:
+		if f(b) != 0 {
+			result = fb(f(a) / f(b))
+		} else {
+			result = fb(0)
+		}
+	case isa.FCMPEQ:
+		result = fb2u(f(a) == f(b))
+	case isa.FCMPLT:
+		result = fb2u(f(a) < f(b))
+	case isa.FCMPLE:
+		result = fb2u(f(a) <= f(b))
+	case isa.CVTQT:
+		result = fb(float64(int64(a)))
+	case isa.CVTTQ:
+		result = uint64(int64(f(a)))
+	case isa.ITOF, isa.FTOI:
+		result = a
+	case isa.HALT:
+		s.Halted = true
+		s.Count++
+		return e, true
+	default:
+		s.err = fmt.Errorf("emu: unimplemented opcode %v at %d", in.Op, i)
+		return Exec{}, false
+	}
+
+	if isa.IsCondBranch(in.Op) && e.Taken {
+		e.Next = int(in.Imm)
+	}
+	if writes {
+		e.WroteRd = true
+		e.OldDest = s.read(in.Rd)
+		e.NewDest = result
+		s.write(in.Rd, result)
+	}
+	if e.Next < 0 || e.Next >= len(s.Prog.Insts) {
+		s.err = fmt.Errorf("emu: control transfer from %d to invalid index %d", i, e.Next)
+		return Exec{}, false
+	}
+	s.PC = e.Next
+	s.Count++
+	return e, true
+}
+
+// Run executes until HALT, an error, or max committed instructions
+// (max <= 0 means unlimited). It returns the number executed.
+func (s *State) Run(max uint64) uint64 {
+	start := s.Count
+	for !s.Halted && s.err == nil {
+		if max > 0 && s.Count-start >= max {
+			break
+		}
+		if _, ok := s.Step(); !ok {
+			break
+		}
+	}
+	return s.Count - start
+}

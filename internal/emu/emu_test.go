@@ -1,0 +1,301 @@
+package emu_test
+
+import (
+	"math"
+	"testing"
+
+	"rvpsim/internal/asm"
+	"rvpsim/internal/emu"
+	"rvpsim/internal/isa"
+)
+
+func run(t *testing.T, src string, max uint64) *emu.State {
+	t.Helper()
+	p, err := asm.Assemble("t", src, asm.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := emu.MustNew(p)
+	s.Run(max)
+	if s.Err() != nil {
+		t.Fatalf("execution error: %v", s.Err())
+	}
+	return s
+}
+
+func TestSumLoop(t *testing.T) {
+	s := run(t, `
+.text
+main:
+        lda     r2, table
+        li      r1, 4
+        clr     r4
+loop:
+        ldq     r3, 0(r2)
+        add     r4, r4, r3
+        addi    r2, r2, 8
+        subi    r1, r1, 1
+        bne     r1, loop
+        mov     r0, r4
+        halt
+.data
+.org 0x100000
+table:  .quad 10, 20, 30, 40
+`, 0)
+	if !s.Halted {
+		t.Fatal("did not halt")
+	}
+	if got := s.Regs[0]; got != 100 {
+		t.Errorf("r0 = %d, want 100", got)
+	}
+}
+
+func TestArithmeticOps(t *testing.T) {
+	s := run(t, `
+.text
+main:
+        li   r1, 7
+        li   r2, 3
+        mul  r3, r1, r2     ; 21
+        div  r4, r3, r2     ; 7
+        rem  r5, r1, r2     ; 1
+        sub  r6, r1, r2     ; 4
+        and  r7, r1, r2     ; 3
+        or   r8, r1, r2     ; 7
+        xor  r9, r1, r2     ; 4
+        slli r10, r1, 4     ; 112
+        srai r11, r10, 2    ; 28
+        cmplt r12, r2, r1   ; 1
+        cmpeq r13, r1, r2   ; 0
+        li   r14, -8
+        srai r15, r14, 1    ; -4 (arithmetic)
+        srli r16, r14, 60   ; high bits of two's complement
+        halt
+`, 0)
+	want := map[int]int64{3: 21, 4: 7, 5: 1, 6: 4, 7: 3, 8: 7, 9: 4, 10: 112, 11: 28, 12: 1, 13: 0, 15: -4, 16: 15}
+	for r, v := range want {
+		if got := int64(s.Regs[r]); got != v {
+			t.Errorf("r%d = %d, want %d", r, got, v)
+		}
+	}
+}
+
+func TestDivisionByZero(t *testing.T) {
+	s := run(t, `
+.text
+main:
+        li  r1, 5
+        clr r2
+        div r3, r1, r2
+        rem r4, r1, r2
+        halt
+`, 0)
+	if s.Regs[3] != 0 || s.Regs[4] != 0 {
+		t.Errorf("div/rem by zero: r3=%d r4=%d, want 0 0", s.Regs[3], s.Regs[4])
+	}
+}
+
+func TestZeroRegisterIgnoresWrites(t *testing.T) {
+	s := run(t, `
+.text
+main:
+        li  r31, 42
+        add r1, r31, r31
+        halt
+`, 0)
+	if s.Regs[31] != 0 {
+		t.Errorf("r31 = %d, want 0", s.Regs[31])
+	}
+	if s.Regs[1] != 0 {
+		t.Errorf("r1 = %d, want 0", s.Regs[1])
+	}
+}
+
+func TestCallReturn(t *testing.T) {
+	s := run(t, `
+.text
+.proc main
+main:
+        li   r16, 5
+        call square
+        mov  r9, r0
+        li   r16, 9
+        lda  r5, square
+        jsr  (r5)
+        add  r0, r0, r9
+        halt
+.endproc
+.proc square
+square:
+        mul r0, r16, r16
+        ret
+.endproc
+`, 0)
+	if got := s.Regs[0]; got != 25+81 {
+		t.Errorf("r0 = %d, want 106", got)
+	}
+}
+
+func TestFloatingPoint(t *testing.T) {
+	s := run(t, `
+.text
+main:
+        ldt  f1, a
+        ldt  f2, b
+        fadd f3, f1, f2
+        fmul f4, f1, f2
+        fdiv f5, f1, f2
+        fsub f6, f1, f2
+        li   r1, 3
+        itof f7, r1
+        cvtqt f8, f7
+        halt
+.data
+.org 0x100000
+a:      .double 1.5
+b:      .double 0.5
+`, 0)
+	checks := map[int]float64{3: 2.0, 4: 0.75, 5: 3.0, 6: 1.0, 8: 3.0}
+	for fr, want := range checks {
+		got := math.Float64frombits(s.Regs[int(isa.FPReg(fr))])
+		if got != want {
+			t.Errorf("f%d = %g, want %g", fr, got, want)
+		}
+	}
+}
+
+func TestExecRecordOldDest(t *testing.T) {
+	p, err := asm.Assemble("t", `
+.text
+main:
+        li  r1, 7
+        li  r1, 7
+        li  r1, 9
+        halt
+`, asm.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := emu.MustNew(p)
+	e0, _ := s.Step()
+	e1, _ := s.Step()
+	e2, _ := s.Step()
+	if !e0.WroteRd || e0.OldDest != 0 || e0.NewDest != 7 {
+		t.Errorf("e0 = %+v", e0)
+	}
+	// Second write of the same value: register-value reuse.
+	if e1.OldDest != 7 || e1.NewDest != 7 {
+		t.Errorf("e1 old=%d new=%d, want 7 7", e1.OldDest, e1.NewDest)
+	}
+	if e2.OldDest != 7 || e2.NewDest != 9 {
+		t.Errorf("e2 old=%d new=%d, want 7 9", e2.OldDest, e2.NewDest)
+	}
+}
+
+func TestExecRecordMemAndBranch(t *testing.T) {
+	p, err := asm.Assemble("t", `
+.text
+main:
+        lda r2, d
+        ldq r1, 8(r2)
+        beq r31, target
+        nop
+target:
+        stq r1, 16(r2)
+        halt
+.data
+.org 0x200000
+d:      .quad 11, 22, 0
+`, asm.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := emu.MustNew(p)
+	s.Step() // lda
+	ld, _ := s.Step()
+	if !ld.IsMem || ld.EA != 0x200008 || ld.NewDest != 22 {
+		t.Errorf("load exec = %+v", ld)
+	}
+	br, _ := s.Step()
+	if !br.IsCTI || !br.Taken || br.Next != p.Labels["target"] {
+		t.Errorf("branch exec = %+v", br)
+	}
+	st, _ := s.Step()
+	if !st.IsMem || st.EA != 0x200010 || st.WroteRd {
+		t.Errorf("store exec = %+v", st)
+	}
+	if got := s.Mem.ReadWord(0x200010); got != 22 {
+		t.Errorf("stored word = %d, want 22", got)
+	}
+}
+
+func TestRunMaxStopsEarly(t *testing.T) {
+	p, err := asm.Assemble("t", `
+.text
+main:
+        br main
+        halt
+`, asm.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := emu.MustNew(p)
+	n := s.Run(1000)
+	if n != 1000 {
+		t.Errorf("ran %d, want 1000", n)
+	}
+	if s.Halted {
+		t.Error("halted on infinite loop")
+	}
+}
+
+func TestStepAfterHalt(t *testing.T) {
+	p, err := asm.Assemble("t", ".text\nmain:\n halt\n", asm.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := emu.MustNew(p)
+	if _, ok := s.Step(); !ok {
+		t.Fatal("halt step failed")
+	}
+	if _, ok := s.Step(); ok {
+		t.Error("step after halt succeeded")
+	}
+	if s.Count != 1 {
+		t.Errorf("count = %d, want 1", s.Count)
+	}
+}
+
+func TestRVPLoadsBehaveLikeLoads(t *testing.T) {
+	s := run(t, `
+.text
+main:
+        lda r2, d
+        rvp_ldq r1, 0(r2)
+        halt
+.data
+.org 0x300000
+d:      .quad 123
+`, 0)
+	if s.Regs[1] != 123 {
+		t.Errorf("rvp_ldq r1 = %d, want 123", s.Regs[1])
+	}
+}
+
+func TestBadJSRTargetSetsErr(t *testing.T) {
+	p, err := asm.Assemble("t", `
+.text
+main:
+        li r1, 0x7000000
+        jsr (r1)
+        halt
+`, asm.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := emu.MustNew(p)
+	s.Run(10)
+	if s.Err() == nil {
+		t.Error("expected control-transfer error")
+	}
+}

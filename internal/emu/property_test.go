@@ -1,0 +1,94 @@
+package emu_test
+
+import (
+	"testing"
+
+	"rvpsim/internal/emu"
+	"rvpsim/internal/isa"
+	"rvpsim/internal/progtest"
+)
+
+// TestEmulatorInvariants drives random programs and checks architectural
+// invariants at every step: hardwired zeros stay zero, control stays in
+// range, loads return exactly what memory holds, and execution records
+// are self-consistent.
+func TestEmulatorInvariants(t *testing.T) {
+	seeds := 30
+	if testing.Short() {
+		seeds = 8
+	}
+	for seed := 1; seed <= seeds; seed++ {
+		p := progtest.Random(uint64(seed))
+		s := emu.MustNew(p)
+		for i := 0; i < 30_000; i++ {
+			prevMemVal := uint64(0)
+			peekLoad := false
+			if pc := s.PC; pc >= 0 && pc < len(p.Insts) && isa.IsLoad(p.Insts[pc].Op) {
+				// Pre-compute what the load must return.
+				in := p.Insts[pc]
+				ea := s.Regs[in.Ra] + uint64(in.Imm)
+				if in.Ra.IsZero() {
+					ea = uint64(in.Imm)
+				}
+				prevMemVal = s.Mem.ReadWord(ea)
+				peekLoad = true
+			}
+			e, ok := s.Step()
+			if !ok {
+				break
+			}
+			if s.Regs[isa.RZero] != 0 || s.Regs[isa.FZero] != 0 {
+				t.Fatalf("seed %d: zero register written", seed)
+			}
+			if e.Inst.Op == isa.HALT {
+				break // Next is unused after HALT
+			}
+			if e.Next < 0 || e.Next >= len(p.Insts) {
+				t.Fatalf("seed %d: control left the program", seed)
+			}
+			if peekLoad && e.WroteRd && e.NewDest != prevMemVal {
+				t.Fatalf("seed %d: load returned %d, memory held %d", seed, e.NewDest, prevMemVal)
+			}
+			if e.WroteRd && !e.Inst.Rd.IsZero() && s.Regs[e.Inst.Rd] != e.NewDest {
+				t.Fatalf("seed %d: exec record NewDest disagrees with register file", seed)
+			}
+		}
+		if s.Err() != nil {
+			t.Fatalf("seed %d: %v", seed, s.Err())
+		}
+	}
+}
+
+// TestCodeImageRoundTrip: the encoded code image in simulated memory
+// decodes back to exactly the program's instructions.
+func TestCodeImageRoundTrip(t *testing.T) {
+	p := progtest.Random(3)
+	s := emu.MustNew(p)
+	for i, want := range p.Insts {
+		w := s.Mem.ReadWord(p.PC(i))
+		got, err := isa.Decode(w)
+		if err != nil {
+			t.Fatalf("inst %d: %v", i, err)
+		}
+		if got != want {
+			t.Fatalf("inst %d: decoded %v, want %v", i, got, want)
+		}
+	}
+}
+
+// TestDeterministicReplay: two emulations of the same program produce
+// identical execution traces.
+func TestDeterministicReplay(t *testing.T) {
+	p := progtest.Random(9)
+	a, b := emu.MustNew(p), emu.MustNew(p)
+	for i := 0; i < 20_000; i++ {
+		ea, oka := a.Step()
+		eb, okb := b.Step()
+		if oka != okb || ea != eb {
+			t.Fatalf("step %d: traces diverge", i)
+		}
+		if !oka {
+			break
+		}
+	}
+}

@@ -1,0 +1,54 @@
+package exp
+
+import (
+	"testing"
+)
+
+// TestExperimentsDeterministic: the same driver run twice (including the
+// parallel path) renders byte-identical tables — no map-iteration or
+// scheduling dependence may leak into results.
+func TestExperimentsDeterministic(t *testing.T) {
+	opts := Options{Insts: 60_000, ProfileInsts: 30_000, Threshold: 0.80, Parallel: true}
+	a, err := NewRunner(opts).Figure5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewRunner(opts).Figure5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Errorf("Figure5 not deterministic:\n%s\nvs\n%s", a, b)
+	}
+
+	c, err := NewRunner(opts).Figure1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := NewRunner(opts).Figure1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.String() != d.String() {
+		t.Errorf("Figure1 not deterministic:\n%s\nvs\n%s", c, d)
+	}
+}
+
+// TestSerialMatchesParallel: the Parallel option is purely a scheduling
+// choice; results must be identical.
+func TestSerialMatchesParallel(t *testing.T) {
+	par := Options{Insts: 60_000, ProfileInsts: 30_000, Threshold: 0.80, Parallel: true}
+	ser := par
+	ser.Parallel = false
+	a, err := NewRunner(par).Figure6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewRunner(ser).Figure6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Errorf("parallel vs serial differ:\n%s\nvs\n%s", a, b)
+	}
+}

@@ -1,0 +1,258 @@
+package exp
+
+// Shape tests: each experiment driver must reproduce the qualitative
+// relationships the paper reports (the match criteria DESIGN.md lists).
+// Budgets are kept small; absolute values are not asserted, orderings are.
+
+import (
+	"testing"
+
+	"rvpsim/internal/stats"
+	"rvpsim/internal/workloads"
+)
+
+func testRunner(t *testing.T) *Runner {
+	t.Helper()
+	return NewRunner(Options{Insts: 200_000, ProfileInsts: 100_000, Threshold: 0.80, Parallel: true})
+}
+
+func names() []string { return workloads.Names() }
+
+func rowAvg(tab *stats.Table, label string, cols []string) float64 {
+	row := tab.Row(label)
+	var vs []float64
+	for _, c := range cols {
+		if v, ok := row[c]; ok {
+			vs = append(vs, v)
+		}
+	}
+	return stats.Mean(vs)
+}
+
+func TestFigure1Shape(t *testing.T) {
+	r := testRunner(t)
+	tab, err := r.Figure1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Monotone inclusion per workload: same <= dead <= any <= or-lvp.
+	for _, n := range names() {
+		same := tab.Row("same register")[n]
+		dead := tab.Row("dead register")[n]
+		any := tab.Row("any register")[n]
+		orlv := tab.Row("register or lvp")[n]
+		if !(same <= dead+1e-9 && dead <= any+1e-9 && any <= orlv+1e-9) {
+			t.Errorf("%s: reuse bars not monotone: %.1f %.1f %.1f %.1f", n, same, dead, any, orlv)
+		}
+	}
+	// The paper's headline: a large fraction of load values are already
+	// in a register or were the last value.
+	avg := (tab.Row("register or lvp")["C avg"] + tab.Row("register or lvp")["F avg"]) / 2
+	if avg < 40 {
+		t.Errorf("average register-or-lvp reuse = %.1f%%, want substantial", avg)
+	}
+}
+
+func TestFigure3Shape(t *testing.T) {
+	r := testRunner(t)
+	tab, err := r.Figure3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := rowAvg(tab, "no_predict", names())
+	same := rowAvg(tab, "srvp_same", names())
+	lv := rowAvg(tab, "srvp_live_lv", names())
+	if same < base*0.99 {
+		t.Errorf("srvp_same average IPC %.3f below no_predict %.3f", same, base)
+	}
+	if lv < same-1e-9 {
+		t.Errorf("srvp_live_lv (%.3f) below srvp_same (%.3f)", lv, same)
+	}
+	// Static RVP must help where register reuse is plentiful.
+	if tab.Row("srvp_same")["m88ksim"] <= tab.Row("no_predict")["m88ksim"] {
+		t.Error("static RVP gained nothing on m88ksim")
+	}
+}
+
+func TestFigure4Shape(t *testing.T) {
+	r := testRunner(t)
+	tab, err := r.Figure4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Selective reissue holds fewer instructions than reissue, so it is
+	// never slower (the paper's conclusion).
+	for _, n := range names() {
+		sel := tab.Row("srvp_selective")[n]
+		re := tab.Row("srvp_reissue")[n]
+		if sel < re-0.01 {
+			t.Errorf("%s: selective (%.2f) below reissue (%.2f)", n, sel, re)
+		}
+	}
+	// Refetch performs well overall (often beats reissue somewhere).
+	refetchWins := 0
+	for _, n := range names() {
+		if tab.Row("srvp_refetch")[n] >= tab.Row("srvp_reissue")[n]-1e-9 {
+			refetchWins++
+		}
+	}
+	if refetchWins == 0 {
+		t.Error("refetch never competitive with reissue; paper reports it often is")
+	}
+}
+
+func TestFigure5Shape(t *testing.T) {
+	r := testRunner(t)
+	tab, err := r.Figure5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadLV := tab.Row("drvp_dead_lv")["average"]
+	lvp := tab.Row("lvp")["average"]
+	if deadLV < 1.01 {
+		t.Errorf("drvp_dead_lv average speedup %.3f, want gain over no prediction", deadLV)
+	}
+	// The storageless predictor with compiler support matches or beats
+	// the buffer-based LVP.
+	if deadLV < lvp-0.01 {
+		t.Errorf("drvp_dead_lv (%.3f) clearly below lvp (%.3f)", deadLV, lvp)
+	}
+}
+
+func TestFigure6Shape(t *testing.T) {
+	r := testRunner(t)
+	tab, err := r.Figure6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadLV := tab.Row("drvp_all_dead_lv")["average"]
+	lvp := tab.Row("lvp_all")["average"]
+	grp := tab.Row("Grp_all")["average"]
+	drvp := tab.Row("drvp_all")["average"]
+	if deadLV < 1.03 {
+		t.Errorf("drvp_all_dead_lv average %.3f, want a solid gain", deadLV)
+	}
+	if deadLV < lvp-0.015 {
+		t.Errorf("drvp_all_dead_lv (%.3f) clearly below lvp_all (%.3f)", deadLV, lvp)
+	}
+	// The Gabbay & Mendelson register predictor suffers counter
+	// interference: it must not beat PC-indexed dynamic RVP.
+	if grp > drvp+0.01 {
+		t.Errorf("Grp_all (%.3f) above drvp_all (%.3f)", grp, drvp)
+	}
+}
+
+func TestTable2Shape(t *testing.T) {
+	r := testRunner(t)
+	cov, acc, err := r.Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Resetting counters with threshold 7 give high accuracy everywhere.
+	for _, label := range []string{"drvp dead", "dead_lv", "lvp"} {
+		if a := rowAvg(acc, label, names()); a < 90 {
+			t.Errorf("%s average accuracy %.1f%%, want >= 90%%", label, a)
+		}
+	}
+	// dead_lv coverage is a superset of dead coverage.
+	if rowAvg(cov, "dead_lv", names()) < rowAvg(cov, "drvp dead", names())-0.5 {
+		t.Error("dead_lv coverage below dead coverage")
+	}
+	// The register-indexed predictor covers fewer instructions.
+	if rowAvg(cov, "G&M RP", names()) > rowAvg(cov, "drvp dead", names())+0.5 {
+		t.Error("G&M coverage above drvp coverage; interference not modelled?")
+	}
+	// Coverage ordering: go at the bottom, m88ksim near the top.
+	if cov.Row("drvp dead")["go"] >= cov.Row("drvp dead")["m88ksim"] {
+		t.Error("go coverage not below m88ksim coverage")
+	}
+}
+
+func TestFigure7Shape(t *testing.T) {
+	r := testRunner(t)
+	tab, err := r.Figure7()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cols := Figure7Workloads
+	realloc := rowAvg(tab, "drvp_all_dead_lv_realloc", cols)
+	noalloc := rowAvg(tab, "drvp_all_noreallocate", cols)
+	if realloc < noalloc-0.01 {
+		t.Errorf("re-allocation (%.3f) lost performance vs none (%.3f)", realloc, noalloc)
+	}
+	// Where LVP beat plain DRVP, re-allocation must close most of the
+	// gap on at least one workload (the paper's hydro2d case).
+	closed := false
+	for _, n := range cols {
+		lvp := tab.Row("lvp")[n]
+		no := tab.Row("drvp_all_noreallocate")[n]
+		re := tab.Row("drvp_all_dead_lv_realloc")[n]
+		if lvp > no+0.01 && re >= lvp-0.01 {
+			closed = true
+		}
+	}
+	if !closed {
+		t.Log(tab)
+		t.Error("re-allocation never recovered an LVP-ahead case")
+	}
+}
+
+func TestFigure8Shape(t *testing.T) {
+	r := testRunner(t)
+	tab, err := r.Figure8()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if avg := tab.Row("drvp_all_dead_lv")["average"]; avg < 1.02 {
+		t.Errorf("16-wide drvp_all_dead_lv average %.3f, want gains", avg)
+	}
+	// Plain RVP is competitive with LVP on the aggressive machine.
+	if tab.Row("drvp_all")["average"] < tab.Row("lvp_all")["average"]-0.04 {
+		t.Errorf("drvp_all (%.3f) far below lvp_all (%.3f) on 16-wide",
+			tab.Row("drvp_all")["average"], tab.Row("lvp_all")["average"])
+	}
+}
+
+func TestTable1Renders(t *testing.T) {
+	r := testRunner(t)
+	s := r.Table1()
+	for _, want := range []string{"inst queue", "fetch width", "mispredict penalty"} {
+		if !containsStr(s, want) {
+			t.Errorf("Table 1 missing %q", want)
+		}
+	}
+}
+
+func containsStr(s, sub string) bool {
+	return len(s) >= len(sub) && (func() bool {
+		for i := 0; i+len(sub) <= len(s); i++ {
+			if s[i:i+len(sub)] == sub {
+				return true
+			}
+		}
+		return false
+	})()
+}
+
+func TestRunnerMemoisation(t *testing.T) {
+	r := testRunner(t)
+	p1, err := r.Program("li")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, _ := r.Program("li")
+	if p1 != p2 {
+		t.Error("Program not memoised")
+	}
+	pr1, err := r.Profile("li")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr2, _ := r.Profile("li")
+	if pr1 != pr2 {
+		t.Error("Profile not memoised")
+	}
+	if _, err := r.Program("nope"); err == nil {
+		t.Error("unknown workload accepted")
+	}
+}

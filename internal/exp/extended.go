@@ -1,0 +1,121 @@
+package exp
+
+import (
+	"sync"
+
+	"rvpsim/internal/core"
+	"rvpsim/internal/pipeline"
+	"rvpsim/internal/stats"
+)
+
+// StorageTable is an extension beyond the paper's figures: the cost/benefit
+// comparison its introduction argues in prose. For each predictor it
+// reports the average speedup across the nine workloads next to the
+// value-prediction storage the scheme needs (in Kbits). RVP's storage is
+// three orders of magnitude below the context predictor's.
+func (r *Runner) StorageTable() (*stats.Table, error) {
+	names := allNames()
+	t := stats.NewTable("Extension: predictor cost/benefit (avg speedup vs storage)",
+		[]string{"storage Kbit", "avg speedup"})
+
+	specs := []struct {
+		label string
+		bits  int
+		mk    func() core.Predictor
+	}{
+		{"drvp (storageless)", core.RVPStorageBits(core.DefaultCounterConfig()),
+			func() core.Predictor { return core.NewDynamicRVP(core.DefaultCounterConfig()) }},
+		{"G&M register pred", 64 * 3,
+			func() core.Predictor { return core.NewGabbayRVP(core.DefaultCounterConfig(), false) }},
+		{"lvp", core.NewLVP(core.DefaultLVPConfig(), "x").StorageBits(),
+			lvpAll},
+		{"stride", core.NewStridePredictor(core.DefaultStrideConfig()).StorageBits(),
+			func() core.Predictor { return core.NewStridePredictor(core.DefaultStrideConfig()) }},
+		{"context (order 2)", core.NewContextPredictor(core.DefaultContextConfig()).StorageBits(),
+			func() core.Predictor { return core.NewContextPredictor(core.DefaultContextConfig()) }},
+	}
+
+	type key struct{ spec, wl string }
+	speed := map[key]float64{}
+	var mu sync.Mutex
+	err := r.forEach(names, func(name string) error {
+		base, err := r.run(name, pipeline.BaselineConfig(), core.NoPredictor{})
+		if err != nil {
+			return err
+		}
+		for _, sp := range specs {
+			st, err := r.run(name, pipeline.BaselineConfig(), sp.mk())
+			if err != nil {
+				return err
+			}
+			mu.Lock()
+			speed[key{sp.label, name}] = float64(base.Cycles) / float64(st.Cycles)
+			mu.Unlock()
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, sp := range specs {
+		var all []float64
+		for _, n := range names {
+			all = append(all, speed[key{sp.label, n}])
+		}
+		t.AddRow(sp.label, "%.3f", map[string]float64{
+			"storage Kbit": float64(sp.bits) / 1024,
+			"avg speedup":  stats.Mean(all),
+		})
+	}
+	t.AddNote("storage counts value-prediction state only (values, tags, strides, histories, counters)")
+	return t, nil
+}
+
+// ThresholdTable is a second extension: the confidence-threshold sweep
+// across the whole suite, showing the accuracy/coverage trade the paper's
+// resetting counters make at threshold 7.
+func (r *Runner) ThresholdTable() (*stats.Table, error) {
+	names := allNames()
+	t := stats.NewTable("Extension: confidence threshold sweep (dynamic RVP, all instructions)",
+		[]string{"avg speedup", "coverage %", "accuracy %"})
+	for _, th := range []uint8{1, 3, 5, 7} {
+		cc := core.DefaultCounterConfig()
+		cc.Threshold = th
+		type acc struct{ spd, cov, accy float64 }
+		var mu sync.Mutex
+		var rows []acc
+		err := r.forEach(names, func(name string) error {
+			base, err := r.run(name, pipeline.BaselineConfig(), core.NoPredictor{})
+			if err != nil {
+				return err
+			}
+			st, err := r.run(name, pipeline.BaselineConfig(), core.NewDynamicRVP(cc))
+			if err != nil {
+				return err
+			}
+			mu.Lock()
+			rows = append(rows, acc{
+				spd:  float64(base.Cycles) / float64(st.Cycles),
+				cov:  100 * st.Coverage(),
+				accy: 100 * st.Accuracy(),
+			})
+			mu.Unlock()
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		var spd, cov, accy []float64
+		for _, x := range rows {
+			spd = append(spd, x.spd)
+			cov = append(cov, x.cov)
+			accy = append(accy, x.accy)
+		}
+		t.AddRow("threshold "+string('0'+th), "%.3f", map[string]float64{
+			"avg speedup": stats.Mean(spd),
+			"coverage %":  stats.Mean(cov),
+			"accuracy %":  stats.Mean(accy),
+		})
+	}
+	return t, nil
+}

@@ -1,0 +1,373 @@
+// Package mem provides the simulated memory hierarchy: a sparse 64-bit
+// flat memory, set-associative write-back caches with LRU replacement, and
+// a TLB model. Cache geometry and miss penalties default to Table 1 of the
+// paper (32KB 4-way L1I and L1D, 512KB 2-way L2, 64-byte lines, 20-cycle
+// L1 miss penalty, 80-cycle L2 miss penalty).
+package mem
+
+import "fmt"
+
+// pageBits selects the sparse-memory page size (64 KiB pages).
+const pageBits = 16
+const pageSize = 1 << pageBits
+const pageWords = pageSize / 8
+
+// Memory is a sparse, paged, 64-bit-word-addressable flat memory. All
+// accesses used by the ISA are aligned 64-bit words.
+type Memory struct {
+	pages map[uint64][]uint64
+}
+
+// NewMemory returns an empty memory; unwritten locations read as zero.
+func NewMemory() *Memory {
+	return &Memory{pages: make(map[uint64][]uint64)}
+}
+
+// ReadWord reads the aligned 64-bit word at addr (low 3 bits ignored).
+func (m *Memory) ReadWord(addr uint64) uint64 {
+	page, ok := m.pages[addr>>pageBits]
+	if !ok {
+		return 0
+	}
+	return page[addr>>3&(pageWords-1)]
+}
+
+// WriteWord writes the aligned 64-bit word at addr.
+func (m *Memory) WriteWord(addr uint64, v uint64) {
+	key := addr >> pageBits
+	page, ok := m.pages[key]
+	if !ok {
+		page = make([]uint64, pageWords)
+		m.pages[key] = page
+	}
+	page[addr>>3&(pageWords-1)] = v
+}
+
+// Footprint returns the number of resident simulated pages.
+func (m *Memory) Footprint() int { return len(m.pages) }
+
+// Clone returns an independent copy of the memory image.
+func (m *Memory) Clone() *Memory {
+	c := NewMemory()
+	for k, p := range m.pages {
+		c.pages[k] = append([]uint64(nil), p...)
+	}
+	return c
+}
+
+// CacheConfig describes one cache level.
+type CacheConfig struct {
+	Name        string
+	SizeBytes   int
+	Assoc       int
+	LineBytes   int
+	MissPenalty int // cycles added on a miss at this level
+	HitLatency  int // cycles for a hit (access time)
+}
+
+// Validate checks the geometry.
+func (c CacheConfig) Validate() error {
+	if c.SizeBytes <= 0 || c.Assoc <= 0 || c.LineBytes <= 0 {
+		return fmt.Errorf("mem: cache %s: nonpositive geometry", c.Name)
+	}
+	if c.SizeBytes%(c.Assoc*c.LineBytes) != 0 {
+		return fmt.Errorf("mem: cache %s: size %d not divisible by assoc*line", c.Name, c.SizeBytes)
+	}
+	sets := c.SizeBytes / (c.Assoc * c.LineBytes)
+	if sets&(sets-1) != 0 {
+		return fmt.Errorf("mem: cache %s: set count %d not a power of two", c.Name, sets)
+	}
+	if c.LineBytes&(c.LineBytes-1) != 0 {
+		return fmt.Errorf("mem: cache %s: line size %d not a power of two", c.Name, c.LineBytes)
+	}
+	return nil
+}
+
+// Cache is a set-associative cache with true-LRU replacement. It models
+// only tags and timing; data flows through the flat Memory.
+type Cache struct {
+	cfg      CacheConfig
+	sets     int
+	lineBits uint
+	setMask  uint64
+	tags     []uint64 // sets*assoc entries
+	valid    []bool
+	lru      []uint8 // per-entry LRU stamp; lower = older
+	fillAt   []int64 // cycle the line's fill completes (MSHR-style)
+
+	Hits       uint64
+	Misses     uint64
+	FillStalls uint64 // hits that waited on an in-flight fill
+}
+
+// NewCache builds a cache from cfg; it panics on invalid geometry (a
+// configuration error, caught in tests).
+func NewCache(cfg CacheConfig) *Cache {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	sets := cfg.SizeBytes / (cfg.Assoc * cfg.LineBytes)
+	lb := uint(0)
+	for 1<<lb < cfg.LineBytes {
+		lb++
+	}
+	return &Cache{
+		cfg:      cfg,
+		sets:     sets,
+		lineBits: lb,
+		setMask:  uint64(sets - 1),
+		tags:     make([]uint64, sets*cfg.Assoc),
+		valid:    make([]bool, sets*cfg.Assoc),
+		lru:      make([]uint8, sets*cfg.Assoc),
+		fillAt:   make([]int64, sets*cfg.Assoc),
+	}
+}
+
+// Access touches addr and reports whether it hit, ignoring fill timing.
+// The line is installed (with an instant fill) on a miss.
+func (c *Cache) Access(addr uint64) bool {
+	hit, _ := c.Probe(addr, 0)
+	if !hit {
+		c.Install(addr, 0)
+	}
+	return hit
+}
+
+// Probe looks addr up at cycle now. It returns whether the line is
+// present and, for a present line whose fill is still in flight, the
+// remaining wait in cycles (MSHR-style secondary-miss behaviour). A miss
+// does not install the line; callers follow up with Install.
+func (c *Cache) Probe(addr uint64, now int64) (bool, int64) {
+	line := addr >> c.lineBits
+	set := int(line & c.setMask)
+	tag := line >> uint(log2(c.sets))
+	base := set * c.cfg.Assoc
+	for w := 0; w < c.cfg.Assoc; w++ {
+		if c.valid[base+w] && c.tags[base+w] == tag {
+			c.touch(base, w)
+			c.Hits++
+			if wait := c.fillAt[base+w] - now; wait > 0 {
+				c.FillStalls++
+				return true, wait
+			}
+			return true, 0
+		}
+	}
+	c.Misses++
+	return false, 0
+}
+
+// Install places addr's line in the cache with the given fill-completion
+// cycle, evicting the LRU way if needed.
+func (c *Cache) Install(addr uint64, fillDone int64) {
+	line := addr >> c.lineBits
+	set := int(line & c.setMask)
+	tag := line >> uint(log2(c.sets))
+	base := set * c.cfg.Assoc
+	victim := 0
+	for w := 0; w < c.cfg.Assoc; w++ {
+		if !c.valid[base+w] {
+			victim = w
+			break
+		}
+		if c.lru[base+w] < c.lru[base+victim] {
+			victim = w
+		}
+	}
+	c.tags[base+victim] = tag
+	c.valid[base+victim] = true
+	c.fillAt[base+victim] = fillDone
+	c.touch(base, victim)
+}
+
+// touch makes way w the most recently used in its set.
+func (c *Cache) touch(base, w int) {
+	old := c.lru[base+w]
+	for i := 0; i < c.cfg.Assoc; i++ {
+		if c.lru[base+i] > old {
+			c.lru[base+i]--
+		}
+	}
+	c.lru[base+w] = uint8(c.cfg.Assoc - 1)
+}
+
+// Config returns the cache's configuration.
+func (c *Cache) Config() CacheConfig { return c.cfg }
+
+// Reset clears contents and statistics.
+func (c *Cache) Reset() {
+	for i := range c.valid {
+		c.valid[i] = false
+		c.lru[i] = 0
+		c.tags[i] = 0
+		c.fillAt[i] = 0
+	}
+	c.Hits, c.Misses, c.FillStalls = 0, 0, 0
+}
+
+func log2(n int) int {
+	k := 0
+	for 1<<k < n {
+		k++
+	}
+	return k
+}
+
+// TLBConfig describes a TLB.
+type TLBConfig struct {
+	Entries     int
+	PageBytes   int
+	MissPenalty int
+}
+
+// TLB is a fully-associative, LRU translation buffer. The simulator uses a
+// flat address space, so the TLB contributes only timing.
+type TLB struct {
+	cfg      TLBConfig
+	pageBits uint
+	entries  []uint64
+	valid    []bool
+	stamp    []uint64
+	clock    uint64
+
+	Hits   uint64
+	Misses uint64
+}
+
+// NewTLB builds a TLB.
+func NewTLB(cfg TLBConfig) *TLB {
+	pb := uint(0)
+	for 1<<pb < cfg.PageBytes {
+		pb++
+	}
+	return &TLB{
+		cfg:      cfg,
+		pageBits: pb,
+		entries:  make([]uint64, cfg.Entries),
+		valid:    make([]bool, cfg.Entries),
+		stamp:    make([]uint64, cfg.Entries),
+	}
+}
+
+// Access touches the page of addr and reports a hit.
+func (t *TLB) Access(addr uint64) bool {
+	page := addr >> t.pageBits
+	t.clock++
+	for i := range t.entries {
+		if t.valid[i] && t.entries[i] == page {
+			t.stamp[i] = t.clock
+			t.Hits++
+			return true
+		}
+	}
+	t.Misses++
+	victim := 0
+	for i := range t.entries {
+		if !t.valid[i] {
+			victim = i
+			break
+		}
+		if t.stamp[i] < t.stamp[victim] {
+			victim = i
+		}
+	}
+	t.entries[victim] = page
+	t.valid[victim] = true
+	t.stamp[victim] = t.clock
+	return false
+}
+
+// Config returns the TLB configuration.
+func (t *TLB) Config() TLBConfig { return t.cfg }
+
+// Hierarchy bundles the Table 1 memory system: split L1, unified L2, and
+// TLBs. AccessData/AccessInst return the access latency in cycles.
+type Hierarchy struct {
+	L1I  *Cache
+	L1D  *Cache
+	L2   *Cache
+	ITLB *TLB
+	DTLB *TLB
+}
+
+// HierarchyConfig configures NewHierarchy.
+type HierarchyConfig struct {
+	L1I, L1D, L2 CacheConfig
+	ITLB, DTLB   TLBConfig
+}
+
+// DefaultHierarchyConfig returns the paper's Table 1 memory system.
+func DefaultHierarchyConfig() HierarchyConfig {
+	return HierarchyConfig{
+		L1I:  CacheConfig{Name: "L1I", SizeBytes: 32 << 10, Assoc: 4, LineBytes: 64, MissPenalty: 20, HitLatency: 1},
+		L1D:  CacheConfig{Name: "L1D", SizeBytes: 32 << 10, Assoc: 4, LineBytes: 64, MissPenalty: 20, HitLatency: 1},
+		L2:   CacheConfig{Name: "L2", SizeBytes: 512 << 10, Assoc: 2, LineBytes: 64, MissPenalty: 80, HitLatency: 0},
+		ITLB: TLBConfig{Entries: 64, PageBytes: 8 << 10, MissPenalty: 30},
+		DTLB: TLBConfig{Entries: 64, PageBytes: 8 << 10, MissPenalty: 30},
+	}
+}
+
+// NewHierarchy builds the hierarchy.
+func NewHierarchy(cfg HierarchyConfig) *Hierarchy {
+	return &Hierarchy{
+		L1I:  NewCache(cfg.L1I),
+		L1D:  NewCache(cfg.L1D),
+		L2:   NewCache(cfg.L2),
+		ITLB: NewTLB(cfg.ITLB),
+		DTLB: NewTLB(cfg.DTLB),
+	}
+}
+
+// AccessData returns the latency, in cycles, of a data access to addr.
+// Timing-unaware form of AccessDataAt.
+func (h *Hierarchy) AccessData(addr uint64) int { return h.AccessDataAt(addr, 0) }
+
+// AccessDataAt returns the latency, in cycles, of a data access issued at
+// cycle now. Misses install lines with their fill-completion times, so
+// subsequent accesses to an in-flight line wait for the fill rather than
+// hitting for free (MSHR-style secondary-miss behaviour).
+func (h *Hierarchy) AccessDataAt(addr uint64, now int64) int {
+	lat := int64(h.L1D.Config().HitLatency)
+	if !h.DTLB.Access(addr) {
+		lat += int64(h.DTLB.Config().MissPenalty)
+	}
+	if hit, wait := h.L1D.Probe(addr, now); hit {
+		return int(lat + wait)
+	}
+	fill := int64(h.L1D.Config().MissPenalty)
+	l2Hit, l2Wait := h.L2.Probe(addr, now)
+	if l2Hit {
+		fill += l2Wait
+	} else {
+		fill += int64(h.L2.Config().MissPenalty)
+		h.L2.Install(addr, now+fill)
+	}
+	h.L1D.Install(addr, now+fill)
+	return int(lat + fill)
+}
+
+// AccessInst returns the latency, in cycles, of an instruction fetch from
+// addr beyond the pipelined fetch (0 means "hit, no stall").
+// Timing-unaware form of AccessInstAt.
+func (h *Hierarchy) AccessInst(addr uint64) int { return h.AccessInstAt(addr, 0) }
+
+// AccessInstAt is AccessInst with fill-time modelling at cycle now.
+func (h *Hierarchy) AccessInstAt(addr uint64, now int64) int {
+	lat := int64(0)
+	if !h.ITLB.Access(addr) {
+		lat += int64(h.ITLB.Config().MissPenalty)
+	}
+	if hit, wait := h.L1I.Probe(addr, now); hit {
+		return int(lat + wait)
+	}
+	fill := int64(h.L1I.Config().MissPenalty)
+	l2Hit, l2Wait := h.L2.Probe(addr, now)
+	if l2Hit {
+		fill += l2Wait
+	} else {
+		fill += int64(h.L2.Config().MissPenalty)
+		h.L2.Install(addr, now+fill)
+	}
+	h.L1I.Install(addr, now+fill)
+	return int(lat + fill)
+}

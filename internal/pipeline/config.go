@@ -1,0 +1,152 @@
+// Package pipeline implements the execution-driven out-of-order timing
+// simulator: an 8-wide (or 16-wide), 9-stage machine with the paper's
+// Table 1 resources, gshare branch prediction, the register-map-based RVP
+// mechanism, and the three value-misprediction recovery schemes (refetch,
+// reissue, selective reissue).
+//
+// The model is oracle-driven: the functional emulator supplies the
+// committed instruction stream, and the timing model tracks per-result
+// ready cycles, functional-unit and issue-bandwidth contention, IQ and
+// in-flight-window occupancy, in-order dispatch and commit, and front-end
+// redirects. Wrong-path instructions are charged as fetch stall (redirect
+// latency plus lost fetch slots) rather than emulated.
+package pipeline
+
+import (
+	"fmt"
+
+	"rvpsim/internal/bpred"
+	"rvpsim/internal/mem"
+)
+
+// Recovery selects the value-misprediction recovery scheme (Section 4.3).
+type Recovery uint8
+
+// Recovery schemes.
+const (
+	// RecoverRefetch treats a value mispredict like a branch mispredict:
+	// everything from the first use onward is squashed and refetched.
+	RecoverRefetch Recovery = iota
+	// RecoverReissue keeps every instruction after the first use in the
+	// IQ until the prediction resolves; dependents reissue with a one
+	// cycle penalty on a mispredict.
+	RecoverReissue
+	// RecoverSelective keeps only (transitive) dependents of the
+	// predicted value in the IQ; same one-cycle reissue penalty.
+	RecoverSelective
+)
+
+func (r Recovery) String() string {
+	switch r {
+	case RecoverRefetch:
+		return "refetch"
+	case RecoverReissue:
+		return "reissue"
+	case RecoverSelective:
+		return "selective"
+	}
+	return fmt.Sprintf("recovery(%d)", uint8(r))
+}
+
+// Config describes the simulated machine.
+type Config struct {
+	// Front end.
+	FetchWidth      int // instructions fetched per cycle
+	MaxFetchBlocks  int // basic blocks (taken branches followed) per cycle
+	FrontLatency    int // fetch-to-dispatch stages
+	MispredPenalty  int // branch / refetch redirect penalty, cycles
+	MisfetchPenalty int // decode-time redirect (BTB miss, static target)
+
+	// Window and queues.
+	DispatchWidth int
+	IntIQ         int
+	FPIQ          int
+	Window        int // in-flight instructions (renaming registers / ROB)
+
+	// Issue and functional units.
+	IssueWidth  int
+	IntALUs     int // integer units (ClassIntALU/Mul/Div share these)
+	LoadStore   int // of the integer units, how many can do loads/stores
+	FPUnits     int
+	CommitWidth int
+
+	// Value prediction plumbing.
+	Recovery Recovery
+	// PredictPorts bounds non-load RVP predictions per cycle (the extra
+	// register read ports of Section 4.2). 0 leaves the limit unmodelled,
+	// as the paper's own simulations do (it argues one or two ports would
+	// suffice from the observed prediction rate); set it explicitly for
+	// the port-pressure ablation.
+	PredictPorts int
+
+	// Substrate configuration.
+	Mem   mem.HierarchyConfig
+	Bpred bpred.Config
+}
+
+// BaselineConfig returns the paper's Table 1 next-generation 8-issue
+// processor: 32-entry int and FP instruction queues, 6 integer units (4
+// with load/store ports), 3 FP units, 9-stage pipeline with a 7-cycle
+// misprediction penalty, 8-wide fetch of one basic block per cycle.
+func BaselineConfig() Config {
+	return Config{
+		FetchWidth:      8,
+		MaxFetchBlocks:  1,
+		FrontLatency:    4, // fetch..dispatch stages of the 9-stage pipe
+		MispredPenalty:  7,
+		MisfetchPenalty: 2,
+		DispatchWidth:   8,
+		IntIQ:           32,
+		FPIQ:            32,
+		Window:          128,
+		IssueWidth:      8,
+		IntALUs:         6,
+		LoadStore:       4,
+		FPUnits:         3,
+		CommitWidth:     8,
+		Recovery:        RecoverSelective,
+		PredictPorts:    0,
+		Mem:             mem.DefaultHierarchyConfig(),
+		Bpred:           bpred.DefaultConfig(),
+	}
+}
+
+// AggressiveConfig returns the Section 7.4 16-wide machine: double the
+// queues, functional units, renaming registers and fetch bandwidth, and a
+// front end that can fetch up to three basic blocks per cycle.
+func AggressiveConfig() Config {
+	c := BaselineConfig()
+	c.FetchWidth = 16
+	c.MaxFetchBlocks = 3
+	c.DispatchWidth = 16
+	c.IntIQ = 64
+	c.FPIQ = 64
+	c.Window = 256
+	c.IssueWidth = 16
+	c.IntALUs = 12
+	c.LoadStore = 8
+	c.FPUnits = 6
+	c.CommitWidth = 16
+	return c
+}
+
+// Validate checks the configuration for structural sanity.
+func (c Config) Validate() error {
+	switch {
+	case c.FetchWidth <= 0, c.DispatchWidth <= 0, c.IssueWidth <= 0, c.CommitWidth <= 0:
+		return fmt.Errorf("pipeline: nonpositive width")
+	case c.IntIQ <= 0 || c.FPIQ <= 0 || c.Window <= 0:
+		return fmt.Errorf("pipeline: nonpositive queue size")
+	case c.IntALUs <= 0 || c.FPUnits <= 0 || c.LoadStore <= 0:
+		return fmt.Errorf("pipeline: nonpositive unit count")
+	case c.LoadStore > c.IntALUs:
+		return fmt.Errorf("pipeline: more load/store ports than integer units")
+	case c.MaxFetchBlocks <= 0:
+		return fmt.Errorf("pipeline: MaxFetchBlocks must be positive")
+	case c.FrontLatency < 1:
+		return fmt.Errorf("pipeline: FrontLatency must be at least 1")
+	case c.MispredPenalty < 1:
+		return fmt.Errorf("pipeline: MispredPenalty must be at least 1")
+	}
+	return nil
+}

@@ -1,0 +1,569 @@
+package pipeline
+
+import (
+	"fmt"
+
+	"rvpsim/internal/bpred"
+	"rvpsim/internal/core"
+	"rvpsim/internal/emu"
+	"rvpsim/internal/isa"
+	"rvpsim/internal/mem"
+	"rvpsim/internal/program"
+)
+
+// capRing is a lazily-cleared, cycle-indexed bandwidth counter used for
+// issue/dispatch/commit slot booking. Slots alias modulo its size, which
+// is far larger than any in-flight time spread.
+type capRing struct {
+	stamp []int64
+	count []int32
+	limit int32
+}
+
+const capRingBits = 16
+const capRingSize = 1 << capRingBits
+
+func newCapRing(limit int) *capRing {
+	return &capRing{
+		stamp: make([]int64, capRingSize),
+		count: make([]int32, capRingSize),
+		limit: int32(limit),
+	}
+}
+
+func (c *capRing) used(cycle int64) int32 {
+	i := cycle & (capRingSize - 1)
+	if c.stamp[i] != cycle {
+		return 0
+	}
+	return c.count[i]
+}
+
+func (c *capRing) avail(cycle int64) bool { return c.used(cycle) < c.limit }
+
+func (c *capRing) book(cycle int64) {
+	i := cycle & (capRingSize - 1)
+	if c.stamp[i] != cycle {
+		c.stamp[i] = cycle
+		c.count[i] = 0
+	}
+	c.count[i]++
+}
+
+// pendingPred tracks one in-flight value prediction for recovery
+// bookkeeping.
+type pendingPred struct {
+	verifyAt int64
+	doneAt   int64
+	wrong    bool
+	useSeen  bool
+}
+
+// TraceRecord is the per-committed-instruction timing record delivered to
+// a Tracer: when the instruction moved through each pipeline event and
+// how value prediction treated it.
+type TraceRecord struct {
+	Index     int // static instruction index
+	FetchAt   int64
+	Dispatch  int64
+	IssueAt   int64
+	DoneAt    int64
+	CommitAt  int64
+	Predicted bool
+	Correct   bool
+}
+
+// Tracer receives one record per committed instruction, in commit order.
+type Tracer func(TraceRecord)
+
+// Sim is the timing simulator. One Sim runs one program; allocate a new
+// Sim (or call Run again, which resets state) per measurement.
+type Sim struct {
+	cfg    Config
+	hier   *mem.Hierarchy
+	bp     *bpred.Predictor
+	tracer Tracer
+}
+
+// SetTracer installs a per-instruction trace callback (nil disables).
+func (s *Sim) SetTracer(t Tracer) { s.tracer = t }
+
+// New builds a simulator for the configuration.
+func New(cfg Config) (*Sim, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Sim{cfg: cfg}, nil
+}
+
+// MustNew is New, panicking on config errors.
+func MustNew(cfg Config) *Sim {
+	s, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Run simulates prog under value predictor pred for at most maxInsts
+// committed instructions (0 = until HALT) and returns the statistics.
+func (s *Sim) Run(prog *program.Program, pred core.Predictor, maxInsts uint64) (Stats, error) {
+	st, err := emu.New(prog)
+	if err != nil {
+		return Stats{}, err
+	}
+	s.hier = mem.NewHierarchy(s.cfg.Mem)
+	s.bp = bpred.New(s.cfg.Bpred)
+	pred.Reset()
+
+	var stats Stats
+	cfg := s.cfg
+
+	// Per-register timing state.
+	var regReady [isa.NumRegs]int64  // when the latest value is available
+	var specUntil [isa.NumRegs]int64 // selective-reissue taint: latest verify time
+	var regPending [isa.NumRegs]*pendingPred
+
+	// Per-static-instruction readiness of the previous result (for
+	// KindLastValue prediction sources). Like regReady for same-register
+	// sources, it collapses while the value repeats: a re-allocated
+	// register would have held the (identical) value since the oldest
+	// instance of the run, so consumers need not wait for the newest.
+	lvReady := make([]int64, len(prog.Insts))
+	lvLast := make([]uint64, len(prog.Insts))
+
+	// Queue occupancy rings: release time of the instruction N-slots back.
+	intIQ := make([]int64, cfg.IntIQ)
+	fpIQ := make([]int64, cfg.FPIQ)
+	window := make([]int64, cfg.Window)
+	var intN, fpN, winN uint64
+
+	// Bandwidth books.
+	dispatchCap := newCapRing(cfg.DispatchWidth)
+	issueCap := newCapRing(cfg.IssueWidth)
+	intCap := newCapRing(cfg.IntALUs)
+	lsCap := newCapRing(cfg.LoadStore)
+	fpCap := newCapRing(cfg.FPUnits)
+	commitCap := newCapRing(cfg.CommitWidth)
+	var portCap *capRing
+	if cfg.PredictPorts > 0 {
+		portCap = newCapRing(cfg.PredictPorts)
+	}
+
+	// Front-end state.
+	var fetchCycle, minFetch int64
+	fetchSlots, fetchBlocks := 0, 0
+	curLine := ^uint64(0)
+
+	var lastDispatch, lastCommit, lastCycle int64
+	var activePreds []*pendingPred
+	srcBuf := make([]isa.Reg, 0, 4)
+
+	resetFetch := func(to int64) {
+		fetchCycle = to
+		fetchSlots = 0
+		fetchBlocks = 0
+		curLine = ^uint64(0)
+	}
+
+	for {
+		if maxInsts > 0 && stats.Committed >= maxInsts {
+			break
+		}
+		e, ok := st.Step()
+		if !ok {
+			if st.Err() != nil {
+				return stats, fmt.Errorf("pipeline: oracle: %w", st.Err())
+			}
+			break
+		}
+		in := e.Inst
+		idx := e.Index
+		cls := isa.Classify(in.Op)
+		srcs := in.Sources(srcBuf[:0])
+
+		// ---- Refetch-recovery trigger: first use of a mispredicted value
+		// squashes from this instruction onward.
+		if cfg.Recovery == RecoverRefetch {
+			for _, r := range srcs {
+				if r.IsZero() {
+					continue
+				}
+				if p := regPending[r]; p != nil && p.wrong && !p.useSeen {
+					p.useSeen = true
+					redirect := p.doneAt + int64(cfg.MispredPenalty)
+					if redirect > minFetch {
+						minFetch = redirect
+					}
+					stats.Refetches++
+				}
+			}
+		}
+
+		// ---- Fetch.
+		if fetchCycle < minFetch {
+			resetFetch(minFetch)
+		}
+		line := e.PC &^ 63
+		if line != curLine {
+			if lat := s.hier.AccessInstAt(e.PC, fetchCycle); lat > 0 {
+				resetFetch(fetchCycle + int64(lat))
+			}
+			curLine = line
+		}
+		if fetchSlots >= cfg.FetchWidth {
+			resetFetch(fetchCycle + 1)
+			curLine = line
+		}
+		myFetch := fetchCycle
+		fetchSlots++
+
+		// ---- Dispatch: in order, gated by window, queue space, and
+		// dispatch bandwidth.
+		dispatch := myFetch + int64(cfg.FrontLatency)
+		if dispatch < lastDispatch {
+			dispatch = lastDispatch
+		}
+		if winN >= uint64(cfg.Window) {
+			if t := window[winN%uint64(cfg.Window)]; t > dispatch {
+				stats.StallWindow += t - dispatch
+				dispatch = t
+			}
+		}
+		useFPQ := cls == isa.ClassFPAdd || cls == isa.ClassFPMul || cls == isa.ClassFPDiv
+		if useFPQ {
+			if fpN >= uint64(cfg.FPIQ) {
+				if t := fpIQ[fpN%uint64(cfg.FPIQ)]; t > dispatch {
+					stats.StallFPIQ += t - dispatch
+					dispatch = t
+				}
+			}
+		} else {
+			if intN >= uint64(cfg.IntIQ) {
+				if t := intIQ[intN%uint64(cfg.IntIQ)]; t > dispatch {
+					stats.StallIntIQ += t - dispatch
+					dispatch = t
+				}
+			}
+		}
+		for !dispatchCap.avail(dispatch) {
+			dispatch++
+		}
+		dispatchCap.book(dispatch)
+		lastDispatch = dispatch
+
+		// ---- Value prediction decision.
+		var dec core.Decision
+		var predVal uint64
+		var predReady int64
+		predicted := false
+		correct := false
+		if e.WroteRd {
+			stats.Eligible++
+			dec = pred.Decide(idx, in)
+			if dec.Kind != core.KindNone || dec.Predict {
+				switch dec.Kind {
+				case core.KindSameReg:
+					predVal = e.OldDest
+					predReady = regReady[in.Rd]
+				case core.KindOtherReg:
+					if dec.Reg == in.Rd {
+						predVal = e.OldDest
+					} else {
+						predVal = st.Regs[dec.Reg]
+					}
+					predReady = regReady[dec.Reg]
+				case core.KindLastValue:
+					predVal = dec.Value
+					predReady = lvReady[idx]
+				case core.KindBuffer:
+					predVal = dec.Value
+					predReady = dispatch
+				}
+			}
+			if dec.Predict {
+				predicted = true
+				// Non-load register-source predictions need an extra
+				// register read port to fetch the prior value for the
+				// verification compare; buffer-based predictions (LVP)
+				// come with their own value datapath instead.
+				if cls != isa.ClassLoad && dec.Kind != core.KindBuffer && portCap != nil {
+					if portCap.avail(dispatch) {
+						portCap.book(dispatch)
+					} else {
+						predicted = false
+						stats.PortStarved++
+					}
+				}
+			}
+			if predicted {
+				correct = predVal == e.NewDest
+				stats.Predicted++
+				if correct {
+					stats.PredictCorrect++
+				} else {
+					stats.PredictWrong++
+				}
+			}
+		}
+
+		// ---- Source operands, first-use detection, selective taint.
+		srcReady := dispatch + 1
+		var holdUntil int64
+		for _, r := range srcs {
+			if r.IsZero() {
+				continue
+			}
+			if t := regReady[r]; t > srcReady {
+				srcReady = t
+			}
+			if cfg.Recovery == RecoverSelective && specUntil[r] > holdUntil {
+				holdUntil = specUntil[r]
+			}
+			if p := regPending[r]; p != nil && !p.useSeen {
+				p.useSeen = true
+			}
+		}
+
+		// Reissue: every instruction dispatched after a pending
+		// prediction's first use stays queued until it verifies.
+		if cfg.Recovery == RecoverReissue {
+			live := activePreds[:0]
+			for _, p := range activePreds {
+				if p.verifyAt > dispatch {
+					live = append(live, p)
+					if p.useSeen && p.verifyAt > holdUntil {
+						holdUntil = p.verifyAt
+					}
+				}
+			}
+			activePreds = live
+		}
+
+		// ---- Issue: earliest cycle with a free unit and issue slot.
+		t := srcReady
+		if t < dispatch+1 {
+			t = dispatch + 1
+		}
+		isMem := cls == isa.ClassLoad || cls == isa.ClassStore
+		var unit *capRing
+		switch cls {
+		case isa.ClassFPAdd, isa.ClassFPMul, isa.ClassFPDiv:
+			unit = fpCap
+		default:
+			unit = intCap
+		}
+		for {
+			if issueCap.avail(t) && unit.avail(t) && (!isMem || lsCap.avail(t)) {
+				break
+			}
+			t++
+		}
+		issueCap.book(t)
+		unit.book(t)
+		if isMem {
+			lsCap.book(t)
+		}
+		issueAt := t
+
+		// ---- Completion.
+		doneAt := issueAt + int64(cls.Latency())
+		if cls == isa.ClassLoad {
+			doneAt += int64(s.hier.AccessDataAt(e.EA, issueAt))
+			stats.Loads++
+		} else if cls == isa.ClassStore {
+			doneAt += int64(s.hier.AccessDataAt(e.EA, issueAt))
+			stats.Stores++
+		}
+
+		// ---- Prediction verification and destination readiness.
+		// taintOut is the speculation horizon this instruction's result
+		// carries to its consumers (selective reissue): inherited source
+		// taints plus, when predicted, its own verification time. The
+		// predicted instruction itself is NOT held in the queue — it
+		// cannot reissue; only its dependents are.
+		var verifyAt int64
+		taintOut := holdUntil
+		if e.WroteRd {
+			if predicted {
+				verifyAt = doneAt
+				if predReady > verifyAt {
+					verifyAt = predReady
+				}
+				pp := &pendingPred{verifyAt: verifyAt, doneAt: doneAt, wrong: !correct}
+				regPending[in.Rd] = pp
+				if cfg.Recovery == RecoverReissue {
+					activePreds = append(activePreds, pp)
+				}
+				switch {
+				case correct:
+					// Consumers read the prior register value.
+					rr := predReady
+					if doneAt < rr {
+						rr = doneAt
+					}
+					regReady[in.Rd] = rr
+				case cfg.Recovery == RecoverRefetch:
+					regReady[in.Rd] = doneAt
+				default:
+					// Dependents reissue one cycle after the real value.
+					regReady[in.Rd] = doneAt + 1
+				}
+				if cfg.Recovery == RecoverSelective && verifyAt > taintOut {
+					taintOut = verifyAt
+				}
+			} else {
+				regReady[in.Rd] = doneAt
+				regPending[in.Rd] = nil
+			}
+			if cfg.Recovery == RecoverSelective {
+				specUntil[in.Rd] = taintOut
+			}
+			if e.NewDest == lvLast[idx] {
+				if doneAt < lvReady[idx] {
+					lvReady[idx] = doneAt
+				}
+			} else {
+				lvReady[idx] = doneAt
+				lvLast[idx] = e.NewDest
+			}
+		}
+
+		// ---- Queue slot release.
+		qFree := issueAt + 1
+		if holdUntil > qFree {
+			qFree = holdUntil
+		}
+		if useFPQ {
+			fpIQ[fpN%uint64(cfg.FPIQ)] = qFree
+			fpN++
+		} else {
+			intIQ[intN%uint64(cfg.IntIQ)] = qFree
+			intN++
+		}
+
+		// ---- Control transfers: predictor consultation and redirects.
+		if e.IsCTI {
+			stats.Branches++
+			s.handleCTI(e, idx, myFetch, doneAt, &minFetch, &fetchBlocks)
+		}
+
+		// ---- Commit: in order, after completion and verification.
+		commitAt := doneAt + 1
+		if predicted && verifyAt+1 > commitAt {
+			commitAt = verifyAt + 1
+		}
+		if commitAt < lastCommit {
+			commitAt = lastCommit
+		}
+		for !commitCap.avail(commitAt) {
+			commitAt++
+		}
+		commitCap.book(commitAt)
+		lastCommit = commitAt
+		window[winN%uint64(cfg.Window)] = commitAt
+		winN++
+		if commitAt > lastCycle {
+			lastCycle = commitAt
+		}
+		stats.Committed++
+
+		// ---- Train the value predictor (in program order).
+		if e.WroteRd {
+			pred.Commit(idx, in, predVal, e.NewDest)
+		}
+
+		if s.tracer != nil {
+			s.tracer(TraceRecord{
+				Index:     idx,
+				FetchAt:   myFetch,
+				Dispatch:  dispatch,
+				IssueAt:   issueAt,
+				DoneAt:    doneAt,
+				CommitAt:  commitAt,
+				Predicted: predicted,
+				Correct:   correct,
+			})
+		}
+
+		if in.Op == isa.HALT {
+			break
+		}
+	}
+
+	stats.Cycles = lastCycle
+	stats.DL1Hits, stats.DL1Misses = s.hier.L1D.Hits, s.hier.L1D.Misses
+	stats.IL1Hits, stats.IL1Misses = s.hier.L1I.Hits, s.hier.L1I.Misses
+	stats.L2Hits, stats.L2Misses = s.hier.L2.Hits, s.hier.L2.Misses
+	stats.CondBranches = s.bp.CondSeen
+	stats.CondMispredict = s.bp.CondMispred
+	stats.TargetMispred = s.bp.TargetMiss + s.bp.RASWrong
+	return stats, nil
+}
+
+// handleCTI models the front end's interaction with one control transfer:
+// direction prediction, target prediction, taken-branch fetch breaks, and
+// redirect penalties for mispredictions.
+func (s *Sim) handleCTI(e emu.Exec, idx int, myFetch, doneAt int64, minFetch *int64, fetchBlocks *int) {
+	cfg := s.cfg
+	redirect := func(at int64) {
+		if at > *minFetch {
+			*minFetch = at
+		}
+	}
+	takenBreak := func() {
+		*fetchBlocks++
+		if *fetchBlocks >= cfg.MaxFetchBlocks {
+			// The fetch unit cannot follow another taken branch this
+			// cycle; fetch resumes next cycle.
+			redirect(myFetch + 1)
+		}
+	}
+	switch {
+	case isa.IsCondBranch(e.Inst.Op):
+		predTaken := s.bp.PredictCond(idx)
+		dirCorrect := s.bp.UpdateCond(idx, e.Taken, predTaken)
+		if !dirCorrect {
+			redirect(doneAt + int64(cfg.MispredPenalty))
+			return
+		}
+		if !e.Taken {
+			return // correctly predicted not-taken: no fetch break
+		}
+		tgt, ok := s.bp.PredictTarget(e.Inst.Op, idx)
+		if s.bp.UpdateTarget(e.Inst.Op, idx, e.Next, tgt, ok) {
+			takenBreak()
+		} else {
+			// Direction known taken but target unknown in the BTB: the
+			// target is static, so decode redirects (misfetch).
+			redirect(myFetch + int64(cfg.MisfetchPenalty))
+		}
+	case e.Inst.Op == isa.BR:
+		if e.Inst.Rd == isa.RRA {
+			s.bp.OnFetchCall(e.Index + 1)
+		}
+		tgt, ok := s.bp.PredictTarget(e.Inst.Op, idx)
+		if s.bp.UpdateTarget(e.Inst.Op, idx, e.Next, tgt, ok) {
+			takenBreak()
+		} else {
+			redirect(myFetch + int64(cfg.MisfetchPenalty))
+		}
+	case e.Inst.Op == isa.JSR:
+		s.bp.OnFetchCall(e.Index + 1)
+		tgt, ok := s.bp.PredictTarget(e.Inst.Op, idx)
+		if s.bp.UpdateTarget(e.Inst.Op, idx, e.Next, tgt, ok) {
+			takenBreak()
+		} else {
+			// Register-indirect target: resolved at execute.
+			redirect(doneAt + int64(cfg.MispredPenalty))
+		}
+	case e.Inst.Op == isa.RET:
+		tgt, ok := s.bp.PredictTarget(e.Inst.Op, idx)
+		s.bp.OnFetchReturn()
+		if s.bp.UpdateTarget(e.Inst.Op, idx, e.Next, tgt, ok) {
+			takenBreak()
+		} else {
+			redirect(doneAt + int64(cfg.MispredPenalty))
+		}
+	}
+}

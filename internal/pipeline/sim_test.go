@@ -1,0 +1,271 @@
+package pipeline_test
+
+import (
+	"testing"
+
+	"rvpsim/internal/asm"
+	"rvpsim/internal/core"
+	"rvpsim/internal/pipeline"
+	"rvpsim/internal/program"
+)
+
+func assemble(t *testing.T, src string) *program.Program {
+	t.Helper()
+	p, err := asm.Assemble("t", src, asm.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// loopProg is a simple counted loop with a dependent chain.
+const loopProg = `
+.text
+main:
+        li      r1, 2000
+        lda     r2, table
+        clr     r4
+loop:
+        ldq     r3, 0(r2)
+        add     r4, r4, r3
+        addi    r2, r2, 8
+        andi    r2, r2, 0x1ffff8
+        subi    r1, r1, 1
+        bne     r1, loop
+        halt
+.data
+.org 0x100000
+table:  .quad 5, 5, 5, 5, 5, 5, 5, 5
+`
+
+// reuseProg loads the same value into the same register over and over:
+// perfect register-value reuse, with a long dependence chain hanging off
+// the load so prediction matters.
+const reuseProg = `
+.text
+main:
+        li      r1, 5000
+        lda     r2, table
+loop:
+        ldq     r3, 0(r2)       ; always loads 7 into r3 (same-reg reuse)
+        mul     r4, r3, r3
+        mul     r5, r4, r3
+        mul     r6, r5, r4
+        add     r7, r6, r5
+        subi    r1, r1, 1
+        bne     r1, loop
+        halt
+.data
+.org 0x100000
+table:  .quad 7
+`
+
+// wrongProg has a load whose value changes every iteration but whose
+// confidence warms up on a long constant prefix, guaranteeing
+// mispredictions when the pattern shifts.
+const wrongProg = `
+.text
+main:
+        li      r1, 400
+        lda     r2, table
+        clr     r8
+loop:
+        ldq     r3, 0(r2)
+        addi    r3, r3, 3       ; overwrite quickly: r3 value changes
+        stq     r3, 0(r2)       ; store back: next load differs
+        mul     r4, r3, r3
+        add     r8, r8, r4
+        subi    r1, r1, 1
+        bne     r1, loop
+        halt
+.data
+.org 0x100000
+table:  .quad 1
+`
+
+func run(t *testing.T, prog *program.Program, cfg pipeline.Config, pred core.Predictor) pipeline.Stats {
+	t.Helper()
+	sim := pipeline.MustNew(cfg)
+	st, err := sim.Run(prog, pred, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func TestBasicIPCSane(t *testing.T) {
+	prog := assemble(t, loopProg)
+	st := run(t, prog, pipeline.BaselineConfig(), core.NoPredictor{})
+	if st.Committed == 0 || st.Cycles == 0 {
+		t.Fatalf("empty run: %+v", st)
+	}
+	ipc := st.IPC()
+	if ipc <= 0.1 || ipc > 8 {
+		t.Errorf("IPC = %.3f out of sane range", ipc)
+	}
+	if st.Loads == 0 || st.Branches == 0 {
+		t.Error("instruction mix not counted")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	prog := assemble(t, loopProg)
+	a := run(t, prog, pipeline.BaselineConfig(), core.NewDynamicRVP(core.DefaultCounterConfig()))
+	b := run(t, prog, pipeline.BaselineConfig(), core.NewDynamicRVP(core.DefaultCounterConfig()))
+	if a != b {
+		t.Errorf("nondeterministic runs:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestRVPSpeedsUpReusefulCode(t *testing.T) {
+	prog := assemble(t, reuseProg)
+	base := run(t, prog, pipeline.BaselineConfig(), core.NoPredictor{})
+	rvp := run(t, prog, pipeline.BaselineConfig(), core.NewDynamicRVP(core.DefaultCounterConfig()))
+	if rvp.Predicted == 0 {
+		t.Fatal("no predictions made on perfectly reuseful code")
+	}
+	if acc := rvp.Accuracy(); acc < 0.99 {
+		t.Errorf("accuracy = %.3f, want ~1.0", acc)
+	}
+	if rvp.Cycles >= base.Cycles {
+		t.Errorf("RVP did not speed up: base %d cycles, rvp %d", base.Cycles, rvp.Cycles)
+	}
+}
+
+func TestMispredictionsCost(t *testing.T) {
+	prog := assemble(t, wrongProg)
+	// With drvp, the changing value keeps resetting confidence, so there
+	// should be few or no predictions and minimal slowdown.
+	base := run(t, prog, pipeline.BaselineConfig(), core.NoPredictor{})
+	rvp := run(t, prog, pipeline.BaselineConfig(), core.NewDynamicRVP(core.DefaultCounterConfig()))
+	slowdown := float64(rvp.Cycles) / float64(base.Cycles)
+	if slowdown > 1.05 {
+		t.Errorf("confidence filter failed: slowdown %.3f", slowdown)
+	}
+}
+
+func TestStaticWrongPredictionsHurtMoreUnderRefetch(t *testing.T) {
+	prog := assemble(t, wrongProg)
+	// Statically mark the load (index of ldq in wrongProg = 3).
+	var loadIdx int
+	for i, in := range prog.Insts {
+		if in.Op.String() == "ldq" {
+			loadIdx = i
+			break
+		}
+	}
+	marked := map[int]bool{loadIdx: true}
+	mk := func() core.Predictor { return core.NewStaticRVP("srvp", marked, nil) }
+
+	cfgRefetch := pipeline.BaselineConfig()
+	cfgRefetch.Recovery = pipeline.RecoverRefetch
+	cfgSel := pipeline.BaselineConfig()
+	cfgSel.Recovery = pipeline.RecoverSelective
+
+	ref := run(t, prog, cfgRefetch, mk())
+	sel := run(t, prog, cfgSel, mk())
+	if ref.PredictWrong == 0 {
+		t.Fatal("expected wrong predictions")
+	}
+	if ref.Refetches == 0 {
+		t.Error("refetch recovery recorded no squashes")
+	}
+	if ref.Cycles <= sel.Cycles {
+		t.Errorf("refetch (%d cycles) should cost more than selective (%d) on always-wrong predictions",
+			ref.Cycles, sel.Cycles)
+	}
+}
+
+func TestCorrectPredictionsQueuePressure(t *testing.T) {
+	// On highly reuseful code, reissue holds all younger instructions in
+	// the IQ until verification; selective holds only dependents. Reissue
+	// should therefore never be faster than selective.
+	prog := assemble(t, reuseProg)
+	cfgRe := pipeline.BaselineConfig()
+	cfgRe.Recovery = pipeline.RecoverReissue
+	cfgSel := pipeline.BaselineConfig()
+	cfgSel.Recovery = pipeline.RecoverSelective
+	re := run(t, prog, cfgRe, core.NewDynamicRVP(core.DefaultCounterConfig()))
+	sel := run(t, prog, cfgSel, core.NewDynamicRVP(core.DefaultCounterConfig()))
+	if re.Cycles < sel.Cycles {
+		t.Errorf("reissue (%d) beat selective (%d)", re.Cycles, sel.Cycles)
+	}
+}
+
+func TestAggressiveConfigFaster(t *testing.T) {
+	prog := assemble(t, loopProg)
+	base := run(t, prog, pipeline.BaselineConfig(), core.NoPredictor{})
+	wide := run(t, prog, pipeline.AggressiveConfig(), core.NoPredictor{})
+	if wide.Cycles > base.Cycles {
+		t.Errorf("16-wide (%d cycles) slower than 8-wide (%d)", wide.Cycles, base.Cycles)
+	}
+}
+
+func TestMaxInstsBudget(t *testing.T) {
+	prog := assemble(t, loopProg)
+	sim := pipeline.MustNew(pipeline.BaselineConfig())
+	st, err := sim.Run(prog, core.NoPredictor{}, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Committed != 100 {
+		t.Errorf("committed %d, want 100", st.Committed)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := pipeline.BaselineConfig()
+	bad.IssueWidth = 0
+	if _, err := pipeline.New(bad); err == nil {
+		t.Error("accepted zero issue width")
+	}
+	bad = pipeline.BaselineConfig()
+	bad.LoadStore = bad.IntALUs + 1
+	if _, err := pipeline.New(bad); err == nil {
+		t.Error("accepted more LS ports than ALUs")
+	}
+	if _, err := pipeline.New(pipeline.BaselineConfig()); err != nil {
+		t.Errorf("baseline config rejected: %v", err)
+	}
+}
+
+func TestPortStarvationLimitsNonLoadPredictions(t *testing.T) {
+	// All-instruction prediction with a 1-port limit drops some non-load
+	// predictions; with the limit unmodelled (0) none are dropped.
+	prog := assemble(t, reuseProg)
+	cfg := pipeline.BaselineConfig()
+	cfg.PredictPorts = 1
+	pred := core.NewDynamicRVP(core.DefaultCounterConfig()) // all insts
+	st := run(t, prog, cfg, pred)
+	if st.PortStarved == 0 {
+		t.Error("expected port starvation with 1 predict port")
+	}
+	cfg.PredictPorts = 0
+	st2 := run(t, prog, cfg, core.NewDynamicRVP(core.DefaultCounterConfig()))
+	if st2.PortStarved != 0 {
+		t.Error("unmodelled port limit still starved predictions")
+	}
+	if st2.Predicted <= st.Predicted {
+		t.Error("unlimited ports did not increase predictions")
+	}
+}
+
+func TestBranchPredictionStats(t *testing.T) {
+	prog := assemble(t, loopProg)
+	st := run(t, prog, pipeline.BaselineConfig(), core.NoPredictor{})
+	if st.CondBranches == 0 {
+		t.Fatal("no conditional branches seen")
+	}
+	// A 2000-iteration loop branch should be nearly perfectly predicted.
+	if st.BranchMispredictRate() > 0.01 {
+		t.Errorf("branch mispredict rate %.3f too high for a simple loop", st.BranchMispredictRate())
+	}
+}
+
+func TestRecoveryString(t *testing.T) {
+	if pipeline.RecoverRefetch.String() != "refetch" ||
+		pipeline.RecoverReissue.String() != "reissue" ||
+		pipeline.RecoverSelective.String() != "selective" {
+		t.Error("Recovery.String wrong")
+	}
+}

@@ -1,0 +1,75 @@
+package pipeline
+
+import "fmt"
+
+// Stats aggregates one simulation run.
+type Stats struct {
+	Cycles    int64
+	Committed uint64
+	Loads     uint64
+	Stores    uint64
+	Branches  uint64
+
+	// Branch prediction.
+	CondBranches   uint64
+	CondMispredict uint64
+	TargetMispred  uint64
+
+	// Value prediction.
+	Eligible       uint64 // register-writing instructions the predictor saw
+	Predicted      uint64 // instructions actually predicted
+	PredictCorrect uint64
+	PredictWrong   uint64
+	PortStarved    uint64 // predictions dropped for lack of a read port
+	Refetches      uint64 // value-mispredict squashes (refetch recovery)
+
+	// Memory.
+	DL1Hits, DL1Misses uint64
+	IL1Hits, IL1Misses uint64
+	L2Hits, L2Misses   uint64
+
+	// Occupancy stalls (dispatch cycles lost to each full resource).
+	StallWindow int64
+	StallIntIQ  int64
+	StallFPIQ   int64
+}
+
+// IPC returns committed instructions per cycle.
+func (s Stats) IPC() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.Committed) / float64(s.Cycles)
+}
+
+// Coverage returns the fraction of committed instructions predicted.
+func (s Stats) Coverage() float64 {
+	if s.Committed == 0 {
+		return 0
+	}
+	return float64(s.Predicted) / float64(s.Committed)
+}
+
+// Accuracy returns the fraction of predictions that were correct.
+func (s Stats) Accuracy() float64 {
+	if s.Predicted == 0 {
+		return 0
+	}
+	return float64(s.PredictCorrect) / float64(s.Predicted)
+}
+
+// BranchMispredictRate returns mispredicts per conditional branch.
+func (s Stats) BranchMispredictRate() float64 {
+	if s.CondBranches == 0 {
+		return 0
+	}
+	return float64(s.CondMispredict) / float64(s.CondBranches)
+}
+
+// String summarises the run.
+func (s Stats) String() string {
+	return fmt.Sprintf("cycles=%d insts=%d IPC=%.3f pred=%d (%.1f%% of insts, %.1f%% correct) brMiss=%.2f%%",
+		s.Cycles, s.Committed, s.IPC(),
+		s.Predicted, 100*s.Coverage(), 100*s.Accuracy(),
+		100*s.BranchMispredictRate())
+}

@@ -1,0 +1,188 @@
+package profile
+
+import (
+	"rvpsim/internal/core"
+	"rvpsim/internal/isa"
+)
+
+// Support enumerates the compiler-assistance levels the paper evaluates.
+type Support uint8
+
+// Compiler support levels.
+const (
+	// SupportNone: hardware-only; plain same-register reuse.
+	SupportNone Support = iota
+	// SupportDead: re-allocate destinations onto correlated dead
+	// registers (the paper's "dead" optimisation).
+	SupportDead
+	// SupportLive: SupportDead plus a move from correlated live
+	// registers (the paper's "live" optimisation; move cost not charged,
+	// an acknowledged optimistic bound).
+	SupportLive
+	// SupportDeadLV: SupportDead plus last-value exposure by reserving
+	// the destination register across iterations ("dead_lv").
+	SupportDeadLV
+	// SupportLiveLV: SupportLive plus last-value exposure ("live_lv").
+	SupportLiveLV
+)
+
+func (s Support) String() string {
+	switch s {
+	case SupportNone:
+		return "same"
+	case SupportDead:
+		return "dead"
+	case SupportLive:
+		return "live"
+	case SupportDeadLV:
+		return "dead_lv"
+	case SupportLiveLV:
+		return "live_lv"
+	}
+	return "support(?)"
+}
+
+// Lists are the profiler's four instruction lists at one threshold
+// (Section 5): same-register reuse, dead-register correlation,
+// live-register correlation, and last-value predictability. An
+// instruction appears in at most one of Same/Dead/Live (priority order:
+// same, dead, live); LV collects instructions with last-value reuse that
+// lack same-register reuse.
+type Lists struct {
+	Threshold float64
+	Same      map[int]bool
+	Dead      map[int]isa.Reg
+	Live      map[int]isa.Reg
+	LV        map[int]bool
+}
+
+// hintMargin is how much better a redirected prediction source must be
+// than native same-register reuse before the compiler model uses it: a
+// marginal improvement is not worth disturbing the register allocation.
+const hintMargin = 0.10
+
+// Lists derives the instruction lists at the given predictability
+// threshold (the paper uses 0.80 for most results, 0.90 for Figure 4).
+// With loadsOnly, only load instructions are listed (static RVP);
+// otherwise all register-writing instructions are candidates.
+func (p *Profile) Lists(threshold float64, loadsOnly bool, minExecs uint64) Lists {
+	if minExecs == 0 {
+		minExecs = 16
+	}
+	l := Lists{
+		Threshold: threshold,
+		Same:      make(map[int]bool),
+		Dead:      make(map[int]isa.Reg),
+		Live:      make(map[int]isa.Reg),
+		LV:        make(map[int]bool),
+	}
+	for idx, is := range p.Insts {
+		if is.Execs < minExecs {
+			continue
+		}
+		if loadsOnly && !isa.IsLoad(is.Inst.Op) {
+			continue
+		}
+		// A hint is only worth taking when the alternative source is both
+		// above the threshold and strictly better than what the hardware
+		// already gets from plain same-register reuse.
+		switch {
+		case is.SameRate() >= threshold && is.SameRate() >= is.BestDeadRate() && is.SameRate() >= is.BestLiveRate():
+			l.Same[idx] = true
+		case is.BestDeadRate() >= threshold && is.BestDeadRate() > is.SameRate()+hintMargin:
+			l.Dead[idx] = is.BestDead
+		case is.BestLiveRate() >= threshold && is.BestLiveRate() > is.SameRate()+hintMargin:
+			l.Live[idx] = is.BestLive
+		case is.SameRate() >= threshold:
+			l.Same[idx] = true
+		}
+		if is.LastRate() >= threshold && is.LastRate() > is.SameRate()+hintMargin {
+			l.LV[idx] = true
+		}
+	}
+	return l
+}
+
+// Hints converts the lists into the reuse hints a predictor consumes at
+// the given compiler-support level. Dead-register hints take priority
+// over live-register hints, which take priority over last-value hints.
+func (l Lists) Hints(level Support) core.ReuseHints {
+	h := make(core.ReuseHints)
+	if level == SupportNone {
+		return h
+	}
+	for idx, r := range l.Dead {
+		h[idx] = core.ReuseHint{Kind: core.KindOtherReg, Reg: r}
+	}
+	if level == SupportLive || level == SupportLiveLV {
+		for idx, r := range l.Live {
+			if _, dup := h[idx]; !dup {
+				h[idx] = core.ReuseHint{Kind: core.KindOtherReg, Reg: r}
+			}
+		}
+	}
+	if level == SupportDeadLV || level == SupportLiveLV {
+		for idx := range l.LV {
+			if _, dup := h[idx]; !dup {
+				h[idx] = core.ReuseHint{Kind: core.KindLastValue}
+			}
+		}
+	}
+	return h
+}
+
+// Marked returns the static-RVP marked-instruction set for the support
+// level: instructions with native same-register reuse plus every
+// instruction covered by a hint at that level.
+func (l Lists) Marked(level Support) map[int]bool {
+	m := make(map[int]bool, len(l.Same))
+	for idx := range l.Same {
+		m[idx] = true
+	}
+	for idx := range l.Hints(level) {
+		m[idx] = true
+	}
+	return m
+}
+
+// ReuseSummary aggregates per-execution load reuse fractions (Figure 1).
+type ReuseSummary struct {
+	Same float64 // value already in the destination register
+	Dead float64 // value in some statically-dead register
+	Any  float64 // value in any register
+	OrLV float64 // in a register, or the load's previous value
+}
+
+// LoadReuseSummary computes Figure 1's bars for this program: the
+// fraction of dynamic loads whose value was already in the same register,
+// a dead register, any register, or either a register or the last value.
+func (p *Profile) LoadReuseSummary() ReuseSummary {
+	var execs, same, dead, any, orlv uint64
+	for _, is := range p.Insts {
+		if !isa.IsLoad(is.Inst.Op) {
+			continue
+		}
+		execs += is.Execs
+		same += is.SameHits
+		any += is.AnyHits
+		orlv += is.OrLVHits
+		d := is.DeadHits
+		if is.SameHits > d {
+			// "dead register" subsumes same-register reuse for the figure:
+			// the destination's own prior value is dead by definition when
+			// the instruction overwrites it without further reads.
+			d = is.SameHits
+		}
+		dead += d
+	}
+	if execs == 0 {
+		return ReuseSummary{}
+	}
+	n := float64(execs)
+	return ReuseSummary{
+		Same: float64(same) / n,
+		Dead: float64(dead) / n,
+		Any:  float64(any) / n,
+		OrLV: float64(orlv) / n,
+	}
+}

@@ -1,0 +1,327 @@
+package profile_test
+
+import (
+	"testing"
+
+	"rvpsim/internal/asm"
+	"rvpsim/internal/core"
+	"rvpsim/internal/isa"
+	"rvpsim/internal/profile"
+	"rvpsim/internal/program"
+)
+
+func mustProfile(t *testing.T, src string, max uint64) *profile.Profile {
+	t.Helper()
+	p, err := asm.Assemble("t", src, asm.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr, err := profile.Run(p, profile.Options{MaxInsts: max})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pr
+}
+
+func findLoad(t *testing.T, pr *profile.Profile) *profile.InstStats {
+	t.Helper()
+	for _, is := range pr.Insts {
+		if isa.IsLoad(is.Inst.Op) {
+			return is
+		}
+	}
+	t.Fatal("no load profiled")
+	return nil
+}
+
+// sameRegSrc loads the same value into the same register repeatedly.
+const sameRegSrc = `
+.text
+.proc main
+main:
+        li      r1, 100
+        lda     r2, table
+loop:
+        ldq     r3, 0(r2)
+        add     r4, r3, r3
+        subi    r1, r1, 1
+        bne     r1, loop
+        halt
+.endproc
+.data
+.org 0x100000
+table:  .quad 7
+`
+
+func TestSameRegisterReuseDetected(t *testing.T) {
+	pr := mustProfile(t, sameRegSrc, 0)
+	ld := findLoad(t, pr)
+	if ld.Execs != 100 {
+		t.Fatalf("load execs = %d, want 100", ld.Execs)
+	}
+	// First load has OldDest 0 != 7; the other 99 are same-register reuse.
+	if got := ld.SameRate(); got < 0.98 {
+		t.Errorf("same rate = %.3f, want ~0.99", got)
+	}
+	if got := ld.LastRate(); got < 0.98 {
+		t.Errorf("last rate = %.3f, want ~0.99", got)
+	}
+	lists := pr.Lists(0.8, true, 16)
+	if !lists.Same[ld.Index] {
+		t.Error("load not in Same list")
+	}
+	if _, inDead := lists.Dead[ld.Index]; inDead {
+		t.Error("same-reg load also in Dead list")
+	}
+}
+
+// deadCorrSrc: the loaded value always equals what r9 holds, and r9 is
+// dead at the load (written before any subsequent read).
+const deadCorrSrc = `
+.text
+.proc main
+main:
+        li      r1, 100
+        lda     r2, table
+loop:
+        ldq     r6, 0(r2)       ; writes r6 (volatile): value 7
+        add     r4, r6, r6      ; last read of r6: it is dead afterwards
+        ldq     r3, 0(r2)       ; loads 7 == dead r9's value; r3 then clobbered
+        add     r5, r3, r4
+        li      r3, 0           ; destroy r3 so no same-register reuse
+        subi    r1, r1, 1
+        bne     r1, loop
+        halt
+.endproc
+.data
+.org 0x100000
+table:  .quad 7
+`
+
+func TestDeadRegisterCorrelation(t *testing.T) {
+	pr := mustProfile(t, deadCorrSrc, 0)
+	p, _ := asm.Assemble("t", deadCorrSrc, asm.Options{})
+	// The second load (into r3) is at index 4 (li, lda, ldq, add, ldq).
+	var target *profile.InstStats
+	for _, is := range pr.Insts {
+		if isa.IsLoad(is.Inst.Op) && is.Inst.Rd == 3 {
+			target = is
+		}
+	}
+	_ = p
+	if target == nil {
+		t.Fatal("load into r3 not profiled")
+	}
+	if target.SameRate() > 0.2 {
+		t.Errorf("unexpected same-reg reuse: %.3f", target.SameRate())
+	}
+	if target.BestDeadRate() < 0.9 {
+		t.Fatalf("best dead rate = %.3f (reg %v), want high", target.BestDeadRate(), target.BestDead)
+	}
+	if target.BestDead != 6 {
+		t.Errorf("best dead reg = %v, want r6", target.BestDead)
+	}
+	lists := pr.Lists(0.8, true, 16)
+	if r, ok := lists.Dead[target.Index]; !ok || r != 6 {
+		t.Errorf("Dead list entry = %v, %v", r, ok)
+	}
+	// The primary producer of r9's value is the first load.
+	if target.DeadProducer < 0 {
+		t.Error("no dead producer attributed")
+	} else if !isa.IsLoad(pr.Insts[target.DeadProducer].Inst.Op) {
+		t.Errorf("dead producer = inst %d (%v), want the r6 load",
+			target.DeadProducer, pr.Insts[target.DeadProducer].Inst)
+	}
+}
+
+// liveCorrSrc: value correlates with a register that stays live.
+const liveCorrSrc = `
+.text
+.proc main
+main:
+        li      r1, 100
+        lda     r2, table
+        ldq     r9, 0(r2)       ; r9 = 7 and stays live (read every iter)
+loop:
+        ldq     r3, 0(r2)       ; loads 7 == live r9
+        add     r4, r3, r9      ; keeps r9 live
+        li      r3, 0
+        subi    r1, r1, 1
+        bne     r1, loop
+        halt
+.endproc
+.data
+.org 0x100000
+table:  .quad 7
+`
+
+func TestLiveRegisterCorrelation(t *testing.T) {
+	pr := mustProfile(t, liveCorrSrc, 0)
+	var target *profile.InstStats
+	for _, is := range pr.Insts {
+		if isa.IsLoad(is.Inst.Op) && is.Inst.Rd == 3 {
+			target = is
+		}
+	}
+	if target == nil {
+		t.Fatal("loop load not profiled")
+	}
+	if target.BestLiveRate() < 0.9 || target.BestLive != 9 {
+		t.Errorf("best live = %v @ %.3f, want r9 high", target.BestLive, target.BestLiveRate())
+	}
+	lists := pr.Lists(0.8, true, 16)
+	if r, ok := lists.Live[target.Index]; !ok || r != 9 {
+		t.Errorf("Live list entry = %v, %v", r, ok)
+	}
+}
+
+// lvSrc: the load's value repeats, but an intervening write to the same
+// register kills same-register reuse — pure last-value locality.
+const lvSrc = `
+.text
+.proc main
+main:
+        li      r1, 100
+        lda     r2, table
+loop:
+        ldq     r7, 0(r2)       ; always 7, but r7 clobbered below
+        add     r4, r7, r7
+        li      r7, 999         ; intervening write (Figure 2c)
+        add     r5, r7, r4
+        subi    r1, r1, 1
+        bne     r1, loop
+        halt
+.endproc
+.data
+.org 0x100000
+table:  .quad 7
+`
+
+func TestLastValueWithoutSameRegister(t *testing.T) {
+	pr := mustProfile(t, lvSrc, 0)
+	var target *profile.InstStats
+	for _, is := range pr.Insts {
+		if isa.IsLoad(is.Inst.Op) {
+			target = is
+		}
+	}
+	if target == nil {
+		t.Fatal("load not profiled")
+	}
+	if target.SameRate() > 0.1 {
+		t.Errorf("same rate = %.3f, want ~0 (register clobbered)", target.SameRate())
+	}
+	if target.LastRate() < 0.98 {
+		t.Errorf("last rate = %.3f, want ~1", target.LastRate())
+	}
+	lists := pr.Lists(0.8, true, 16)
+	if !lists.LV[target.Index] {
+		t.Error("load not in LV list")
+	}
+	h := lists.Hints(profile.SupportDeadLV)
+	if hint, ok := h[target.Index]; !ok || hint.Kind != core.KindLastValue {
+		t.Errorf("hint = %+v, %v; want last-value", h[target.Index], ok)
+	}
+	// Without LV support, no hint.
+	if _, ok := lists.Hints(profile.SupportDead)[target.Index]; ok {
+		t.Error("dead-level hints include LV instruction")
+	}
+}
+
+func TestHintPriorities(t *testing.T) {
+	l := profile.Lists{
+		Same: map[int]bool{1: true},
+		Dead: map[int]isa.Reg{2: 9},
+		Live: map[int]isa.Reg{3: 10},
+		LV:   map[int]bool{2: true, 4: true},
+	}
+	h := l.Hints(profile.SupportLiveLV)
+	if h[2].Kind != core.KindOtherReg {
+		t.Error("dead hint not prioritised over LV")
+	}
+	if h[3].Kind != core.KindOtherReg || h[3].Reg != 10 {
+		t.Error("live hint missing")
+	}
+	if h[4].Kind != core.KindLastValue {
+		t.Error("LV hint missing")
+	}
+	if _, ok := h[1]; ok {
+		t.Error("same-list instruction needs no hint")
+	}
+	m := l.Marked(profile.SupportLiveLV)
+	for _, idx := range []int{1, 2, 3, 4} {
+		if !m[idx] {
+			t.Errorf("inst %d not marked", idx)
+		}
+	}
+	if len(l.Hints(profile.SupportNone)) != 0 {
+		t.Error("SupportNone produced hints")
+	}
+}
+
+func TestLoadReuseSummary(t *testing.T) {
+	pr := mustProfile(t, sameRegSrc, 0)
+	s := pr.LoadReuseSummary()
+	if s.Same < 0.98 {
+		t.Errorf("summary same = %.3f", s.Same)
+	}
+	// Monotone: same <= dead <= any <= orlv.
+	if s.Dead < s.Same || s.Any < s.Dead || s.OrLV < s.Any {
+		t.Errorf("summary not monotone: %+v", s)
+	}
+	if s.OrLV > 1.0001 {
+		t.Errorf("orlv fraction > 1: %+v", s)
+	}
+}
+
+func TestMaxInstsBudget(t *testing.T) {
+	pr := mustProfile(t, sameRegSrc, 50)
+	if pr.Total != 50 {
+		t.Errorf("profiled %d insts, want 50", pr.Total)
+	}
+}
+
+func TestMinExecsFilter(t *testing.T) {
+	pr := mustProfile(t, sameRegSrc, 0)
+	// With an absurd MinExecs nothing is listed.
+	lists := pr.Lists(0.5, true, 1<<40)
+	if len(lists.Same)+len(lists.Dead)+len(lists.Live)+len(lists.LV) != 0 {
+		t.Error("MinExecs filter ignored")
+	}
+}
+
+func TestCritHitsPopulated(t *testing.T) {
+	pr := mustProfile(t, sameRegSrc, 0)
+	var any bool
+	for _, is := range pr.Insts {
+		if is.CritHits > 0 {
+			any = true
+		}
+	}
+	if !any {
+		t.Error("no critical-path credit recorded")
+	}
+}
+
+func TestProfileProgramWithoutProcs(t *testing.T) {
+	src := `
+.text
+main:
+        li r1, 30
+loop:
+        subi r1, r1, 1
+        bne r1, loop
+        halt
+`
+	p, err := asm.Assemble("t", src, asm.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Strip procedure info to exercise the synthetic whole-program proc.
+	p.Procs = nil
+	if _, err := profile.Run(p, profile.Options{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+var _ = program.DefaultCodeBase // keep import for doc reference

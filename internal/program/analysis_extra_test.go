@@ -1,0 +1,160 @@
+package program_test
+
+import (
+	"testing"
+
+	"rvpsim/internal/isa"
+	"rvpsim/internal/program"
+	"rvpsim/internal/progtest"
+)
+
+// TestCFGCoversAllInstructions: every instruction of a random procedure
+// belongs to exactly one block, blocks tile the procedure, and edges point
+// at block starts.
+func TestCFGCoversAllInstructions(t *testing.T) {
+	for seed := 1; seed <= 20; seed++ {
+		p := progtest.Random(uint64(seed))
+		for pi := range p.Procs {
+			proc := &p.Procs[pi]
+			g := program.BuildCFG(p, proc)
+			covered := make([]bool, proc.End-proc.Start)
+			for _, b := range g.Blocks {
+				if b.Start < proc.Start || b.End > proc.End || b.Start >= b.End {
+					t.Fatalf("seed %d: block range [%d,%d) outside proc [%d,%d)",
+						seed, b.Start, b.End, proc.Start, proc.End)
+				}
+				for i := b.Start; i < b.End; i++ {
+					if covered[i-proc.Start] {
+						t.Fatalf("seed %d: instruction %d in two blocks", seed, i)
+					}
+					covered[i-proc.Start] = true
+					if g.BlockOf(i) != b.ID {
+						t.Fatalf("seed %d: BlockOf(%d) = %d, want %d", seed, i, g.BlockOf(i), b.ID)
+					}
+				}
+				for _, s := range b.Succs {
+					if s < 0 || s >= len(g.Blocks) {
+						t.Fatalf("seed %d: edge to invalid block %d", seed, s)
+					}
+				}
+			}
+			for i, c := range covered {
+				if !c {
+					t.Fatalf("seed %d: instruction %d uncovered", seed, proc.Start+i)
+				}
+			}
+		}
+	}
+}
+
+// TestDominatorsEntryDominatesAll: on random procedures, the entry block
+// dominates every reachable block (walking idom chains terminates at the
+// entry).
+func TestDominatorsEntryDominatesAll(t *testing.T) {
+	for seed := 1; seed <= 20; seed++ {
+		p := progtest.Random(uint64(seed))
+		proc := &p.Procs[0]
+		g := program.BuildCFG(p, proc)
+		idom := g.Dominators()
+		for b := range g.Blocks {
+			if idom[b] == -1 {
+				continue // unreachable
+			}
+			seen := map[int]bool{}
+			x := b
+			for x != 0 {
+				if seen[x] {
+					t.Fatalf("seed %d: idom cycle at block %d", seed, b)
+				}
+				seen[x] = true
+				x = idom[x]
+			}
+		}
+	}
+}
+
+// TestLoopsAreProperlyNested: a loop's parent always contains all its
+// blocks, and depths increase by exactly one per nesting level.
+func TestLoopsAreProperlyNested(t *testing.T) {
+	for seed := 1; seed <= 20; seed++ {
+		p := progtest.Random(uint64(seed))
+		proc := &p.Procs[0]
+		g := program.BuildCFG(p, proc)
+		loops := g.NaturalLoops()
+		for i := range loops {
+			if loops[i].Parent == -1 {
+				if loops[i].Depth != 1 {
+					t.Fatalf("seed %d: outermost loop depth %d", seed, loops[i].Depth)
+				}
+				continue
+			}
+			parent := loops[loops[i].Parent]
+			if parent.Depth != loops[i].Depth-1 {
+				t.Fatalf("seed %d: depth not parent+1", seed)
+			}
+			for b := range loops[i].Blocks {
+				if !parent.Blocks[b] {
+					t.Fatalf("seed %d: nested loop block %d not in parent", seed, b)
+				}
+			}
+		}
+	}
+}
+
+// TestLivenessUsesAreLive: at every instruction, each non-zero source
+// register is live-in (an immediate consequence of the dataflow
+// equations, checked end-to-end).
+func TestLivenessUsesAreLive(t *testing.T) {
+	for seed := 1; seed <= 20; seed++ {
+		p := progtest.Random(uint64(seed))
+		proc := &p.Procs[0]
+		g := program.BuildCFG(p, proc)
+		l := program.ComputeLiveness(p, g)
+		for i := proc.Start; i < proc.End; i++ {
+			for _, r := range p.Insts[i].Sources(nil) {
+				if r.IsZero() {
+					continue
+				}
+				if !l.LiveIn(i).Has(r) {
+					t.Fatalf("seed %d: source %v not live-in at %d (%v)", seed, r, i, p.Insts[i])
+				}
+			}
+		}
+	}
+}
+
+// TestLivenessDeadMeansNoUseBeforeDef: spot-check DeadAt semantics by
+// scanning forward along straight-line code.
+func TestLivenessDeadMeansNoUseBeforeDef(t *testing.T) {
+	p := progtest.Random(4)
+	proc := &p.Procs[0]
+	g := program.BuildCFG(p, proc)
+	l := program.ComputeLiveness(p, g)
+	// Within each block: if r is dead after i, then scanning to the block
+	// end r must be written before any read.
+	for _, b := range blocksOf(g) {
+		for i := b.Start; i < b.End-1; i++ {
+			for r := isa.Reg(1); r < 30; r++ {
+				if !l.DeadAt(i, r) {
+					continue
+				}
+				for j := i + 1; j < b.End; j++ {
+					reads := false
+					for _, s := range p.Insts[j].Sources(nil) {
+						if s == r {
+							reads = true
+						}
+					}
+					if reads {
+						t.Fatalf("dead %v at %d read at %d before redefinition", r, i, j)
+					}
+					if d, ok := p.Insts[j].Dest(); ok && d == r {
+						break
+					}
+				}
+			}
+		}
+	}
+}
+
+func blocksOf(g *program.CFG) []program.Block { return g.Blocks }

@@ -1,0 +1,298 @@
+package program
+
+import (
+	"sort"
+
+	"rvpsim/internal/isa"
+)
+
+// Block is a basic block of a procedure's control-flow graph. Instruction
+// indices are program-wide; [Start, End) is contiguous.
+type Block struct {
+	ID    int
+	Start int
+	End   int
+	Succs []int // successor block IDs
+	Preds []int // predecessor block IDs
+}
+
+// CFG is the control-flow graph of one procedure. Calls (JSR) are treated
+// as straight-line instructions whose successor is the fall-through (the
+// analysis is intraprocedural); RET and HALT terminate paths.
+type CFG struct {
+	Proc   *Procedure
+	Blocks []Block
+	// blockOf maps an instruction index (relative to Proc.Start) to its
+	// block ID.
+	blockOf []int
+}
+
+// BuildCFG constructs the control-flow graph of proc within prog.
+func BuildCFG(prog *Program, proc *Procedure) *CFG {
+	n := proc.End - proc.Start
+	// Leaders: first instruction, branch targets, instructions after CTIs.
+	leader := make([]bool, n)
+	if n > 0 {
+		leader[0] = true
+	}
+	for i := proc.Start; i < proc.End; i++ {
+		in := prog.Insts[i]
+		switch {
+		case isa.IsCondBranch(in.Op) || in.Op == isa.BR:
+			t := int(in.Imm)
+			if t >= proc.Start && t < proc.End {
+				leader[t-proc.Start] = true
+			}
+			if i+1 < proc.End {
+				leader[i+1-proc.Start] = true
+			}
+		case in.Op == isa.JSR:
+			// Call: fall-through continues the block structure; we still
+			// split so the call ends a block (helps liveness at call sites).
+			if i+1 < proc.End {
+				leader[i+1-proc.Start] = true
+			}
+		case in.Op == isa.RET || in.Op == isa.HALT:
+			if i+1 < proc.End {
+				leader[i+1-proc.Start] = true
+			}
+		}
+	}
+	g := &CFG{Proc: proc, blockOf: make([]int, n)}
+	for i := 0; i < n; {
+		j := i + 1
+		for j < n && !leader[j] {
+			j++
+		}
+		id := len(g.Blocks)
+		g.Blocks = append(g.Blocks, Block{ID: id, Start: proc.Start + i, End: proc.Start + j})
+		for k := i; k < j; k++ {
+			g.blockOf[k] = id
+		}
+		i = j
+	}
+	// Edges.
+	for bi := range g.Blocks {
+		b := &g.Blocks[bi]
+		last := prog.Insts[b.End-1]
+		addEdge := func(target int) {
+			if target >= proc.Start && target < proc.End {
+				g.addEdge(bi, g.blockOf[target-proc.Start])
+			}
+		}
+		switch {
+		case last.Op == isa.BR:
+			addEdge(int(last.Imm))
+		case isa.IsCondBranch(last.Op):
+			addEdge(int(last.Imm))
+			addEdge(b.End) // fall-through
+		case last.Op == isa.RET || last.Op == isa.HALT:
+			// no successors
+		default:
+			addEdge(b.End) // includes JSR fall-through
+		}
+	}
+	return g
+}
+
+func (g *CFG) addEdge(from, to int) {
+	for _, s := range g.Blocks[from].Succs {
+		if s == to {
+			return
+		}
+	}
+	g.Blocks[from].Succs = append(g.Blocks[from].Succs, to)
+	g.Blocks[to].Preds = append(g.Blocks[to].Preds, from)
+}
+
+// BlockOf returns the block ID containing instruction index i (program-wide).
+func (g *CFG) BlockOf(i int) int { return g.blockOf[i-g.Proc.Start] }
+
+// Dominators computes the immediate-dominator array via the iterative
+// dataflow algorithm (Cooper/Harvey/Kennedy). idom[entry] == entry.
+func (g *CFG) Dominators() []int {
+	n := len(g.Blocks)
+	idom := make([]int, n)
+	for i := range idom {
+		idom[i] = -1
+	}
+	if n == 0 {
+		return idom
+	}
+	// Reverse postorder.
+	order := g.reversePostorder()
+	rpoNum := make([]int, n)
+	for i, b := range order {
+		rpoNum[b] = i
+	}
+	idom[0] = 0
+	for changed := true; changed; {
+		changed = false
+		for _, b := range order {
+			if b == 0 {
+				continue
+			}
+			newIdom := -1
+			for _, p := range g.Blocks[b].Preds {
+				if idom[p] == -1 {
+					continue
+				}
+				if newIdom == -1 {
+					newIdom = p
+					continue
+				}
+				// intersect
+				x, y := p, newIdom
+				for x != y {
+					for rpoNum[x] > rpoNum[y] {
+						x = idom[x]
+					}
+					for rpoNum[y] > rpoNum[x] {
+						y = idom[y]
+					}
+				}
+				newIdom = x
+			}
+			if newIdom != -1 && idom[b] != newIdom {
+				idom[b] = newIdom
+				changed = true
+			}
+		}
+	}
+	return idom
+}
+
+func (g *CFG) reversePostorder() []int {
+	n := len(g.Blocks)
+	seen := make([]bool, n)
+	var post []int
+	var dfs func(int)
+	dfs = func(b int) {
+		seen[b] = true
+		for _, s := range g.Blocks[b].Succs {
+			if !seen[s] {
+				dfs(s)
+			}
+		}
+		post = append(post, b)
+	}
+	if n > 0 {
+		dfs(0)
+	}
+	// Unreachable blocks appended at the end so every block has an order.
+	for b := 0; b < n; b++ {
+		if !seen[b] {
+			post = append([]int{b}, post...)
+		}
+	}
+	for i, j := 0, len(post)-1; i < j; i, j = i+1, j-1 {
+		post[i], post[j] = post[j], post[i]
+	}
+	return post
+}
+
+// Loop is a natural loop: a back edge's header plus its body blocks.
+type Loop struct {
+	Header int
+	Blocks map[int]bool
+	Depth  int   // nesting depth; outermost loops have depth 1
+	Parent int   // index into the loops slice, -1 for outermost
+	Insts  []int // all instruction indices in the loop body, sorted
+}
+
+// NaturalLoops finds the natural loops of the CFG and computes nesting
+// depths. Loops sharing a header are merged.
+func (g *CFG) NaturalLoops() []Loop {
+	idom := g.Dominators()
+	dominates := func(a, b int) bool {
+		// a dominates b?
+		for b != idom[b] {
+			if b == a {
+				return true
+			}
+			b = idom[b]
+			if b == -1 {
+				return false
+			}
+		}
+		return a == b
+	}
+	byHeader := map[int]map[int]bool{}
+	for bi := range g.Blocks {
+		for _, s := range g.Blocks[bi].Succs {
+			if idom[bi] != -1 && dominates(s, bi) {
+				// back edge bi -> s; natural loop body.
+				body := byHeader[s]
+				if body == nil {
+					body = map[int]bool{s: true}
+					byHeader[s] = body
+				}
+				var stack []int
+				if !body[bi] {
+					body[bi] = true
+					stack = append(stack, bi)
+				}
+				for len(stack) > 0 {
+					x := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					for _, p := range g.Blocks[x].Preds {
+						if !body[p] {
+							body[p] = true
+							stack = append(stack, p)
+						}
+					}
+				}
+			}
+		}
+	}
+	var loops []Loop
+	for h, body := range byHeader {
+		loops = append(loops, Loop{Header: h, Blocks: body, Parent: -1})
+	}
+	sort.Slice(loops, func(i, j int) bool { return loops[i].Header < loops[j].Header })
+	// Nesting: loop i is nested in loop j if j's body contains i's header
+	// and i != j and i's body is a subset (we use header containment plus
+	// size ordering, sufficient for natural loops with distinct headers).
+	for i := range loops {
+		best := -1
+		for j := range loops {
+			if i == j || !loops[j].Blocks[loops[i].Header] {
+				continue
+			}
+			if len(loops[j].Blocks) <= len(loops[i].Blocks) {
+				continue
+			}
+			if best == -1 || len(loops[j].Blocks) < len(loops[best].Blocks) {
+				best = j
+			}
+		}
+		loops[i].Parent = best
+	}
+	for i := range loops {
+		d := 1
+		for p := loops[i].Parent; p != -1; p = loops[p].Parent {
+			d++
+		}
+		loops[i].Depth = d
+		for b := range loops[i].Blocks {
+			for k := g.Blocks[b].Start; k < g.Blocks[b].End; k++ {
+				loops[i].Insts = append(loops[i].Insts, k)
+			}
+		}
+		sort.Ints(loops[i].Insts)
+	}
+	return loops
+}
+
+// InnermostLoop returns the innermost loop containing instruction index i,
+// or -1 when i is not inside any loop. loops must come from NaturalLoops.
+func (g *CFG) InnermostLoop(loops []Loop, i int) int {
+	b := g.BlockOf(i)
+	best, bestDepth := -1, 0
+	for li := range loops {
+		if loops[li].Blocks[b] && loops[li].Depth > bestDepth {
+			best, bestDepth = li, loops[li].Depth
+		}
+	}
+	return best
+}

@@ -1,0 +1,194 @@
+package program
+
+import "rvpsim/internal/isa"
+
+// RegSet is a bitset over the 64 architectural registers.
+type RegSet uint64
+
+// Add inserts r into the set.
+func (s *RegSet) Add(r isa.Reg) { *s |= 1 << r }
+
+// Remove deletes r from the set.
+func (s *RegSet) Remove(r isa.Reg) { *s &^= 1 << r }
+
+// Has reports membership.
+func (s RegSet) Has(r isa.Reg) bool { return s&(1<<r) != 0 }
+
+// Union returns s | t.
+func (s RegSet) Union(t RegSet) RegSet { return s | t }
+
+// Count returns the number of registers in the set.
+func (s RegSet) Count() int {
+	n := 0
+	for s != 0 {
+		s &= s - 1
+		n++
+	}
+	return n
+}
+
+// conventionSets computes the sets the paper's liveness assumptions need.
+func conventionSets() (entryExitLive, callUses, callDefs RegSet) {
+	for _, r := range NonvolatileRegs {
+		entryExitLive.Add(r)
+	}
+	for _, r := range FPNonvolatileRegs {
+		entryExitLive.Add(r)
+	}
+	entryExitLive.Add(isa.RV)
+	for _, r := range ArgRegs {
+		callUses.Add(r)
+	}
+	for _, r := range FPArgRegs {
+		callUses.Add(r)
+	}
+	// A call clobbers every volatile register: everything not nonvolatile
+	// and not a hardwired zero.
+	var nonvol RegSet
+	for _, r := range NonvolatileRegs {
+		nonvol.Add(r)
+	}
+	for _, r := range FPNonvolatileRegs {
+		nonvol.Add(r)
+	}
+	for r := 0; r < isa.NumRegs; r++ {
+		reg := isa.Reg(r)
+		if !nonvol.Has(reg) && !reg.IsZero() {
+			callDefs.Add(reg)
+		}
+	}
+	return
+}
+
+// Liveness holds per-instruction liveness for one procedure.
+type Liveness struct {
+	Proc *Procedure
+	// liveOut[i-Proc.Start] is the set of registers live immediately
+	// after instruction i executes.
+	liveOut []RegSet
+	// liveIn[i-Proc.Start] is the set live immediately before i.
+	liveIn []RegSet
+}
+
+// LiveOut returns the registers live immediately after instruction i.
+func (l *Liveness) LiveOut(i int) RegSet { return l.liveOut[i-l.Proc.Start] }
+
+// LiveIn returns the registers live immediately before instruction i.
+func (l *Liveness) LiveIn(i int) RegSet { return l.liveIn[i-l.Proc.Start] }
+
+// DeadAt reports whether register r is dead immediately after instruction
+// i: its current value will not be read again before being overwritten on
+// any path. Hardwired zero registers are never considered dead (they are
+// not allocatable).
+func (l *Liveness) DeadAt(i int, r isa.Reg) bool {
+	if r.IsZero() {
+		return false
+	}
+	return !l.LiveOut(i).Has(r)
+}
+
+// instUses returns the registers read by instruction in, accounting for
+// calling conventions at JSR/RET/HALT boundaries.
+func instUses(in isa.Inst, callUses, exitLive RegSet) RegSet {
+	var s RegSet
+	switch in.Op {
+	case isa.JSR:
+		s = callUses
+		s.Add(in.Ra)
+	case isa.RET:
+		s = exitLive
+		s.Add(in.Ra)
+	case isa.HALT:
+		s.Add(isa.RV)
+	default:
+		for _, r := range in.Sources(nil) {
+			if !r.IsZero() {
+				s.Add(r)
+			}
+		}
+	}
+	return s
+}
+
+// instDefs returns the registers written by instruction in, accounting for
+// call clobbers.
+func instDefs(in isa.Inst, callDefs RegSet) RegSet {
+	var s RegSet
+	if in.Op == isa.JSR {
+		s = callDefs
+		if !in.Rd.IsZero() {
+			s.Add(in.Rd)
+		}
+		return s
+	}
+	if d, ok := in.Dest(); ok {
+		s.Add(d)
+	}
+	return s
+}
+
+// ComputeLiveness runs backward liveness dataflow over the procedure's CFG
+// under the paper's assumptions: nonvolatile registers (and the return
+// value) are live at procedure exit, calls read all argument registers and
+// clobber all volatile registers.
+func ComputeLiveness(prog *Program, g *CFG) *Liveness {
+	exitLive, callUses, callDefs := conventionSets()
+	n := g.Proc.End - g.Proc.Start
+	l := &Liveness{Proc: g.Proc, liveOut: make([]RegSet, n), liveIn: make([]RegSet, n)}
+
+	nb := len(g.Blocks)
+	blockUse := make([]RegSet, nb)
+	blockDef := make([]RegSet, nb)
+	for bi := range g.Blocks {
+		b := &g.Blocks[bi]
+		var use, def RegSet
+		for i := b.Start; i < b.End; i++ {
+			in := prog.Insts[i]
+			u := instUses(in, callUses, exitLive)
+			use |= u &^ def
+			def |= instDefs(in, callDefs)
+		}
+		blockUse[bi] = use
+		blockDef[bi] = def
+	}
+	blockLiveOut := make([]RegSet, nb)
+	blockLiveIn := make([]RegSet, nb)
+	// Blocks ending in RET or HALT (or with no successors) expose the
+	// exit-live set.
+	exitOut := func(bi int) RegSet {
+		b := &g.Blocks[bi]
+		last := prog.Insts[b.End-1]
+		if last.Op == isa.RET || last.Op == isa.HALT || len(b.Succs) == 0 {
+			return exitLive
+		}
+		return 0
+	}
+	for changed := true; changed; {
+		changed = false
+		for bi := nb - 1; bi >= 0; bi-- {
+			out := exitOut(bi)
+			for _, s := range g.Blocks[bi].Succs {
+				out |= blockLiveIn[s]
+			}
+			in := blockUse[bi] | (out &^ blockDef[bi])
+			if out != blockLiveOut[bi] || in != blockLiveIn[bi] {
+				blockLiveOut[bi] = out
+				blockLiveIn[bi] = in
+				changed = true
+			}
+		}
+	}
+	// Per-instruction liveness within each block, walked backward.
+	for bi := range g.Blocks {
+		b := &g.Blocks[bi]
+		out := blockLiveOut[bi]
+		for i := b.End - 1; i >= b.Start; i-- {
+			in := prog.Insts[i]
+			l.liveOut[i-g.Proc.Start] = out
+			liveIn := instUses(in, callUses, exitLive) | (out &^ instDefs(in, callDefs))
+			l.liveIn[i-g.Proc.Start] = liveIn
+			out = liveIn
+		}
+	}
+	return l
+}

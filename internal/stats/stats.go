@@ -1,0 +1,185 @@
+// Package stats provides small result-table utilities shared by the
+// experiment drivers and CLIs: aggregation helpers and fixed-width text
+// rendering of labelled series, mirroring the rows/series of the paper's
+// tables and figures.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Mean returns the arithmetic mean of vs (0 for empty input).
+func Mean(vs []float64) float64 {
+	if len(vs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, v := range vs {
+		s += v
+	}
+	return s / float64(len(vs))
+}
+
+// GeoMean returns the geometric mean of vs (0 for empty input; values
+// must be positive).
+func GeoMean(vs []float64) float64 {
+	if len(vs) == 0 {
+		return 0
+	}
+	p := 1.0
+	for _, v := range vs {
+		if v <= 0 {
+			return 0
+		}
+		p *= v
+	}
+	return math.Pow(p, 1/float64(len(vs)))
+}
+
+// Table is a labelled grid: one row per series, one column per item.
+type Table struct {
+	Title   string
+	Columns []string
+	rows    []row
+	Notes   []string
+}
+
+type row struct {
+	label  string
+	values map[string]float64
+	format string
+}
+
+// NewTable creates a table with the given title and column names.
+func NewTable(title string, columns []string) *Table {
+	return &Table{Title: title, Columns: append([]string(nil), columns...)}
+}
+
+// AddRow appends a series. format is the fmt verb for values (e.g.
+// "%.2f", "%5.1f%%").
+func (t *Table) AddRow(label, format string, values map[string]float64) {
+	cp := make(map[string]float64, len(values))
+	for k, v := range values {
+		cp[k] = v
+	}
+	t.rows = append(t.rows, row{label: label, values: cp, format: format})
+}
+
+// AddNote appends a footnote line.
+func (t *Table) AddNote(note string) { t.Notes = append(t.Notes, note) }
+
+// Row returns the values of the labelled row (nil when absent).
+func (t *Table) Row(label string) map[string]float64 {
+	for _, r := range t.rows {
+		if r.label == label {
+			return r.values
+		}
+	}
+	return nil
+}
+
+// RowLabels returns the labels in insertion order.
+func (t *Table) RowLabels() []string {
+	var out []string
+	for _, r := range t.rows {
+		out = append(out, r.label)
+	}
+	return out
+}
+
+// String renders the table as fixed-width text.
+func (t *Table) String() string {
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	labelW := 12
+	for _, r := range t.rows {
+		if len(r.label) > labelW {
+			labelW = len(r.label)
+		}
+	}
+	colW := make([]int, len(t.Columns))
+	cells := make([][]string, len(t.rows))
+	for ri, r := range t.rows {
+		cells[ri] = make([]string, len(t.Columns))
+		for ci, c := range t.Columns {
+			v, ok := r.values[c]
+			s := "-"
+			if ok {
+				s = fmt.Sprintf(r.format, v)
+			}
+			cells[ri][ci] = s
+			if len(s) > colW[ci] {
+				colW[ci] = len(s)
+			}
+		}
+	}
+	for ci, c := range t.Columns {
+		if len(c) > colW[ci] {
+			colW[ci] = len(c)
+		}
+	}
+	fmt.Fprintf(&b, "%-*s", labelW+2, "")
+	for ci, c := range t.Columns {
+		fmt.Fprintf(&b, " %*s", colW[ci], c)
+	}
+	b.WriteByte('\n')
+	for ri, r := range t.rows {
+		fmt.Fprintf(&b, "%-*s", labelW+2, r.label)
+		for ci := range t.Columns {
+			fmt.Fprintf(&b, " %*s", colW[ci], cells[ri][ci])
+		}
+		b.WriteByte('\n')
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "  note: %s\n", n)
+	}
+	return b.String()
+}
+
+// Markdown renders the table as a GitHub-flavoured markdown table with
+// the title as a heading and notes as a trailing paragraph.
+func (t *Table) Markdown() string {
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "### %s\n\n", t.Title)
+	}
+	b.WriteString("| |")
+	for _, c := range t.Columns {
+		fmt.Fprintf(&b, " %s |", c)
+	}
+	b.WriteString("\n|---|")
+	for range t.Columns {
+		b.WriteString("---|")
+	}
+	b.WriteByte('\n')
+	for _, r := range t.rows {
+		fmt.Fprintf(&b, "| %s |", r.label)
+		for _, c := range t.Columns {
+			if v, ok := r.values[c]; ok {
+				fmt.Fprintf(&b, " "+r.format+" |", v)
+			} else {
+				b.WriteString(" - |")
+			}
+		}
+		b.WriteByte('\n')
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "\n*%s*\n", n)
+	}
+	return b.String()
+}
+
+// SortedKeys returns the map's keys in sorted order (test helper).
+func SortedKeys(m map[string]float64) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,81 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestMean(t *testing.T) {
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Errorf("Mean = %v", got)
+	}
+	if got := Mean(nil); got != 0 {
+		t.Errorf("Mean(nil) = %v", got)
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if got := GeoMean([]float64{1, 4}); math.Abs(got-2) > 1e-12 {
+		t.Errorf("GeoMean = %v", got)
+	}
+	if got := GeoMean(nil); got != 0 {
+		t.Errorf("GeoMean(nil) = %v", got)
+	}
+	if got := GeoMean([]float64{2, 0}); got != 0 {
+		t.Errorf("GeoMean with zero = %v", got)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := NewTable("Title", []string{"a", "b"})
+	tab.AddRow("row1", "%.2f", map[string]float64{"a": 1.5, "b": 2.25})
+	tab.AddRow("row2", "%.2f", map[string]float64{"a": 3})
+	tab.AddNote("a note")
+	s := tab.String()
+	for _, want := range []string{"Title", "row1", "1.50", "2.25", "row2", "3.00", "-", "note: a note"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("rendering missing %q in:\n%s", want, s)
+		}
+	}
+}
+
+func TestTableRowAccess(t *testing.T) {
+	tab := NewTable("", []string{"x"})
+	tab.AddRow("r", "%.1f", map[string]float64{"x": 9})
+	if got := tab.Row("r")["x"]; got != 9 {
+		t.Errorf("Row = %v", got)
+	}
+	if tab.Row("missing") != nil {
+		t.Error("missing row not nil")
+	}
+	labels := tab.RowLabels()
+	if len(labels) != 1 || labels[0] != "r" {
+		t.Errorf("labels = %v", labels)
+	}
+}
+
+func TestMarkdown(t *testing.T) {
+	tab := NewTable("T", []string{"a", "b"})
+	tab.AddRow("r1", "%.1f", map[string]float64{"a": 1, "b": 2})
+	tab.AddNote("n")
+	md := tab.Markdown()
+	for _, want := range []string{"### T", "| r1 | 1.0 | 2.0 |", "|---|---|---|", "*n*"} {
+		if !strings.Contains(md, want) {
+			t.Errorf("markdown missing %q:\n%s", want, md)
+		}
+	}
+	// Missing cells render as dashes.
+	tab.AddRow("r2", "%.1f", map[string]float64{"a": 3})
+	if !strings.Contains(tab.Markdown(), "| r2 | 3.0 | - |") {
+		t.Error("missing cell not dashed")
+	}
+}
+
+func TestSortedKeys(t *testing.T) {
+	m := map[string]float64{"b": 1, "a": 2}
+	ks := SortedKeys(m)
+	if len(ks) != 2 || ks[0] != "a" || ks[1] != "b" {
+		t.Errorf("SortedKeys = %v", ks)
+	}
+}

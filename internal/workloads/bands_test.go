@@ -1,0 +1,60 @@
+package workloads
+
+import (
+	"testing"
+
+	"rvpsim/internal/core"
+	"rvpsim/internal/pipeline"
+	"rvpsim/internal/profile"
+)
+
+// TestCoverageBands runs each workload under dynamic RVP with dead+LV
+// hints (the Table 2 configuration) and checks its prediction coverage
+// lands in a generous band around the paper's reported range. This is the
+// contract the workload designs promise to the experiment drivers.
+func TestCoverageBands(t *testing.T) {
+	if testing.Short() {
+		t.Skip("bands need a warmed-up run")
+	}
+	// Bands are [lo, hi] percent coverage for drvp_all_dead_lv. The
+	// paper's Table 2 values: go 5, hydro 37, ijpeg 10, li 24, m88k 57,
+	// mgrid 9, perl 14, su2 21, tu3d 49 — our synthetic stand-ins aim for
+	// the same ordering with overlapping (wider) bands.
+	bands := map[string][2]float64{
+		"go":      {0.5, 10},
+		"ijpeg":   {5, 25},
+		"li":      {10, 35},
+		"m88ksim": {15, 60},
+		"perl":    {10, 30},
+		"hydro2d": {20, 50},
+		"mgrid":   {4, 20},
+		"su2cor":  {25, 55},
+		"turb3d":  {25, 55},
+	}
+	const budget = 300_000
+	for _, w := range All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			t.Parallel()
+			p := w.Build()
+			pr, err := profile.Run(p, profile.Options{MaxInsts: budget / 3})
+			if err != nil {
+				t.Fatal(err)
+			}
+			hints := pr.Lists(0.8, false, 0).Hints(profile.SupportDeadLV)
+			pred := core.NewDynamicRVP(core.DefaultCounterConfig(), core.WithHints(hints))
+			st, err := pipeline.MustNew(pipeline.BaselineConfig()).Run(p, pred, budget)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cov := 100 * st.Coverage()
+			b := bands[w.Name]
+			if cov < b[0] || cov > b[1] {
+				t.Errorf("coverage %.1f%% outside band [%g, %g]", cov, b[0], b[1])
+			}
+			if acc := 100 * st.Accuracy(); acc < 88 {
+				t.Errorf("accuracy %.1f%% below the resetting-counter floor", acc)
+			}
+		})
+	}
+}

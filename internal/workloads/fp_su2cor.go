@@ -1,0 +1,117 @@
+package workloads
+
+import "rvpsim/internal/program"
+
+// su2cor models the quantum-chromodynamics benchmark's gauge-field
+// update: 2x2 complex (SU(2)-like) matrix multiplies along lattice links.
+// A cold-start lattice leaves most links at the identity matrix, so link
+// loads repeatedly produce 1.0 and 0.0 — the moderate value reuse the
+// paper reports for su2cor.
+func buildSu2(seed uint64, identityPct uint64) func() *program.Program {
+	return func() *program.Program {
+		r := newRNG(seed)
+		b := newData(0x440000)
+
+		const links = 2048
+		// Each link: 8 doubles (2x2 complex matrix: re/im pairs).
+		mats := make([]float64, links*8)
+		for l := 0; l < links; l++ {
+			// Cold lattice: most links are exactly the identity matrix
+			// ([[1,0],[0,1]], zero imaginary parts); a small fraction of
+			// "hot" links carry real update values.
+			if r.intn(100) < identityPct {
+				mats[l*8+0] = 1.0
+				mats[l*8+6] = 1.0
+			} else {
+				mats[l*8+0] = 0.9 + 0.2*r.float()
+				mats[l*8+6] = 0.9 + 0.2*r.float()
+				for _, k := range []int{1, 2, 3, 4, 5, 7} {
+					mats[l*8+k] = 0.1 * (r.float()*2 - 1)
+				}
+			}
+		}
+		b.doubles("links", mats)
+		b.doubles("accum", make([]float64, 8))
+
+		src := `
+.text
+.proc main
+main:
+        li      r9, 30000           ; sweeps
+sweep:
+        lda     r10, links
+        lda     r11, accum
+        ; accum = identity
+        ldt     f1, links           ; 1.0 from the first identity link
+        li      r12, 2048
+link:
+        ; load the link matrix (identity most of the time)
+        ldt     f1, 0(r10)          ; a.re   (usually 1.0)
+        ldt     f2, 8(r10)          ; a.im   (usually 0.0)
+        ldt     f3, 16(r10)         ; b.re   (usually 0.0)
+        ldt     f4, 24(r10)         ; b.im   (usually 0.0)
+        ldt     f5, 32(r10)         ; c.re   (usually 0.0)
+        ldt     f6, 40(r10)         ; c.im   (usually 0.0)
+        ldt     f7, 48(r10)         ; d.re   (usually 1.0)
+        ldt     f8, 56(r10)         ; d.im   (usually 0.0)
+        ; acc00 = a*acc00 + b*acc10 (complex, accumulated in f22..f25)
+        ldt     f22, 0(r11)
+        ldt     f23, 8(r11)
+        fmul    f24, f1, f22
+        fmul    f25, f2, f23
+        fsub    f24, f24, f25
+        fmul    f25, f1, f23
+        fmul    f26, f2, f22
+        fadd    f25, f25, f26
+        fmul    f3, f3, f22         ; consumes and clobbers b.re's reg
+        fadd    f24, f24, f3
+        fmul    f4, f4, f23         ; consumes and clobbers b.im's reg
+        fadd    f25, f25, f4
+        stt     f24, 0(r11)
+        stt     f25, 8(r11)
+        ; acc11 = d*acc11 + c*acc01
+        ldt     f22, 48(r11)
+        ldt     f23, 56(r11)
+        fmul    f24, f7, f22
+        fmul    f25, f8, f23
+        fsub    f24, f24, f25
+        fmul    f25, f7, f23
+        fmul    f26, f8, f22
+        fadd    f25, f25, f26
+        fmul    f5, f5, f22         ; consumes and clobbers c.re's reg
+        fadd    f24, f24, f5
+        fmul    f6, f6, f23         ; consumes and clobbers c.im's reg
+        fadd    f25, f25, f6
+        stt     f24, 48(r11)
+        stt     f25, 56(r11)
+        addi    r10, r10, 64
+        subi    r12, r12, 1
+        bne     r12, link
+
+        ; renormalise the accumulator toward identity to avoid overflow
+        lda     r11, accum
+        ldt     f1, links           ; 1.0
+        stt     f1, 0(r11)
+        stt     f1, 48(r11)
+        clr     r1
+        itof    f2, r1              ; 0.0
+        stt     f2, 8(r11)
+        stt     f2, 56(r11)
+
+        subi    r9, r9, 1
+        bne     r9, sweep
+        halt
+.endproc
+`
+		return b.assemble("su2cor", src)
+	}
+}
+
+func init() {
+	register(Workload{
+		Name:  "su2cor",
+		Class: ClassFP,
+		Desc:  "SU(2)-like lattice link products over a mostly-identity field",
+		build: buildSu2(0x52, 92),
+	})
+}

@@ -1,0 +1,117 @@
+package workloads
+
+import (
+	"math"
+
+	"rvpsim/internal/program"
+)
+
+// turb3d models the turbulence benchmark's FFT core in structure-of-arrays
+// form: each stage runs a real-plane butterfly pass and then an
+// imaginary-plane butterfly pass over split re/im arrays, as Fortran FFT
+// kernels do. The input signal is real-valued, so the entire imaginary
+// plane is (and stays) exactly zero: every load in the imaginary pass —
+// a streaming, cache-missing loop — produces 0.0, the strongest value
+// reuse in the suite. The butterfly is an exact Givens rotation, so
+// magnitudes stay bounded over millions of passes.
+func buildTurb() *program.Program {
+	r := newRNG(0x3d)
+	b := newData(0x480000)
+
+	const n = 4096
+	re := make([]float64, n)
+	im := make([]float64, n) // all zero: real-valued input signal
+	for i := range re {
+		re[i] = math.Sin(float64(i)*0.1) + 0.1*r.float()
+	}
+	b.doubles("re", re)
+	b.doubles("im", im)
+	theta := 2 * math.Pi / n
+	b.doubles("wc", []float64{math.Cos(theta)}) // rotation cosine
+	b.doubles("ws", []float64{math.Sin(theta)}) // rotation sine
+	b.doubles("spec", make([]float64, n))
+
+	src := `
+.text
+.proc main
+main:
+        li      r9, 4000            ; FFT-like stages
+pass:
+        ; ---- real-plane butterflies
+        lda     r10, re
+        li      r12, 2048
+rbfly:
+        ldt     f10, wc             ; stage twiddle (constant -> reuse)
+        ldt     f11, ws             ; stage twiddle (constant -> reuse)
+        ldt     f1, 0(r10)          ; x.re
+        ldt     f2, 16384(r10)      ; y.re (stride n/2)
+        fmul    f5, f10, f1
+        fmul    f6, f11, f2
+        fadd    f5, f5, f6          ; x.re' = c*x + s*y
+        fmul    f6, f10, f2
+        fmul    f7, f11, f1
+        fsub    f6, f6, f7          ; y.re' = c*y - s*x
+        stt     f5, 0(r10)
+        stt     f6, 16384(r10)
+        addi    r10, r10, 8
+        subi    r12, r12, 1
+        bne     r12, rbfly
+
+        ; ---- imaginary-plane butterflies (all values exactly 0.0)
+        lda     r11, im
+        li      r12, 2048
+ibfly:
+        ldt     f12, wc             ; constant -> reuse
+        ldt     f13, ws             ; constant -> reuse
+        ldt     f3, 0(r11)          ; x.im (always 0.0 -> strong reuse)
+        ldt     f4, 16384(r11)      ; y.im (always 0.0 -> strong reuse)
+        fmul    f5, f12, f3
+        fmul    f6, f13, f4
+        fadd    f5, f5, f6          ; x.im' (stays 0.0)
+        fmul    f6, f12, f4
+        fmul    f7, f13, f3
+        fsub    f6, f6, f7          ; y.im' (stays 0.0)
+        stt     f5, 0(r11)
+        stt     f6, 16384(r11)
+        addi    r11, r11, 8
+        subi    r12, r12, 1
+        bne     r12, ibfly
+
+        ; ---- spectrum magnitude sweep: |x|^2 per element, accumulated
+        ; serially into a running total (the im term is a zero stream)
+        lda     r10, re
+        lda     r11, im
+        lda     r13, spec
+        clr     r1
+        itof    f9, r1              ; total = 0.0
+        li      r12, 4096
+spectrum:
+        ldt     f1, 0(r10)
+        ldt     f2, 0(r11)          ; zero stream -> reuse
+        fmul    f1, f1, f1
+        fmul    f2, f2, f2
+        fadd    f1, f1, f2
+        stt     f1, 0(r13)
+        fadd    f9, f9, f2          ; serial accumulation of the im term
+        addi    r10, r10, 8
+        addi    r11, r11, 8
+        addi    r13, r13, 8
+        subi    r12, r12, 1
+        bne     r12, spectrum
+
+        subi    r9, r9, 1
+        bne     r9, pass
+        halt
+.endproc
+`
+	return b.assemble("turb3d", src)
+}
+
+func init() {
+	register(Workload{
+		Name:  "turb3d",
+		Class: ClassFP,
+		Desc:  "SoA FFT stages with an exactly-zero imaginary plane",
+		build: buildTurb,
+	})
+}

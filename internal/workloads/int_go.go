@@ -1,0 +1,113 @@
+package workloads
+
+import "rvpsim/internal/program"
+
+// gobench models the Go-playing program's board scanner: nested loops
+// over a 19x19 board counting pseudo-liberties of stones, with a
+// mutation phase that keeps the board changing between passes. Neighbour
+// loads see irregular 0/1/2 values, so value reuse is low and branches
+// are hard to predict — the paper's go sits at the bottom of the coverage
+// table (~4%) with plenty of branch mispredictions.
+func buildGo() *program.Program {
+	r := newRNG(0x60)
+	b := newData(0x280000)
+
+	const n = 19
+	board := make([]uint64, n*n)
+	for i := range board {
+		switch {
+		case r.intn(100) < 35:
+			board[i] = 1 + r.intn(2) // stone
+		default:
+			board[i] = 0 // empty
+		}
+	}
+	b.array("board", board)
+	b.zeros("libs", n*n)
+	// Mutation stream: positions to toggle between passes.
+	muts := make([]uint64, 128)
+	for i := range muts {
+		muts[i] = 1 + n + r.intn((n-2)*(n-2)) // interior-ish index
+	}
+	b.array("muts", muts)
+	b.array("mutidx", []uint64{0})
+
+	src := `
+.text
+.proc main
+main:
+        li      r9, 120000          ; board scans
+pass:
+        lda     r10, board
+        lda     r11, libs
+        li      r12, 323            ; interior positions: 19..341
+        addi    r10, r10, 152       ; &board[19]
+        addi    r11, r11, 152
+scan:
+        ldq     r1, 0(r10)          ; this point
+        beq     r1, empty
+        ; stone: count empty neighbours
+        clr     r2
+        ldq     r3, -152(r10)       ; north
+        cmpeqi  r4, r3, 0
+        add     r2, r2, r4
+        ldq     r3, 152(r10)        ; south
+        cmpeqi  r4, r3, 0
+        add     r2, r2, r4
+        ldq     r3, -8(r10)         ; west
+        cmpeqi  r4, r3, 0
+        add     r2, r2, r4
+        ldq     r3, 8(r10)          ; east
+        cmpeqi  r4, r3, 0
+        add     r2, r2, r4
+        stq     r2, 0(r11)
+        bne     r2, alive
+        ; captured: clear the stone (board mutation)
+        clr     r5
+        stq     r5, 0(r10)
+alive:
+empty:
+        addi    r10, r10, 8
+        addi    r11, r11, 8
+        subi    r12, r12, 1
+        bne     r12, scan
+
+        ; mutate one position per pass so the board keeps changing
+        ldq     r1, mutidx
+        andi    r1, r1, 127
+        lda     r2, muts
+        slli    r3, r1, 3
+        add     r2, r2, r3
+        ldq     r4, 0(r2)           ; board index to toggle
+        lda     r5, board
+        slli    r6, r4, 3
+        add     r5, r5, r6
+        ldq     r7, 0(r5)
+        cmpeqi  r8, r7, 0
+        beq     r8, clearpt
+        li      r7, 1               ; place a stone on empty point
+        jmp     writept
+clearpt:
+        clr     r7
+writept:
+        stq     r7, 0(r5)
+        ldq     r1, mutidx
+        addi    r1, r1, 1
+        stq     r1, mutidx
+
+        subi    r9, r9, 1
+        bne     r9, pass
+        halt
+.endproc
+`
+	return b.assemble("go", src)
+}
+
+func init() {
+	register(Workload{
+		Name:  "go",
+		Class: ClassInt,
+		Desc:  "Go board scanner: liberty counting over a mutating board",
+		build: buildGo,
+	})
+}

@@ -1,0 +1,129 @@
+package workloads
+
+import "rvpsim/internal/program"
+
+// ijpeg models JPEG compression's hot loops: an integer DCT-like
+// butterfly over 8x8 pixel blocks, quantisation by table, and a zero-run
+// scan of the quantised coefficients. Pixel data is noisy, so the DCT
+// loads carry little value locality; the short zero-run scan contributes
+// the small amount of constant reuse that puts ijpeg near the bottom of
+// the coverage table (~5%).
+func buildIJpeg() *program.Program {
+	r := newRNG(0x4a)
+	b := newData(0x2c0000)
+
+	const blocks = 512
+	pix := make([]uint64, blocks*64)
+	for i := range pix {
+		pix[i] = 100 + r.intn(100) // noisy pixels
+	}
+	b.array("pixels", pix)
+	// Quantisation divisors as shift amounts (power-of-two quant).
+	q := make([]uint64, 64)
+	for i := range q {
+		// Higher frequencies quantised harder: most coefficients go to 0.
+		q[i] = 4 + uint64(i/8)
+	}
+	b.array("qtab", q)
+	b.zeros("coef", 64)
+	b.zeros("runs", 64)
+
+	src := `
+.text
+.proc main
+main:
+        li      r9, 90000           ; blocks processed
+block:
+        ; select block: (passes mod 32) * 64 words
+        andi    r1, r9, 511
+        muli    r1, r1, 512
+        lda     r10, pixels
+        add     r10, r10, r1
+
+        ; row butterflies: 8 rows of a 4-point DCT approximation
+        lda     r11, coef
+        li      r12, 8
+row:
+        ldq     r1, 0(r10)
+        ldq     r2, 8(r10)
+        ldq     r3, 16(r10)
+        ldq     r4, 24(r10)
+        add     r5, r1, r4          ; s04
+        sub     r6, r1, r4          ; d04
+        add     r7, r2, r3          ; s12
+        sub     r8, r2, r3          ; d12
+        add     r1, r5, r7          ; dc
+        sub     r2, r5, r7
+        muli    r3, r6, 3           ; rotation approximations
+        add     r3, r3, r8
+        muli    r4, r8, 3
+        sub     r4, r4, r6
+        stq     r1, 0(r11)
+        stq     r2, 8(r11)
+        stq     r3, 16(r11)
+        stq     r4, 24(r11)
+        ldq     r1, 32(r10)
+        ldq     r2, 40(r10)
+        add     r5, r1, r2
+        sub     r6, r1, r2
+        stq     r5, 32(r11)
+        stq     r6, 40(r11)
+        ldq     r1, 48(r10)
+        ldq     r2, 56(r10)
+        add     r5, r1, r2
+        sub     r6, r1, r2
+        stq     r5, 48(r11)
+        stq     r6, 56(r11)
+        addi    r10, r10, 64
+        subi    r12, r12, 1
+        bne     r12, row
+
+        ; quantise coefficients in place (most become zero)
+        lda     r11, coef
+        lda     r13, qtab
+        li      r12, 64
+quant:
+        ldq     r1, 0(r11)
+        ldq     r2, 0(r13)          ; shift amount
+        sra     r1, r1, r2
+        stq     r1, 0(r11)
+        addi    r11, r11, 8
+        addi    r13, r13, 8
+        subi    r12, r12, 1
+        bne     r12, quant
+
+        ; zero-run scan: count runs of zero coefficients
+        lda     r11, coef
+        lda     r14, runs
+        li      r12, 64
+        clr     r2                  ; current run length
+zscan:
+        ldq     r1, 0(r11)          ; mostly zero -> some value reuse
+        bne     r1, nonzero
+        addi    r2, r2, 1
+        jmp     znext
+nonzero:
+        stq     r2, 0(r14)
+        addi    r14, r14, 8
+        clr     r2
+znext:
+        addi    r11, r11, 8
+        subi    r12, r12, 1
+        bne     r12, zscan
+
+        subi    r9, r9, 1
+        bne     r9, block
+        halt
+.endproc
+`
+	return b.assemble("ijpeg", src)
+}
+
+func init() {
+	register(Workload{
+		Name:  "ijpeg",
+		Class: ClassInt,
+		Desc:  "integer DCT, quantisation, and zero-run scan over 8x8 blocks",
+		build: buildIJpeg,
+	})
+}

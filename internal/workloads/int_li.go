@@ -1,0 +1,114 @@
+package workloads
+
+import "rvpsim/internal/program"
+
+// li models Xlisp's hot path: association-list lookup with type-tag
+// dispatch. Cons cells carry a type tag (always TAG_CONS for list cells),
+// a car (symbol id), a cdr pointer, and a boxed value. The interpreter
+// repeatedly looks up a stream of keys, most of which are a few hot
+// symbols near the head of the list. Reuse character: tag loads and
+// interpreter-state loads (gc flag, heap limit) are constants — strong
+// same-register reuse; car/cdr loads vary per node — low reuse. This
+// lands li in the paper's ~20% coverage band.
+func buildLI() *program.Program {
+	r := newRNG(0x11)
+	b := newData(0x200000)
+
+	const cells = 256
+	const nkeys = 512
+	// Association list: cell i at assoc + i*32, symbol ids shuffled so
+	// hot symbols (0..3) sit in the first few nodes.
+	words := make([]uint64, cells*4)
+	for i := 0; i < cells; i++ {
+		sym := uint64(i)
+		val := r.next() % 1000
+		next := b.addr + uint64(i+1)*32
+		if i == cells-1 {
+			next = 0 // NIL terminates
+		}
+		words[i*4+0] = 1 // TAG_CONS
+		words[i*4+1] = sym
+		words[i*4+2] = next
+		words[i*4+3] = val
+	}
+	assoc := b.array("assoc", words)
+
+	// Key stream: 80% hot symbols (0..3), 20% uniform over all symbols.
+	keys := make([]uint64, nkeys)
+	for i := range keys {
+		if r.intn(10) < 8 {
+			keys[i] = r.intn(4)
+		} else {
+			keys[i] = r.intn(cells)
+		}
+	}
+	b.array("keys", keys)
+	b.array("head", []uint64{assoc}) // list head pointer (constant)
+	b.array("gcflag", []uint64{0})   // gc pending flag (constant 0)
+	b.zeros("results", nkeys)
+
+	// The interpreter is call-structured like the real Xlisp: the main
+	// read-eval loop calls assoc-lookup per key (exercising JSR/RET, the
+	// return-address stack, and cross-call register conventions).
+	src := `
+.text
+.proc main
+main:
+        li      r9, 40000           ; outer repetitions
+outer:
+        lda     r10, keys
+        lda     r14, results
+        li      r11, 512            ; keys per pass
+keyloop:
+        ldq     r16, 0(r10)         ; key symbol -> arg register
+        call    lookup
+        stq     r0, 0(r14)
+        addi    r10, r10, 8
+        addi    r14, r14, 8
+        subi    r11, r11, 1
+        bne     r11, keyloop
+        subi    r9, r9, 1
+        bne     r9, outer
+        halt
+.endproc
+
+; lookup(r16 = key) -> r0 = value (0 when not found)
+.proc lookup
+lookup:
+        ldq     r2, head            ; list head (constant value -> reuse)
+        ldq     r7, gcflag          ; interpreter state (constant 0)
+        bne     r7, collect         ; never taken
+walk:
+        ldq     r3, 0(r2)           ; type tag (always TAG_CONS -> reuse)
+        cmpeqi  r4, r3, 1
+        beq     r4, badtag          ; never taken
+        ldq     r4, 8(r2)           ; car: symbol id
+        sub     r5, r4, r16
+        beq     r5, found
+        ldq     r2, 16(r2)          ; cdr
+        bne     r2, walk
+        clr     r0                  ; not found: NIL value
+        ret
+found:
+        ldq     r0, 24(r2)          ; boxed value
+        ret
+collect:                            ; unreached gc stub
+        clr     r7
+        jmp     walk
+badtag:
+        clr     r3
+        clr     r0
+        ret
+.endproc
+`
+	return b.assemble("li", src)
+}
+
+func init() {
+	register(Workload{
+		Name:  "li",
+		Class: ClassInt,
+		Desc:  "Xlisp-style assoc-list interpreter with tag dispatch",
+		build: buildLI,
+	})
+}

@@ -1,0 +1,144 @@
+package workloads
+
+import "rvpsim/internal/program"
+
+// perl models the Perl interpreter's hot loops: opcode dispatch over a
+// bytecode stream plus hash-table symbol lookup. The interpreter checks a
+// handful of global state words every operation (constant — reusable),
+// hashes 8-byte keys from a skewed stream, and probes an open-addressed
+// table. Moderate reuse (~8-14% band) with realistic branchy dispatch.
+func buildPerl() *program.Program {
+	r := newRNG(0x9e)
+	b := newData(0x300000)
+
+	const tabBits = 13
+	const tabSize = 1 << tabBits // entries; each entry: key, value
+	tab := make([]uint64, tabSize*2)
+	keys := make([]uint64, 2048)
+	hash := func(k uint64) uint64 {
+		h := k * 0x9e3779b97f4a7c15
+		return (h >> 32) & (tabSize - 1)
+	}
+	for i := range keys {
+		k := r.next() | 1 // nonzero keys
+		keys[i] = k
+		// Insert with linear probing.
+		slot := hash(k)
+		for tab[slot*2] != 0 {
+			slot = (slot + 1) & (tabSize - 1)
+		}
+		tab[slot*2] = k
+		tab[slot*2+1] = r.next() % 10000
+	}
+	b.array("htab", tab)
+	// Bytecode stream: op in 0..3, operand selects a key. 60% of lookups
+	// hit 6 hot keys.
+	const prog = 256
+	code := make([]uint64, prog*2)
+	for i := 0; i < prog; i++ {
+		code[i*2] = r.intn(4)
+		if r.intn(10) < 6 {
+			code[i*2+1] = r.intn(6)
+		} else {
+			code[i*2+1] = r.intn(2048)
+		}
+	}
+	b.array("bytecode", code)
+	b.array("keys", keys)
+	b.array("interpdepth", []uint64{3}) // constant interpreter state
+	b.array("sigpending", []uint64{0})  // constant
+	b.zeros("stackmem", 2048)
+	b.zeros("acc", 1)
+
+	src := `
+.text
+.proc main
+main:
+        li      r9, 50000           ; interpreter passes
+pass:
+        lda     r10, bytecode
+        li      r11, 256            ; ops per pass
+op:
+        ldq     r22, sigpending     ; signal check (constant 0 -> reuse)
+        bne     r22, signal         ; never taken
+        ldq     r23, interpdepth    ; recursion depth (constant -> reuse)
+        cmplei  r24, r23, 0
+        bne     r24, signal         ; never taken
+        ldq     r1, 0(r10)          ; opcode
+        ldq     r2, 8(r10)          ; operand (key index)
+        ; fetch key
+        lda     r3, keys
+        slli    r4, r2, 3
+        add     r3, r3, r4
+        ldq     r4, 0(r3)           ; key value (hot keys repeat)
+        ; dispatch
+        beq     r1, op_lookup
+        cmpeqi  r5, r1, 1
+        bne     r5, op_add
+        cmpeqi  r5, r1, 2
+        bne     r5, op_store
+        ; op 3: hash only
+        muli    r5, r4, 0x7f4a7c15
+        srli    r5, r5, 32
+        jmp     next
+op_lookup:
+        ; h = (key * M) >> 40 & mask
+        li      r5, 0x9e3779b9
+        slli    r5, r5, 32
+        ori     r5, r5, 0x7f4a7c15
+        mul     r5, r4, r5
+        srli    r5, r5, 32
+        andi    r5, r5, 8191
+probe:
+        lda     r6, htab
+        slli    r7, r5, 4           ; *16 bytes per entry
+        add     r6, r6, r7
+        ldq     r7, 0(r6)           ; stored key
+        sub     r8, r7, r4
+        beq     r8, hit
+        addi    r5, r5, 1
+        andi    r5, r5, 8191
+        bne     r7, probe           ; probe until empty slot
+        clr     r8                  ; miss: undef
+        jmp     next
+hit:
+        ldq     r8, 8(r6)           ; value
+        ldq     r7, acc
+        add     r7, r7, r8
+        stq     r7, acc
+        jmp     next
+op_add:
+        ldq     r5, acc             ; accumulator (changes -> low reuse)
+        add     r5, r5, r4
+        stq     r5, acc
+        jmp     next
+op_store:
+        lda     r5, stackmem
+        andi    r6, r4, 2047
+        slli    r6, r6, 3
+        add     r5, r5, r6
+        stq     r4, 0(r5)
+        jmp     next
+next:
+        addi    r10, r10, 16
+        subi    r11, r11, 1
+        bne     r11, op
+        subi    r9, r9, 1
+        bne     r9, pass
+        halt
+signal:
+        clr     r22
+        jmp     next
+.endproc
+`
+	return b.assemble("perl", src)
+}
+
+func init() {
+	register(Workload{
+		Name:  "perl",
+		Class: ClassInt,
+		Desc:  "bytecode dispatch with hash-table lookups and state checks",
+		build: buildPerl,
+	})
+}

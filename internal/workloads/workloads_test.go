@@ -1,0 +1,171 @@
+package workloads
+
+import (
+	"math"
+	"testing"
+
+	"rvpsim/internal/emu"
+	"rvpsim/internal/isa"
+	"rvpsim/internal/profile"
+)
+
+func TestAllRegisteredAndOrdered(t *testing.T) {
+	ws := All()
+	if len(ws) != 9 {
+		t.Fatalf("got %d workloads, want 9", len(ws))
+	}
+	want := []string{"go", "ijpeg", "li", "m88ksim", "perl", "hydro2d", "mgrid", "su2cor", "turb3d"}
+	for i, w := range ws {
+		if w.Name != want[i] {
+			t.Errorf("workload %d = %s, want %s", i, w.Name, want[i])
+		}
+	}
+	// First five integer, last four FP.
+	for i, w := range ws {
+		wantClass := ClassInt
+		if i >= 5 {
+			wantClass = ClassFP
+		}
+		if w.Class != wantClass {
+			t.Errorf("%s class = %v", w.Name, w.Class)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	if _, err := ByName("li"); err != nil {
+		t.Error(err)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Error("ByName(nope) succeeded")
+	}
+}
+
+// TestWorkloadsRunLong checks that every workload executes at least 3M
+// instructions without faulting or halting early, and that its register
+// values stay finite (no NaN/Inf contamination in FP workloads).
+func TestWorkloadsRunLong(t *testing.T) {
+	const budget = 3_000_000
+	for _, w := range All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			t.Parallel()
+			p := w.Build()
+			if err := p.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			s := emu.MustNew(p)
+			n := s.Run(budget)
+			if s.Err() != nil {
+				t.Fatalf("execution error after %d insts: %v", n, s.Err())
+			}
+			if s.Halted {
+				t.Fatalf("halted after only %d insts; workloads must run long", n)
+			}
+			for r := isa.FPBase; r < isa.NumRegs; r++ {
+				v := math.Float64frombits(s.Regs[r])
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					t.Errorf("register %v = %v after %d insts", r, v, n)
+				}
+			}
+		})
+	}
+}
+
+// TestWorkloadsDeterministic: two builds produce identical programs.
+func TestWorkloadsDeterministic(t *testing.T) {
+	for _, w := range All() {
+		a, b := w.Build(), w.Build()
+		if len(a.Insts) != len(b.Insts) {
+			t.Fatalf("%s: instruction counts differ", w.Name)
+		}
+		for i := range a.Insts {
+			if a.Insts[i] != b.Insts[i] {
+				t.Fatalf("%s: instruction %d differs", w.Name, i)
+			}
+		}
+		if len(a.Data) != len(b.Data) {
+			t.Fatalf("%s: data chunks differ", w.Name)
+		}
+		for c := range a.Data {
+			for j := range a.Data[c].Words {
+				if a.Data[c].Words[j] != b.Data[c].Words[j] {
+					t.Fatalf("%s: data word differs", w.Name)
+				}
+			}
+		}
+	}
+}
+
+// TestReuseCharacter checks each workload's *predictable* load fraction —
+// executions of static loads whose same-register reuse clears the paper's
+// 80% threshold — falls in the intended ordering: m88ksim and turb3d
+// high, go and ijpeg low, mirroring Table 2's coverage ordering.
+func TestReuseCharacter(t *testing.T) {
+	reuse := map[string]float64{}
+	for _, w := range All() {
+		p := w.Build()
+		pr, err := profile.Run(p, profile.Options{MaxInsts: 400_000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var loads, predictable uint64
+		for _, is := range pr.Insts {
+			if !isa.IsLoad(is.Inst.Op) {
+				continue
+			}
+			loads += is.Execs
+			// Reachable reuse: native same-register, or last-value reuse
+			// the compiler can expose by re-allocation (Figure 2c).
+			if is.SameRate() >= 0.8 || is.LastRate() >= 0.8 {
+				predictable += is.Execs
+			}
+		}
+		if loads > 0 {
+			reuse[w.Name] = float64(predictable) / float64(loads)
+		}
+	}
+	t.Logf("predictable load fraction: %v", reuse)
+	// go has the least value locality in the paper's table; the high-reuse
+	// designs must clear a meaningful bar. (Confidence-filtered coverage
+	// ordering is validated end-to-end in the experiments package.)
+	for _, high := range []string{"m88ksim", "turb3d", "hydro2d", "li", "su2cor"} {
+		if reuse["go"] >= reuse[high] {
+			t.Errorf("expected reuse(go)=%.3f < reuse(%s)=%.3f", reuse["go"], high, reuse[high])
+		}
+		if reuse[high] < 0.15 {
+			t.Errorf("reuse(%s)=%.3f, want >= 0.15", high, reuse[high])
+		}
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := newRNG(5), newRNG(5)
+	for i := 0; i < 100; i++ {
+		if a.next() != b.next() {
+			t.Fatal("rng not deterministic")
+		}
+	}
+	if newRNG(0).next() == 0 {
+		t.Error("zero seed not remapped")
+	}
+	f := newRNG(7).float()
+	if f < 0 || f >= 1 {
+		t.Errorf("float() = %v out of [0,1)", f)
+	}
+}
+
+func TestDataBuilderLayout(t *testing.T) {
+	b := newData(0x1000)
+	a1 := b.array("a", []uint64{1, 2, 3})
+	a2 := b.array("b", []uint64{4})
+	if a1 != 0x1000 {
+		t.Errorf("a at %#x", a1)
+	}
+	if a2%64 != 0 || a2 <= a1 {
+		t.Errorf("b at %#x, want next cache line", a2)
+	}
+	if b.syms["a"] != a1 || b.syms["b"] != a2 {
+		t.Error("symbols wrong")
+	}
+}
