@@ -1,0 +1,32 @@
+# Developer and CI entry points for rvpsim. `make ci` is the gate a
+# change must pass: vet, build, the full test suite under the race
+# detector, and the cross-run determinism check.
+
+GO ?= go
+
+.PHONY: all ci vet build test race determinism bench fmt-check
+
+all: ci
+
+ci: vet build race determinism
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+determinism:
+	$(GO) test -run TestDeterminism ./...
+
+bench:
+	$(GO) test -bench . -benchtime 1x ./...
+
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi

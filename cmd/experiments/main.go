@@ -4,7 +4,8 @@
 // Usage:
 //
 //	experiments [-n insts] [-profile insts] [-serial] [-md report.md]
-//	            [-only fig1,fig3,...]
+//	            [-only fig1,fig3,...] [-manifest dir] [-metrics out.prom]
+//	            [-pprof dir] [-heartbeat seconds]
 //
 // With no -only filter it runs the full set: Figure 1 (reuse degrees),
 // Table 1 (machine config), Figure 3 (static RVP), Figure 4 (recovery
@@ -13,16 +14,25 @@
 // re-allocation), Figure 8 (16-wide machine), plus the extension tables
 // (predictor cost/benefit and the confidence-threshold sweep) under
 // "ext". With -md, a markdown report is also written.
+//
+// Observability: -manifest writes one machine-readable JSON run manifest
+// per figure (options, git describe, wall clock, result tables, and a
+// metrics snapshot); -metrics writes the sweep-wide Prometheus snapshot;
+// -pprof captures CPU and heap profiles of the whole sweep; -heartbeat
+// prints progress lines to stderr while long sweeps run.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"runtime"
 	"strings"
 	"time"
 
 	"rvpsim/internal/exp"
+	"rvpsim/internal/obs"
 	"rvpsim/internal/stats"
 )
 
@@ -32,6 +42,10 @@ func main() {
 	serial := flag.Bool("serial", false, "run workloads serially")
 	md := flag.String("md", "", "also write a markdown report to this file")
 	only := flag.String("only", "", "comma-separated subset: fig1,tab1,fig3,fig4,fig5,fig6,tab2,fig7,fig8,ext")
+	manifestDir := flag.String("manifest", "", "write one JSON run manifest per figure into this directory")
+	metricsOut := flag.String("metrics", "", "write a sweep-wide Prometheus metrics snapshot to this file")
+	pprofDir := flag.String("pprof", "", "capture CPU and heap profiles of the sweep into this directory")
+	heartbeat := flag.Int("heartbeat", 0, "print a progress heartbeat to stderr every N seconds (0 = off)")
 	flag.Parse()
 
 	opts := exp.DefaultOptions()
@@ -42,6 +56,32 @@ func main() {
 		opts.ProfileInsts = *n / 4
 	}
 	opts.Parallel = !*serial
+
+	reg := obs.NewRegistry()
+	if *manifestDir != "" || *metricsOut != "" {
+		opts.Registry = reg
+	}
+
+	var progress *obs.Progress
+	if *heartbeat > 0 {
+		progress = obs.NewProgress(os.Stderr, time.Duration(*heartbeat)*time.Second, 0)
+		opts.OnRunDone = progress.Step
+		progress.Start()
+		defer progress.Stop()
+	}
+
+	if *pprofDir != "" {
+		capture, err := obs.StartProfiles(*pprofDir)
+		if err != nil {
+			fatal(fmt.Errorf("pprof: %w", err))
+		}
+		defer func() {
+			if err := capture.Stop(); err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: pprof: %v\n", err)
+			}
+		}()
+	}
+
 	r := exp.NewRunner(opts)
 
 	want := map[string]bool{}
@@ -55,11 +95,14 @@ func main() {
 	var report strings.Builder
 	fmt.Fprintf(&report, "# rvpsim experiment report\n\n%d committed instructions per run.\n\n", *n)
 
+	// jobTables collects the current job's tables for its manifest.
+	var jobTables []*stats.Table
 	emit := func(tables ...*stats.Table) {
 		for _, t := range tables {
 			fmt.Println(t)
 			report.WriteString(t.Markdown())
 			report.WriteByte('\n')
+			jobTables = append(jobTables, t)
 		}
 	}
 
@@ -112,16 +155,35 @@ func main() {
 			return nil
 		}},
 	}
+	gitRev := ""
+	if *manifestDir != "" {
+		gitRev = obs.GitDescribe("")
+	}
 	for _, j := range jobs {
 		if !sel(j.key) {
 			continue
 		}
+		jobTables = nil
 		start := time.Now()
 		if err := j.run(); err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", j.key, err)
 			os.Exit(1)
 		}
-		fmt.Printf("[%s done in %v]\n\n", j.key, time.Since(start).Round(time.Millisecond))
+		elapsed := time.Since(start)
+		fmt.Printf("[%s done in %v]\n\n", j.key, elapsed.Round(time.Millisecond))
+		if *manifestDir != "" {
+			if err := writeManifest(*manifestDir, j.key, gitRev, opts, start, elapsed, jobTables, reg); err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: manifest %s: %v\n", j.key, err)
+				os.Exit(1)
+			}
+		}
+	}
+	if *metricsOut != "" {
+		if err := writeMetrics(*metricsOut, reg); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: metrics: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("metrics snapshot written to %s\n", *metricsOut)
 	}
 	if *md != "" {
 		if err := os.WriteFile(*md, []byte(report.String()), 0o644); err != nil {
@@ -130,4 +192,54 @@ func main() {
 		}
 		fmt.Printf("markdown report written to %s\n", *md)
 	}
+}
+
+// manifestConfig is the reproducibility-relevant slice of exp.Options.
+type manifestConfig struct {
+	Insts        uint64  `json:"insts"`
+	ProfileInsts uint64  `json:"profile_insts"`
+	Threshold    float64 `json:"threshold"`
+	Parallel     bool    `json:"parallel"`
+}
+
+// writeManifest records one figure's run: config, revision, wall clock,
+// the result tables, and the sweep-so-far metrics snapshot.
+func writeManifest(dir, key, gitRev string, opts exp.Options, start time.Time, elapsed time.Duration, tables []*stats.Table, reg *obs.Registry) error {
+	host, _ := os.Hostname()
+	snap := reg.Snapshot()
+	m := &obs.Manifest{
+		Name:      key,
+		StartedAt: start.UTC(),
+		WallClock: elapsed.Seconds(),
+		Git:       gitRev,
+		GoVersion: runtime.Version(),
+		Hostname:  host,
+		Config: manifestConfig{
+			Insts:        opts.Insts,
+			ProfileInsts: opts.ProfileInsts,
+			Threshold:    opts.Threshold,
+			Parallel:     opts.Parallel,
+		},
+		Results: tables,
+		Metrics: &snap,
+	}
+	return obs.WriteManifest(filepath.Join(dir, key+".json"), m)
+}
+
+// writeMetrics dumps the registry as Prometheus text exposition.
+func writeMetrics(path string, reg *obs.Registry) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := reg.WritePrometheus(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "experiments:", err)
+	os.Exit(1)
 }

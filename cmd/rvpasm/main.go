@@ -7,9 +7,11 @@
 //	rvpasm -f prog.s -d           # assemble, then disassemble to stdout
 //	rvpasm -w li -d               # disassemble a built-in workload
 //	rvpasm -f prog.s -run -n 1000 # assemble and run functionally
+//	rvpasm -f prog.s -json        # emit the summary as one JSON object
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -27,6 +29,7 @@ func main() {
 	dis := flag.Bool("d", false, "print disassembly")
 	run := flag.Bool("run", false, "run the program functionally and print final r0")
 	n := flag.Uint64("n", 1_000_000, "functional run budget")
+	jsonOut := flag.Bool("json", false, "emit the program summary as one JSON object")
 	flag.Parse()
 
 	var (
@@ -52,6 +55,31 @@ func main() {
 	classes := map[isa.Class]int{}
 	for _, in := range p.Insts {
 		classes[isa.Classify(in.Op)]++
+	}
+	if *jsonOut {
+		out := struct {
+			Name   string         `json:"name"`
+			Insts  int            `json:"insts"`
+			Procs  int            `json:"procs"`
+			Data   int            `json:"data_chunks"`
+			ByKind map[string]int `json:"mix"`
+		}{
+			Name: p.Name, Insts: len(p.Insts), Procs: len(p.Procs), Data: len(p.Data),
+			ByKind: map[string]int{
+				"alu":    classes[isa.ClassIntALU] + classes[isa.ClassIntMul] + classes[isa.ClassIntDiv],
+				"load":   classes[isa.ClassLoad],
+				"store":  classes[isa.ClassStore],
+				"branch": classes[isa.ClassBranch],
+				"fp":     classes[isa.ClassFPAdd] + classes[isa.ClassFPMul] + classes[isa.ClassFPDiv],
+			},
+		}
+		b, jerr := json.MarshalIndent(out, "", "  ")
+		if jerr != nil {
+			fmt.Fprintln(os.Stderr, "rvpasm:", jerr)
+			os.Exit(1)
+		}
+		fmt.Println(string(b))
+		return
 	}
 	fmt.Printf("%s: %d instructions, %d procedures, %d data chunks\n",
 		p.Name, len(p.Insts), len(p.Procs), len(p.Data))

@@ -4,10 +4,11 @@
 //
 // Usage:
 //
-//	rvprofile [-w workload | -f prog.s] [-n insts] [-t threshold] [-v]
+//	rvprofile [-w workload | -f prog.s] [-n insts] [-t threshold] [-json]
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -20,6 +21,7 @@ func main() {
 	file := flag.String("f", "", "assembly file to profile instead of a workload")
 	n := flag.Uint64("n", 1_000_000, "committed-instruction budget")
 	threshold := flag.Float64("t", 0.8, "predictability threshold")
+	jsonOut := flag.Bool("json", false, "emit the profile summary as one JSON object")
 	flag.Parse()
 
 	var (
@@ -43,6 +45,37 @@ func main() {
 		fatal(err)
 	}
 	s := pr.LoadReuse()
+	if *jsonOut {
+		type hintCount struct {
+			Level string `json:"level"`
+			Hints int    `json:"hints"`
+		}
+		out := struct {
+			Program   string      `json:"program"`
+			Insts     int         `json:"static_insts"`
+			Budget    uint64      `json:"budget"`
+			Threshold float64     `json:"threshold"`
+			Same      float64     `json:"same_register"`
+			Dead      float64     `json:"dead_register"`
+			Any       float64     `json:"any_register"`
+			OrLV      float64     `json:"register_or_lvp"`
+			Hints     []hintCount `json:"hints"`
+			Marked    int         `json:"marked_loads_live_lv"`
+		}{
+			Program: prog.Name(), Insts: prog.Len(), Budget: *n, Threshold: *threshold,
+			Same: s.Same, Dead: s.Dead, Any: s.Any, OrLV: s.OrLV,
+		}
+		for _, level := range []rvpsim.Support{rvpsim.SupportDead, rvpsim.SupportDeadLV, rvpsim.SupportLiveLV} {
+			out.Hints = append(out.Hints, hintCount{Level: level.String(), Hints: len(pr.Hints(*threshold, level, false))})
+		}
+		out.Marked = len(pr.MarkedLoads(*threshold, rvpsim.SupportLiveLV))
+		b, jerr := json.MarshalIndent(out, "", "  ")
+		if jerr != nil {
+			fatal(jerr)
+		}
+		fmt.Println(string(b))
+		return
+	}
 	fmt.Printf("program %s: register-value reuse for loads (Figure 1 bars)\n", prog.Name())
 	fmt.Printf("  same register    %5.1f%%\n", 100*s.Same)
 	fmt.Printf("  dead register    %5.1f%%\n", 100*s.Dead)

@@ -5,13 +5,20 @@
 //
 //	rvpsim [-w workload | -f prog.s] [-p predictor] [-n insts]
 //	       [-recovery refetch|reissue|selective] [-wide] [-support level]
+//	       [-trace out.json] [-events out.jsonl] [-metrics out.prom] [-json]
 //
 // Predictors: none, drvp, drvp_loads, lvp, lvp_loads, grp, and the
 // hint-assisted drvp variants drvp_dead, drvp_dead_lv (which profile the
 // program first). -wide selects the 16-issue machine.
+//
+// Observability: -trace writes a Chrome trace_event file (load it in
+// chrome://tracing or https://ui.perfetto.dev), -events a JSONL event
+// stream, -metrics a Prometheus text exposition snapshot, and -json
+// replaces the human summary with the full Stats as one JSON object.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -29,6 +36,10 @@ func main() {
 	wide := flag.Bool("wide", false, "use the 16-issue machine")
 	list := flag.Bool("list", false, "list workloads and exit")
 	top := flag.Int("top", 0, "report the N most-predicted static instructions")
+	traceOut := flag.String("trace", "", "write a Chrome trace_event JSON file (chrome://tracing, Perfetto)")
+	eventsOut := flag.String("events", "", "write a JSONL structured event stream")
+	metricsOut := flag.String("metrics", "", "write a Prometheus text exposition metrics snapshot")
+	jsonOut := flag.Bool("json", false, "emit the full run Stats as one JSON object instead of the text summary")
 	flag.Parse()
 
 	if *list {
@@ -63,33 +74,84 @@ func main() {
 		fatal(err)
 	}
 
-	var st rvpsim.Stats
 	type agg struct {
 		execs, predicted, correct uint64
 		lat                       int64
 	}
 	perInst := map[int]*agg{}
-	if *top > 0 {
+	record := func(index int, dispatch, done int64, predicted, correct bool) {
+		a := perInst[index]
+		if a == nil {
+			a = &agg{}
+			perInst[index] = a
+		}
+		a.execs++
+		a.lat += done - dispatch
+		if predicted {
+			a.predicted++
+			if correct {
+				a.correct++
+			}
+		}
+	}
+
+	needObs := *traceOut != "" || *eventsOut != "" || *metricsOut != ""
+	var st rvpsim.Stats
+	var observer *rvpsim.Observer
+	switch {
+	case needObs:
+		observer = rvpsim.NewObserver()
+		var files []*os.File
+		create := func(path string) *os.File {
+			f, cerr := os.Create(path)
+			if cerr != nil {
+				fatal(cerr)
+			}
+			files = append(files, f)
+			return f
+		}
+		if *traceOut != "" {
+			ct := rvpsim.NewChromeTrace(create(*traceOut))
+			// One lane per window slot keeps concurrently in-flight
+			// instructions on separate trace rows.
+			ct.Lanes = cfg.Window
+			observer.AddSink(ct)
+		}
+		if *eventsOut != "" {
+			observer.AddSink(rvpsim.NewJSONLTrace(create(*eventsOut)))
+		}
+		if *top > 0 {
+			observer.AddSink(topSink(record))
+		}
+		st, err = rvpsim.RunObserved(prog, cfg, pred, *n, observer)
+		if cerr := observer.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+		for _, f := range files {
+			if cerr := f.Close(); cerr != nil && err == nil {
+				err = cerr
+			}
+		}
+		if err == nil && *metricsOut != "" {
+			err = writeMetrics(*metricsOut, observer.Registry())
+		}
+	case *top > 0:
 		st, err = rvpsim.RunTraced(prog, cfg, pred, *n, func(tr rvpsim.TraceRecord) {
-			a := perInst[tr.Index]
-			if a == nil {
-				a = &agg{}
-				perInst[tr.Index] = a
-			}
-			a.execs++
-			a.lat += tr.DoneAt - tr.Dispatch
-			if tr.Predicted {
-				a.predicted++
-				if tr.Correct {
-					a.correct++
-				}
-			}
+			record(tr.Index, tr.Dispatch, tr.DoneAt, tr.Predicted, tr.Correct)
 		})
-	} else {
+	default:
 		st, err = rvpsim.Run(prog, cfg, pred, *n)
 	}
 	if err != nil {
 		fatal(err)
+	}
+	if *jsonOut {
+		b, jerr := json.MarshalIndent(st, "", "  ")
+		if jerr != nil {
+			fatal(jerr)
+		}
+		fmt.Println(string(b))
+		return
 	}
 	fmt.Printf("program      %s (%d static instructions)\n", prog.Name(), prog.Len())
 	fmt.Printf("predictor    %s, recovery %s\n", *predName, *recovery)
@@ -99,6 +161,8 @@ func main() {
 	fmt.Printf("branches     %.2f%% conditional mispredict rate\n", 100*st.BranchMispredictRate())
 	fmt.Printf("caches       L1D %.1f%% miss, L1I %.1f%% miss, L2 %.1f%% miss\n",
 		missPct(st.DL1Hits, st.DL1Misses), missPct(st.IL1Hits, st.IL1Misses), missPct(st.L2Hits, st.L2Misses))
+	fmt.Printf("stalls       window %d, intIQ %d, fpIQ %d (dispatch cycles)\n",
+		st.StallWindow, st.StallIntIQ, st.StallFPIQ)
 
 	if *top > 0 {
 		idxs := make([]int, 0, len(perInst))
@@ -172,6 +236,29 @@ func makePredictor(name string, prog *rvpsim.Program, budget uint64) (rvpsim.Pre
 		return rvpsim.GabbayRegisterPredictor(), nil
 	}
 	return nil, fmt.Errorf("unknown predictor %q", name)
+}
+
+// topSink adapts the -top aggregation callback into an event sink.
+type topSink func(index int, dispatch, done int64, predicted, correct bool)
+
+func (s topSink) Emit(e *rvpsim.Event) error {
+	s(e.Index, e.Dispatch, e.Done, e.Predicted, e.Correct)
+	return nil
+}
+
+func (topSink) Close() error { return nil }
+
+// writeMetrics dumps the registry as Prometheus text exposition.
+func writeMetrics(path string, reg *rvpsim.Registry) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := reg.WritePrometheus(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func missPct(hits, misses uint64) float64 {

@@ -128,6 +128,13 @@ type CounterTable struct {
 	max  uint8
 	ctr  []uint8
 	tags []int32
+
+	// Statistics (cleared by Reset, published via PublishMetrics on the
+	// predictors that embed a table).
+	Lookups   uint64 // Confident consultations
+	Confirmed uint64 // consultations that were at/above threshold
+	Resets    uint64 // training updates that reset a counter (no reuse)
+	TagSteals uint64 // tagged entries stolen by an aliasing PC
 }
 
 // NewCounterTable builds a counter table; it panics on an invalid
@@ -151,11 +158,16 @@ func (t *CounterTable) index(pc int) int { return pc & (t.cfg.Entries - 1) }
 // Confident reports whether the counter for pc has reached the threshold.
 // With tags enabled, a tag mismatch is never confident.
 func (t *CounterTable) Confident(pc int) bool {
+	t.Lookups++
 	i := t.index(pc)
 	if t.cfg.Tagged && t.tags[i] != int32(pc) {
 		return false
 	}
-	return t.ctr[i] >= t.cfg.Threshold
+	if t.ctr[i] >= t.cfg.Threshold {
+		t.Confirmed++
+		return true
+	}
+	return false
 }
 
 // Update trains the counter for pc: reuse increments (saturating), no
@@ -164,6 +176,7 @@ func (t *CounterTable) Confident(pc int) bool {
 func (t *CounterTable) Update(pc int, reuse bool) {
 	i := t.index(pc)
 	if t.cfg.Tagged && t.tags[i] != int32(pc) {
+		t.TagSteals++
 		t.tags[i] = int32(pc)
 		t.ctr[i] = 0
 		if reuse {
@@ -176,11 +189,14 @@ func (t *CounterTable) Update(pc int, reuse bool) {
 			t.ctr[i]++
 		}
 	} else {
+		if t.ctr[i] != 0 {
+			t.Resets++
+		}
 		t.ctr[i] = 0
 	}
 }
 
-// Reset clears the table.
+// Reset clears the table and its statistics.
 func (t *CounterTable) Reset() {
 	for i := range t.ctr {
 		t.ctr[i] = 0
@@ -188,6 +204,7 @@ func (t *CounterTable) Reset() {
 	for i := range t.tags {
 		t.tags[i] = -1
 	}
+	t.Lookups, t.Confirmed, t.Resets, t.TagSteals = 0, 0, 0, 0
 }
 
 // Config returns the table configuration.

@@ -43,6 +43,11 @@ type LVP struct {
 	values []uint64
 	tags   []int32
 	ctr    []uint8
+
+	// Statistics (cleared by Reset).
+	Decides   uint64 // Decide consultations on eligible instructions
+	TagMisses uint64 // consultations that missed on the tag
+	TagSteals uint64 // entries stolen at training time
 }
 
 // NewLVP builds the predictor; it panics on invalid configuration.
@@ -87,8 +92,10 @@ func (p *LVP) Decide(idx int, in isa.Inst) Decision {
 	if !p.eligible(in) {
 		return Decision{}
 	}
+	p.Decides++
 	i := p.index(idx)
 	if p.cfg.Tagged && p.tags[i] != int32(idx) {
+		p.TagMisses++
 		return Decision{Kind: KindBuffer}
 	}
 	d := Decision{Kind: KindBuffer, Value: p.values[i]}
@@ -113,6 +120,7 @@ func (p *LVP) Commit(idx int, in isa.Inst, predicted, actual uint64) {
 	i := p.index(idx)
 	if p.cfg.Tagged && p.tags[i] != int32(idx) {
 		// Steal the entry: new instruction, fresh history.
+		p.TagSteals++
 		p.tags[i] = int32(idx)
 		p.values[i] = actual
 		p.ctr[i] = 0
@@ -137,6 +145,7 @@ func (p *LVP) Reset() {
 	for i := range p.tags {
 		p.tags[i] = -1
 	}
+	p.Decides, p.TagMisses, p.TagSteals = 0, 0, 0
 }
 
 // Config returns the configuration.

@@ -15,6 +15,7 @@ import (
 	"sync"
 
 	"rvpsim/internal/core"
+	"rvpsim/internal/obs"
 	"rvpsim/internal/pipeline"
 	"rvpsim/internal/profile"
 	"rvpsim/internal/program"
@@ -33,6 +34,16 @@ type Options struct {
 	Threshold float64
 	// Parallel runs workloads on multiple goroutines when true.
 	Parallel bool
+	// Registry, when non-nil, receives every simulation run's metrics
+	// (the runs attach observers publishing into it; counters aggregate
+	// across the whole sweep). Instruments are updated atomically, so
+	// parallel workloads are safe.
+	Registry *obs.Registry
+	// OnRunDone, when non-nil, is called after every completed
+	// simulation run with a short "workload/predictor" label. It must be
+	// safe for concurrent calls; the experiments binary points it at a
+	// progress heartbeat.
+	OnRunDone func(label string)
 }
 
 // DefaultOptions returns a laptop-scale configuration: large enough for
@@ -113,11 +124,7 @@ func (r *Runner) run(name string, cfg pipeline.Config, pred core.Predictor) (pip
 	if err != nil {
 		return pipeline.Stats{}, err
 	}
-	sim, err := pipeline.New(cfg)
-	if err != nil {
-		return pipeline.Stats{}, err
-	}
-	return sim.Run(p, pred, r.opts.Insts)
+	return r.runOn(p, cfg, pred)
 }
 
 // runOn simulates an explicit program (used for re-allocated programs).
@@ -126,7 +133,14 @@ func (r *Runner) runOn(p *program.Program, cfg pipeline.Config, pred core.Predic
 	if err != nil {
 		return pipeline.Stats{}, err
 	}
-	return sim.Run(p, pred, r.opts.Insts)
+	if r.opts.Registry != nil {
+		sim.SetObserver(obs.NewObserverWith(r.opts.Registry))
+	}
+	st, err := sim.Run(p, pred, r.opts.Insts)
+	if err == nil && r.opts.OnRunDone != nil {
+		r.opts.OnRunDone(p.Name + "/" + pred.Name())
+	}
+	return st, err
 }
 
 // forEach runs f for every workload name, optionally in parallel, and

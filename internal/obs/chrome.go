@@ -1,0 +1,135 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// ChromeTrace is an EventSink that renders the run in the Chrome
+// trace_event JSON array format, loadable in chrome://tracing or
+// https://ui.perfetto.dev. One simulated cycle maps to one microsecond
+// of trace time. Each committed instruction becomes four complete
+// ("ph":"X") spans — fetch, dispatch, execute, commit — placed on one of
+// Lanes round-robin threads so concurrently in-flight instructions
+// render side by side instead of overlapping.
+type ChromeTrace struct {
+	// Lanes is the number of trace rows instructions are spread over.
+	// Set it before the first event; it should exceed the maximum
+	// number of in-flight instructions (the instruction window).
+	Lanes int
+
+	w       *bufio.Writer
+	started bool
+	n       uint64
+	closed  bool
+}
+
+// NewChromeTrace returns a sink writing the trace_event array to w.
+func NewChromeTrace(w io.Writer) *ChromeTrace {
+	return &ChromeTrace{Lanes: 64, w: bufio.NewWriterSize(w, 1<<16)}
+}
+
+func (t *ChromeTrace) sep() error {
+	if t.n == 0 {
+		return nil
+	}
+	_, err := t.w.WriteString(",\n")
+	return err
+}
+
+func (t *ChromeTrace) meta() error {
+	if _, err := t.w.WriteString("[\n"); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(t.w,
+		`{"name":"process_name","ph":"M","pid":1,"tid":0,"args":{"name":"rvpsim pipeline"}}`); err != nil {
+		return err
+	}
+	t.n++
+	for lane := 0; lane < t.Lanes; lane++ {
+		if err := t.sep(); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(t.w,
+			`{"name":"thread_name","ph":"M","pid":1,"tid":%d,"args":{"name":"lane %02d"}}`,
+			lane, lane); err != nil {
+			return err
+		}
+		t.n++
+	}
+	return nil
+}
+
+func (t *ChromeTrace) span(name string, tid int64, ts, dur int64, args string) error {
+	if err := t.sep(); err != nil {
+		return err
+	}
+	if dur < 0 {
+		dur = 0
+	}
+	var err error
+	if args == "" {
+		_, err = fmt.Fprintf(t.w, `{"name":"%s","ph":"X","pid":1,"tid":%d,"ts":%d,"dur":%d}`,
+			name, tid, ts, dur)
+	} else {
+		_, err = fmt.Fprintf(t.w, `{"name":"%s","ph":"X","pid":1,"tid":%d,"ts":%d,"dur":%d,"args":%s}`,
+			name, tid, ts, dur, args)
+	}
+	t.n++
+	return err
+}
+
+// Emit implements EventSink.
+func (t *ChromeTrace) Emit(e *Event) error {
+	if !t.started {
+		if t.Lanes <= 0 {
+			t.Lanes = 64
+		}
+		if err := t.meta(); err != nil {
+			return err
+		}
+		t.started = true
+	}
+	lane := int64(e.Seq % uint64(t.Lanes))
+	args := fmt.Sprintf(`{"index":%d,"seq":%d,"predicted":%t,"correct":%t}`,
+		e.Index, e.Seq, e.Predicted, e.Correct)
+	if err := t.span("fetch", lane, e.Fetch, e.Dispatch-e.Fetch, args); err != nil {
+		return err
+	}
+	if err := t.span("dispatch", lane, e.Dispatch, e.Issue-e.Dispatch, ""); err != nil {
+		return err
+	}
+	exec := "execute"
+	if e.Predicted {
+		if e.Correct {
+			exec = "execute (pred ok)"
+		} else {
+			exec = "execute (pred wrong)"
+		}
+	}
+	if err := t.span(exec, lane, e.Issue, e.Done-e.Issue, ""); err != nil {
+		return err
+	}
+	return t.span("commit", lane, e.Done, e.Commit-e.Done, "")
+}
+
+// Close terminates the JSON array and flushes.
+func (t *ChromeTrace) Close() error {
+	if t.closed {
+		return nil
+	}
+	t.closed = true
+	if !t.started {
+		if t.Lanes <= 0 {
+			t.Lanes = 64
+		}
+		if err := t.meta(); err != nil {
+			return err
+		}
+	}
+	if _, err := t.w.WriteString("\n]\n"); err != nil {
+		return err
+	}
+	return t.w.Flush()
+}

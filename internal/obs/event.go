@@ -1,0 +1,94 @@
+package obs
+
+// Event is one structured trace event: the lifetime of one committed
+// instruction through the pipeline, in cycles. The producer emits events
+// in commit order and reuses the Event value between calls — sinks that
+// retain an event must copy it.
+type Event struct {
+	Seq       uint64 `json:"seq"`   // commit sequence number (0-based)
+	Index     int    `json:"index"` // static instruction index
+	Fetch     int64  `json:"fetch"`
+	Dispatch  int64  `json:"dispatch"`
+	Issue     int64  `json:"issue"`
+	Done      int64  `json:"done"`
+	Commit    int64  `json:"commit"`
+	Predicted bool   `json:"predicted"`
+	Correct   bool   `json:"correct"`
+}
+
+// EventSink consumes trace events. Emit is called in commit order from
+// the simulation goroutine; sinks need not be safe for concurrent use.
+// Close flushes buffered output and releases resources.
+type EventSink interface {
+	Emit(e *Event) error
+	Close() error
+}
+
+// Observer bundles what one observed run publishes into: a metrics
+// registry and a chain of event sinks. A zero-sink observer costs the
+// simulator only batched counter flushes; event serialisation happens
+// only when sinks are attached.
+type Observer struct {
+	reg   *Registry
+	sinks []EventSink
+	seq   uint64
+	err   error
+}
+
+// NewObserver returns an observer with a fresh registry and no sinks.
+func NewObserver() *Observer { return &Observer{reg: NewRegistry()} }
+
+// NewObserverWith returns an observer publishing into an existing
+// registry (for aggregating several runs).
+func NewObserverWith(reg *Registry) *Observer {
+	if reg == nil {
+		reg = NewRegistry()
+	}
+	return &Observer{reg: reg}
+}
+
+// Registry returns the observer's metrics registry.
+func (o *Observer) Registry() *Registry { return o.reg }
+
+// AddSink appends an event sink.
+func (o *Observer) AddSink(s EventSink) { o.sinks = append(o.sinks, s) }
+
+// HasSinks reports whether any event sink is attached. Producers use it
+// to skip event assembly entirely on unobserved-event runs.
+func (o *Observer) HasSinks() bool { return o != nil && len(o.sinks) > 0 }
+
+// Emit assigns the next sequence number and forwards the event to every
+// sink. The first sink error is retained (see Err) and that sink is not
+// called again.
+func (o *Observer) Emit(e *Event) {
+	e.Seq = o.seq
+	o.seq++
+	for i := 0; i < len(o.sinks); i++ {
+		if err := o.sinks[i].Emit(e); err != nil {
+			if o.err == nil {
+				o.err = err
+			}
+			o.sinks = append(o.sinks[:i], o.sinks[i+1:]...)
+			i--
+		}
+	}
+}
+
+// Events returns how many events have been emitted.
+func (o *Observer) Events() uint64 { return o.seq }
+
+// Err returns the first sink error, if any.
+func (o *Observer) Err() error { return o.err }
+
+// Close closes every sink and returns the first error (including any
+// earlier Emit error).
+func (o *Observer) Close() error {
+	err := o.err
+	for _, s := range o.sinks {
+		if cerr := s.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
+	o.sinks = nil
+	return err
+}

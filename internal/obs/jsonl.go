@@ -1,0 +1,34 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+)
+
+// JSONLTrace is an EventSink writing one JSON object per event per line
+// (JSON Lines). It is the machine-readable stream for ad-hoc scripting:
+// every field of Event appears verbatim.
+type JSONLTrace struct {
+	w      *bufio.Writer
+	enc    *json.Encoder
+	closed bool
+}
+
+// NewJSONLTrace returns a sink writing JSON lines to w.
+func NewJSONLTrace(w io.Writer) *JSONLTrace {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	return &JSONLTrace{w: bw, enc: json.NewEncoder(bw)}
+}
+
+// Emit implements EventSink.
+func (t *JSONLTrace) Emit(e *Event) error { return t.enc.Encode(e) }
+
+// Close flushes buffered lines.
+func (t *JSONLTrace) Close() error {
+	if t.closed {
+		return nil
+	}
+	t.closed = true
+	return t.w.Flush()
+}

@@ -1,0 +1,56 @@
+package obs
+
+import (
+	"encoding/json"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"time"
+)
+
+// Manifest is the machine-readable record of one experiment run: what
+// was run, on what configuration and code revision, how long it took,
+// and what it produced. The experiments binary writes one per figure so
+// regenerated results can be audited and diffed.
+type Manifest struct {
+	Name      string    `json:"name"`
+	StartedAt time.Time `json:"started_at"`
+	WallClock float64   `json:"wall_clock_seconds"`
+	Git       string    `json:"git,omitempty"`
+	GoVersion string    `json:"go_version,omitempty"`
+	Hostname  string    `json:"hostname,omitempty"`
+	Config    any       `json:"config,omitempty"`
+	Seed      uint64    `json:"seed,omitempty"`
+	Results   any       `json:"results,omitempty"`
+	Metrics   *Snapshot `json:"metrics,omitempty"`
+	Notes     []string  `json:"notes,omitempty"`
+}
+
+// GitDescribe returns `git describe --always --dirty --tags` for dir
+// ("" = current directory), or "" when git or the repository is
+// unavailable — manifests degrade gracefully outside a checkout.
+func GitDescribe(dir string) string {
+	cmd := exec.Command("git", "describe", "--always", "--dirty", "--tags")
+	cmd.Dir = dir
+	out, err := cmd.Output()
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(out))
+}
+
+// WriteManifest writes m as indented JSON to path, creating parent
+// directories as needed.
+func WriteManifest(path string, m *Manifest) error {
+	if dir := filepath.Dir(path); dir != "." && dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	b, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}

@@ -1,0 +1,54 @@
+package obs
+
+import (
+	"os"
+	"path/filepath"
+	"runtime"
+	"runtime/pprof"
+)
+
+// ProfileCapture holds an in-flight pprof capture: a running CPU profile
+// plus a heap snapshot written on Stop.
+type ProfileCapture struct {
+	dir string
+	cpu *os.File
+}
+
+// StartProfiles creates dir if needed, starts a CPU profile writing to
+// dir/cpu.pprof, and returns the capture handle.
+func StartProfiles(dir string) (*ProfileCapture, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	f, err := os.Create(filepath.Join(dir, "cpu.pprof"))
+	if err != nil {
+		return nil, err
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &ProfileCapture{dir: dir, cpu: f}, nil
+}
+
+// Stop ends the CPU profile and writes a heap profile to
+// dir/heap.pprof. Safe to call once.
+func (p *ProfileCapture) Stop() error {
+	pprof.StopCPUProfile()
+	err := p.cpu.Close()
+	hf, herr := os.Create(filepath.Join(p.dir, "heap.pprof"))
+	if herr != nil {
+		if err == nil {
+			err = herr
+		}
+		return err
+	}
+	runtime.GC()
+	if werr := pprof.Lookup("heap").WriteTo(hf, 0); werr != nil && err == nil {
+		err = werr
+	}
+	if cerr := hf.Close(); cerr != nil && err == nil {
+		err = cerr
+	}
+	return err
+}

@@ -1,0 +1,97 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Progress is a heartbeat reporter for long sweeps. Workers call Step as
+// units of work finish; a background goroutine prints a one-line status
+// to the writer at a fixed interval (and only then, so per-step cost is
+// two atomic operations). Safe for concurrent Step calls.
+type Progress struct {
+	w     io.Writer
+	every time.Duration
+	total int64
+
+	done  atomic.Int64
+	label atomic.Value // string: most recent unit label
+
+	mu      sync.Mutex
+	stop    chan struct{}
+	stopped chan struct{}
+	start   time.Time
+}
+
+// NewProgress builds a reporter writing to w every interval (minimum one
+// second). total is the expected number of steps (0 = unknown).
+func NewProgress(w io.Writer, every time.Duration, total int) *Progress {
+	if every < time.Second {
+		every = time.Second
+	}
+	p := &Progress{w: w, every: every, total: int64(total)}
+	p.label.Store("")
+	return p
+}
+
+// Start launches the heartbeat goroutine.
+func (p *Progress) Start() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.stop != nil {
+		return
+	}
+	p.start = time.Now()
+	p.stop = make(chan struct{})
+	p.stopped = make(chan struct{})
+	go p.loop(p.stop, p.stopped)
+}
+
+func (p *Progress) loop(stop, stopped chan struct{}) {
+	t := time.NewTicker(p.every)
+	defer t.Stop()
+	defer close(stopped)
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+			p.beat()
+		}
+	}
+}
+
+func (p *Progress) beat() {
+	done := p.done.Load()
+	label, _ := p.label.Load().(string)
+	elapsed := time.Since(p.start).Round(time.Second)
+	if p.total > 0 {
+		fmt.Fprintf(p.w, "heartbeat: %d/%d runs done, last=%s, elapsed=%s\n", done, p.total, label, elapsed)
+	} else {
+		fmt.Fprintf(p.w, "heartbeat: %d runs done, last=%s, elapsed=%s\n", done, label, elapsed)
+	}
+}
+
+// Step records one finished unit of work.
+func (p *Progress) Step(label string) {
+	p.done.Add(1)
+	p.label.Store(label)
+}
+
+// Done returns the number of completed steps.
+func (p *Progress) Done() int64 { return p.done.Load() }
+
+// Stop halts the heartbeat goroutine (idempotent).
+func (p *Progress) Stop() {
+	p.mu.Lock()
+	stop, stopped := p.stop, p.stopped
+	p.stop, p.stopped = nil, nil
+	p.mu.Unlock()
+	if stop != nil {
+		close(stop)
+		<-stopped
+	}
+}

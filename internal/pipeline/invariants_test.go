@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"rvpsim/internal/core"
+	"rvpsim/internal/obs"
 	"rvpsim/internal/pipeline"
 	"rvpsim/internal/progtest"
 )
@@ -73,6 +74,130 @@ func TestTimingInvariants(t *testing.T) {
 					t.Errorf("seed %d: IPC %.2f exceeds issue width", seed, st.IPC())
 				}
 			}
+		}
+	}
+}
+
+// checkSink records events for TestObserverInvariants.
+type checkSink struct {
+	events []obs.Event
+}
+
+func (s *checkSink) Emit(e *obs.Event) error {
+	s.events = append(s.events, *e)
+	return nil
+}
+
+func (*checkSink) Close() error { return nil }
+
+// TestObserverInvariants routes runs through the observability layer and
+// checks the same ordering guarantees hold at the sink boundary: events
+// arrive in commit order with increasing sequence numbers, stage
+// timestamps are ordered, and both the event count and the prediction
+// accounting reconcile with the registry snapshot and the run Stats.
+func TestObserverInvariants(t *testing.T) {
+	seeds := 10
+	if testing.Short() {
+		seeds = 3
+	}
+	for seed := 1; seed <= seeds; seed++ {
+		p := progtest.Random(uint64(seed))
+		sim := pipeline.MustNew(pipeline.BaselineConfig())
+		o := obs.NewObserver()
+		sink := &checkSink{}
+		o.AddSink(sink)
+		sim.SetObserver(o)
+		st, err := sim.Run(p, core.NewDynamicRVP(core.DefaultCounterConfig()), 20_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := o.Close(); err != nil {
+			t.Fatal(err)
+		}
+
+		var lastCommit int64
+		var predicted, correct uint64
+		for i, e := range sink.events {
+			if e.Seq != uint64(i) {
+				t.Fatalf("seed %d: event %d has seq %d", seed, i, e.Seq)
+			}
+			if !(e.Fetch <= e.Dispatch && e.Dispatch < e.Issue && e.Issue < e.Done && e.Done < e.Commit) {
+				t.Fatalf("seed %d: event %d stage order violated: %+v", seed, i, e)
+			}
+			if e.Commit < lastCommit {
+				t.Fatalf("seed %d: event %d commit %d regressed below %d", seed, i, e.Commit, lastCommit)
+			}
+			lastCommit = e.Commit
+			if e.Predicted {
+				predicted++
+				if e.Correct {
+					correct++
+				}
+			}
+		}
+		if uint64(len(sink.events)) != st.Committed {
+			t.Errorf("seed %d: %d events != %d committed", seed, len(sink.events), st.Committed)
+		}
+		if predicted != st.Predicted || correct != st.PredictCorrect {
+			t.Errorf("seed %d: event prediction counts (%d/%d) disagree with stats (%d/%d)",
+				seed, predicted, correct, st.Predicted, st.PredictCorrect)
+		}
+
+		// The registry snapshot must agree with the run Stats: the sim
+		// flushes its final deltas at end of run, so a fresh registry
+		// holds exactly one run's totals.
+		snap := o.Registry().Snapshot()
+		recon := []struct {
+			metric string
+			want   int64
+		}{
+			{"rvpsim_committed_total", int64(st.Committed)},
+			{"rvpsim_cycles_total", st.Cycles},
+			{"rvpsim_loads_total", int64(st.Loads)},
+			{"rvpsim_stores_total", int64(st.Stores)},
+			{"rvpsim_vp_predicted_total", int64(st.Predicted)},
+			{"rvpsim_vp_correct_total", int64(st.PredictCorrect)},
+			{"rvpsim_vp_wrong_total", int64(st.PredictWrong)},
+			{"rvpsim_cond_mispredict_total", int64(st.CondMispredict)},
+			{"rvpsim_stall_window_cycles_total", st.StallWindow},
+		}
+		for _, c := range recon {
+			if got := snap.Counters[c.metric]; got != c.want {
+				t.Errorf("seed %d: %s = %d, registry disagrees with Stats %d", seed, c.metric, got, c.want)
+			}
+		}
+		for _, hname := range []string{"rvpsim_inst_latency_cycles", "rvpsim_issue_wait_cycles", "rvpsim_window_residency_cycles"} {
+			h, ok := snap.Histograms[hname]
+			if !ok {
+				t.Errorf("seed %d: histogram %s missing from snapshot", seed, hname)
+				continue
+			}
+			if h.Count != int64(st.Committed) {
+				t.Errorf("seed %d: %s count %d != committed %d", seed, hname, h.Count, st.Committed)
+			}
+		}
+	}
+}
+
+// TestObserverMatchesUnobservedRun: attaching an observer must not
+// change timing or architectural results.
+func TestObserverMatchesUnobservedRun(t *testing.T) {
+	for seed := 1; seed <= 5; seed++ {
+		p := progtest.Random(uint64(seed))
+		plain, err := pipeline.MustNew(pipeline.BaselineConfig()).
+			Run(p, core.NewDynamicRVP(core.DefaultCounterConfig()), 20_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sim := pipeline.MustNew(pipeline.BaselineConfig())
+		sim.SetObserver(obs.NewObserver())
+		observed, err := sim.Run(p, core.NewDynamicRVP(core.DefaultCounterConfig()), 20_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if plain != observed {
+			t.Errorf("seed %d: observed run stats differ from plain run:\n  plain:    %v\n  observed: %v",
+				seed, plain, observed)
 		}
 	}
 }

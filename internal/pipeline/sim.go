@@ -8,6 +8,7 @@ import (
 	"rvpsim/internal/emu"
 	"rvpsim/internal/isa"
 	"rvpsim/internal/mem"
+	"rvpsim/internal/obs"
 	"rvpsim/internal/program"
 )
 
@@ -83,10 +84,19 @@ type Sim struct {
 	hier   *mem.Hierarchy
 	bp     *bpred.Predictor
 	tracer Tracer
+	obs    *obs.Observer
 }
 
 // SetTracer installs a per-instruction trace callback (nil disables).
 func (s *Sim) SetTracer(t Tracer) { s.tracer = t }
+
+// SetObserver attaches an observability sink (nil disables). With an
+// observer attached, each Run publishes its statistics, stage-latency
+// histograms, and the memory/branch/value-predictor counters into the
+// observer's registry (batched off the hot path), and — when the
+// observer has event sinks — emits one structured trace event per
+// committed instruction, in commit order.
+func (s *Sim) SetObserver(o *obs.Observer) { s.obs = o }
 
 // New builds a simulator for the configuration.
 func New(cfg Config) (*Sim, error) {
@@ -158,6 +168,15 @@ func (s *Sim) Run(prog *program.Program, pred core.Predictor, maxInsts uint64) (
 	var lastDispatch, lastCommit, lastCycle int64
 	var activePreds []*pendingPred
 	srcBuf := make([]isa.Reg, 0, 4)
+
+	// Observability: batched metrics and (when sinks are attached)
+	// per-instruction structured events.
+	var m *meters
+	if s.obs != nil {
+		m = newMeters(s.obs.Registry())
+	}
+	emitEvents := s.obs.HasSinks()
+	var ev obs.Event
 
 	resetFetch := func(to int64) {
 		fetchCycle = to
@@ -467,6 +486,12 @@ func (s *Sim) Run(prog *program.Program, pred core.Predictor, maxInsts uint64) (
 			lastCycle = commitAt
 		}
 		stats.Committed++
+		if m != nil {
+			m.observe(commitAt-myFetch, issueAt-dispatch, commitAt-dispatch)
+			if stats.Committed&(flushEvery-1) == 0 {
+				m.flush(&stats)
+			}
+		}
 
 		// ---- Train the value predictor (in program order).
 		if e.WroteRd {
@@ -485,6 +510,19 @@ func (s *Sim) Run(prog *program.Program, pred core.Predictor, maxInsts uint64) (
 				Correct:   correct,
 			})
 		}
+		if emitEvents {
+			ev = obs.Event{
+				Index:     idx,
+				Fetch:     myFetch,
+				Dispatch:  dispatch,
+				Issue:     issueAt,
+				Done:      doneAt,
+				Commit:    commitAt,
+				Predicted: predicted,
+				Correct:   correct,
+			}
+			s.obs.Emit(&ev)
+		}
 
 		if in.Op == isa.HALT {
 			break
@@ -498,6 +536,14 @@ func (s *Sim) Run(prog *program.Program, pred core.Predictor, maxInsts uint64) (
 	stats.CondBranches = s.bp.CondSeen
 	stats.CondMispredict = s.bp.CondMispred
 	stats.TargetMispred = s.bp.TargetMiss + s.bp.RASWrong
+	if m != nil {
+		m.flush(&stats)
+		s.hier.PublishMetrics(m.reg)
+		s.bp.PublishMetrics(m.reg)
+		if pub, ok := pred.(obs.Publisher); ok {
+			pub.PublishMetrics(m.reg)
+		}
+	}
 	return stats, nil
 }
 

@@ -68,8 +68,9 @@ func (s Stats) BranchMispredictRate() float64 {
 
 // String summarises the run.
 func (s Stats) String() string {
-	return fmt.Sprintf("cycles=%d insts=%d IPC=%.3f pred=%d (%.1f%% of insts, %.1f%% correct) brMiss=%.2f%%",
-		s.Cycles, s.Committed, s.IPC(),
+	return fmt.Sprintf("cycles=%d insts=%d IPC=%.3f loads=%d stores=%d pred=%d (%.1f%% of insts, %.1f%% correct) brMiss=%.2f%% stalls=window:%d/intIQ:%d/fpIQ:%d",
+		s.Cycles, s.Committed, s.IPC(), s.Loads, s.Stores,
 		s.Predicted, 100*s.Coverage(), 100*s.Accuracy(),
-		100*s.BranchMispredictRate())
+		100*s.BranchMispredictRate(),
+		s.StallWindow, s.StallIntIQ, s.StallFPIQ)
 }

@@ -5,6 +5,7 @@
 package stats
 
 import (
+	"encoding/json"
 	"fmt"
 	"math"
 	"sort"
@@ -172,6 +173,51 @@ func (t *Table) Markdown() string {
 		fmt.Fprintf(&b, "\n*%s*\n", n)
 	}
 	return b.String()
+}
+
+// tableJSON is the machine-readable shape of a Table: rows carry their
+// labels and values explicitly so run manifests round-trip cleanly.
+type tableJSON struct {
+	Title   string    `json:"title"`
+	Columns []string  `json:"columns"`
+	Rows    []rowJSON `json:"rows"`
+	Notes   []string  `json:"notes,omitempty"`
+}
+
+type rowJSON struct {
+	Label  string             `json:"label"`
+	Values map[string]float64 `json:"values"`
+}
+
+// MarshalJSON renders the table as a structured object (title, columns,
+// labelled rows, notes) for machine-readable run reports.
+func (t *Table) MarshalJSON() ([]byte, error) {
+	out := tableJSON{Title: t.Title, Columns: t.Columns, Notes: t.Notes, Rows: make([]rowJSON, 0, len(t.rows))}
+	for _, r := range t.rows {
+		cp := make(map[string]float64, len(r.values))
+		for k, v := range r.values {
+			cp[k] = v
+		}
+		out.Rows = append(out.Rows, rowJSON{Label: r.label, Values: cp})
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON restores a table marshalled by MarshalJSON (row formats
+// default to "%.3f").
+func (t *Table) UnmarshalJSON(b []byte) error {
+	var in tableJSON
+	if err := json.Unmarshal(b, &in); err != nil {
+		return err
+	}
+	t.Title = in.Title
+	t.Columns = in.Columns
+	t.Notes = in.Notes
+	t.rows = nil
+	for _, r := range in.Rows {
+		t.AddRow(r.Label, "%.3f", r.Values)
+	}
+	return nil
 }
 
 // SortedKeys returns the map's keys in sorted order (test helper).
