@@ -4,11 +4,11 @@
 
 GO ?= go
 
-.PHONY: all ci vet build test race determinism bench fmt-check
+.PHONY: all ci vet build test race determinism bench fmt-check fuzz-smoke faults
 
 all: ci
 
-ci: vet build race determinism
+ci: vet build race determinism faults fuzz-smoke
 
 vet:
 	$(GO) vet ./...
@@ -27,6 +27,16 @@ determinism:
 
 bench:
 	$(GO) test -bench . -benchtime 1x ./...
+
+# Short fuzzing pass: 30s per native fuzz target. Long exploratory runs
+# stay manual (go test -fuzz FuzzAssemble -fuzztime 10m ./internal/asm).
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz FuzzAssemble -fuzztime 30s ./internal/asm
+
+# Fault-injection invariant suite: recovery schemes must never commit a
+# wrong value and must terminate under injected latency/flip/panic faults.
+faults:
+	$(GO) test -race ./internal/faultinject/ -run . -count 1
 
 fmt-check:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi

@@ -5,7 +5,7 @@
 //
 //	experiments [-n insts] [-profile insts] [-serial] [-md report.md]
 //	            [-only fig1,fig3,...] [-manifest dir] [-metrics out.prom]
-//	            [-pprof dir] [-heartbeat seconds]
+//	            [-pprof dir] [-heartbeat seconds] [-watchdog cycles]
 //
 // With no -only filter it runs the full set: Figure 1 (reuse degrees),
 // Table 1 (machine config), Figure 3 (static RVP), Figure 4 (recovery
@@ -20,9 +20,16 @@
 // metrics snapshot); -metrics writes the sweep-wide Prometheus snapshot;
 // -pprof captures CPU and heap profiles of the whole sweep; -heartbeat
 // prints progress lines to stderr while long sweeps run.
+//
+// Robustness: a failing workload does not sink the sweep. Its cells are
+// rendered as ERR with the failure reason footnoted, the remaining
+// figures still run, a warning goes to stderr, and the binary exits
+// nonzero at the end. -watchdog arms the pipeline's forward-progress
+// watchdog so a hung run aborts with a structured error.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -36,7 +43,9 @@ import (
 	"rvpsim/internal/stats"
 )
 
-func main() {
+func main() { os.Exit(run()) }
+
+func run() int {
 	n := flag.Uint64("n", 2_000_000, "committed-instruction budget per run")
 	prof := flag.Uint64("profile", 0, "profiling budget (default n/4)")
 	serial := flag.Bool("serial", false, "run workloads serially")
@@ -46,6 +55,7 @@ func main() {
 	metricsOut := flag.String("metrics", "", "write a sweep-wide Prometheus metrics snapshot to this file")
 	pprofDir := flag.String("pprof", "", "capture CPU and heap profiles of the sweep into this directory")
 	heartbeat := flag.Int("heartbeat", 0, "print a progress heartbeat to stderr every N seconds (0 = off)")
+	watchdog := flag.Int("watchdog", 0, "abort a run if no instruction commits for N simulated cycles (0 = off)")
 	flag.Parse()
 
 	opts := exp.DefaultOptions()
@@ -56,6 +66,7 @@ func main() {
 		opts.ProfileInsts = *n / 4
 	}
 	opts.Parallel = !*serial
+	opts.WatchdogCycles = *watchdog
 
 	reg := obs.NewRegistry()
 	if *manifestDir != "" || *metricsOut != "" {
@@ -73,7 +84,8 @@ func main() {
 	if *pprofDir != "" {
 		capture, err := obs.StartProfiles(*pprofDir)
 		if err != nil {
-			fatal(fmt.Errorf("pprof: %w", err))
+			fmt.Fprintf(os.Stderr, "experiments: pprof: %v\n", err)
+			return 1
 		}
 		defer func() {
 			if err := capture.Stop(); err != nil {
@@ -110,14 +122,15 @@ func main() {
 		key string
 		run func() error
 	}
+	// Drivers return partial tables alongside their error, so a failed
+	// workload's figure is still printed with ERR cells.
 	one := func(f func() (*stats.Table, error)) func() error {
 		return func() error {
 			t, err := f()
-			if err != nil {
-				return err
+			if t != nil {
+				emit(t)
 			}
-			emit(t)
-			return nil
+			return err
 		}
 	}
 	jobs := []job{
@@ -134,31 +147,33 @@ func main() {
 		{"fig6", one(r.Figure6)},
 		{"tab2", func() error {
 			cov, acc, err := r.Table2()
-			if err != nil {
-				return err
+			if cov != nil {
+				emit(cov)
 			}
-			emit(cov, acc)
-			return nil
+			if acc != nil {
+				emit(acc)
+			}
+			return err
 		}},
 		{"fig7", one(r.Figure7)},
 		{"fig8", one(r.Figure8)},
 		{"ext", func() error {
 			t, err := r.StorageTable()
-			if err != nil {
-				return err
+			if t != nil {
+				emit(t)
 			}
-			t2, err := r.ThresholdTable()
-			if err != nil {
-				return err
+			t2, err2 := r.ThresholdTable()
+			if t2 != nil {
+				emit(t2)
 			}
-			emit(t, t2)
-			return nil
+			return errors.Join(err, err2)
 		}},
 	}
 	gitRev := ""
 	if *manifestDir != "" {
 		gitRev = obs.GitDescribe("")
 	}
+	var failed []string
 	for _, j := range jobs {
 		if !sel(j.key) {
 			continue
@@ -167,31 +182,36 @@ func main() {
 		start := time.Now()
 		if err := j.run(); err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", j.key, err)
-			os.Exit(1)
+			failed = append(failed, j.key)
 		}
 		elapsed := time.Since(start)
 		fmt.Printf("[%s done in %v]\n\n", j.key, elapsed.Round(time.Millisecond))
 		if *manifestDir != "" {
 			if err := writeManifest(*manifestDir, j.key, gitRev, opts, start, elapsed, jobTables, reg); err != nil {
 				fmt.Fprintf(os.Stderr, "experiments: manifest %s: %v\n", j.key, err)
-				os.Exit(1)
+				return 1
 			}
 		}
 	}
 	if *metricsOut != "" {
 		if err := writeMetrics(*metricsOut, reg); err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: metrics: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Printf("metrics snapshot written to %s\n", *metricsOut)
 	}
 	if *md != "" {
 		if err := os.WriteFile(*md, []byte(report.String()), 0o644); err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: write %s: %v\n", *md, err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Printf("markdown report written to %s\n", *md)
 	}
+	if len(failed) > 0 {
+		fmt.Fprintf(os.Stderr, "experiments: completed with failures in: %s\n", strings.Join(failed, ", "))
+		return 1
+	}
+	return 0
 }
 
 // manifestConfig is the reproducibility-relevant slice of exp.Options.
@@ -237,9 +257,4 @@ func writeMetrics(path string, reg *obs.Registry) error {
 		return err
 	}
 	return f.Close()
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "experiments:", err)
-	os.Exit(1)
 }

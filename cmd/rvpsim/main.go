@@ -6,6 +6,7 @@
 //	rvpsim [-w workload | -f prog.s] [-p predictor] [-n insts]
 //	       [-recovery refetch|reissue|selective] [-wide] [-support level]
 //	       [-trace out.json] [-events out.jsonl] [-metrics out.prom] [-json]
+//	       [-timeout 30s] [-watchdog cycles]
 //
 // Predictors: none, drvp, drvp_loads, lvp, lvp_loads, grp, and the
 // hint-assisted drvp variants drvp_dead, drvp_dead_lv (which profile the
@@ -18,6 +19,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -40,6 +42,8 @@ func main() {
 	eventsOut := flag.String("events", "", "write a JSONL structured event stream")
 	metricsOut := flag.String("metrics", "", "write a Prometheus text exposition metrics snapshot")
 	jsonOut := flag.Bool("json", false, "emit the full run Stats as one JSON object instead of the text summary")
+	timeout := flag.Duration("timeout", 0, "wall-clock bound for the run, e.g. 30s (0 = none)")
+	watchdog := flag.Int("watchdog", 0, "abort if no instruction commits for N simulated cycles (0 = off)")
 	flag.Parse()
 
 	if *list {
@@ -57,6 +61,13 @@ func main() {
 	cfg := rvpsim.BaselineConfig()
 	if *wide {
 		cfg = rvpsim.AggressiveConfig()
+	}
+	cfg.WatchdogCycles = *watchdog
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
 	}
 	switch *recovery {
 	case "refetch":
@@ -123,7 +134,7 @@ func main() {
 		if *top > 0 {
 			observer.AddSink(topSink(record))
 		}
-		st, err = rvpsim.RunObserved(prog, cfg, pred, *n, observer)
+		st, err = rvpsim.RunObservedContext(ctx, prog, cfg, pred, *n, observer)
 		if cerr := observer.Close(); cerr != nil && err == nil {
 			err = cerr
 		}
@@ -136,11 +147,11 @@ func main() {
 			err = writeMetrics(*metricsOut, observer.Registry())
 		}
 	case *top > 0:
-		st, err = rvpsim.RunTraced(prog, cfg, pred, *n, func(tr rvpsim.TraceRecord) {
+		st, err = rvpsim.RunTracedContext(ctx, prog, cfg, pred, *n, func(tr rvpsim.TraceRecord) {
 			record(tr.Index, tr.Dispatch, tr.DoneAt, tr.Predicted, tr.Correct)
 		})
 	default:
-		st, err = rvpsim.Run(prog, cfg, pred, *n)
+		st, err = rvpsim.RunContext(ctx, prog, cfg, pred, *n)
 	}
 	if err != nil {
 		fatal(err)

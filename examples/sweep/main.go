@@ -22,6 +22,13 @@ func run(prog *rvpsim.Program, cfg rvpsim.Config, pred rvpsim.Predictor) rvpsim.
 	return st
 }
 
+func must(p rvpsim.Predictor, err error) rvpsim.Predictor {
+	if err != nil {
+		log.Fatal(err)
+	}
+	return p
+}
+
 // bigLoopSrc generates a loop body with 1024 unrolled load+use pairs, all
 // loading the same constant: more static predictable instructions than a
 // 1K-entry value table can hold.
@@ -49,7 +56,7 @@ func main() {
 	for _, th := range []uint8{1, 3, 5, 7} {
 		cc := rvpsim.DefaultCounterConfig()
 		cc.Threshold = th
-		st := run(prog, cfg, rvpsim.NewDynamicRVPWith(cc))
+		st := run(prog, cfg, must(rvpsim.NewDynamicRVPWith(cc)))
 		fmt.Printf("  threshold %d: speedup %.3f, coverage %4.1f%%, accuracy %5.1f%%\n",
 			th, float64(base.Cycles)/float64(st.Cycles), 100*st.Coverage(), 100*st.Accuracy())
 	}
@@ -69,7 +76,7 @@ func main() {
 	for _, tagged := range []bool{false, true} {
 		cc := rvpsim.DefaultCounterConfig()
 		cc.Tagged = tagged
-		st := run(big, cfg, rvpsim.NewDynamicRVPWith(cc))
+		st := run(big, cfg, must(rvpsim.NewDynamicRVPWith(cc)))
 		fmt.Printf("  tagged=%-5v speedup %.3f, coverage %4.1f%%\n",
 			tagged, float64(bigBase.Cycles)/float64(st.Cycles), 100*st.Coverage())
 	}
@@ -78,7 +85,7 @@ func main() {
 	for _, entries := range []int{256, 1024, 4096} {
 		lc := rvpsim.DefaultLVPConfig()
 		lc.Entries = entries
-		st := run(big, cfg, rvpsim.NewLVPWith(lc))
+		st := run(big, cfg, must(rvpsim.NewLVPWith(lc)))
 		fmt.Printf("  %4d entries: speedup %.3f, coverage %4.1f%%\n",
 			entries, float64(bigBase.Cycles)/float64(st.Cycles), 100*st.Coverage())
 	}

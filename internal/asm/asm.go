@@ -130,6 +130,14 @@ func Assemble(name, src string, opts Options) (*program.Program, error) {
 	} else {
 		p.Entry = 0
 	}
+	// Every emitted instruction must have a machine encoding: rejecting
+	// an out-of-range immediate here, with the assembler's error type,
+	// beats a late encode failure (or panic) inside the emulator.
+	for i, in := range a.insts {
+		if _, err := isa.Encode(in); err != nil {
+			return nil, &Error{File: a.name, Msg: fmt.Sprintf("instruction %d not encodable: %v", i, err)}
+		}
+	}
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}

@@ -1,0 +1,66 @@
+package asm_test
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"rvpsim/internal/asm"
+	"rvpsim/internal/emu"
+	"rvpsim/internal/workloads"
+)
+
+// TestAssembleRejectsUnencodable checks an immediate that does not fit
+// the 38-bit encoding is reported as a structured assembler error at
+// assembly time, not a late panic inside the emulator's loader.
+func TestAssembleRejectsUnencodable(t *testing.T) {
+	srcs := []string{
+		".text\nmain:\n        li r1, 0x8000000000\n        halt\n",
+		".text\nmain:\n        lda r1, 0x7fffffffff0\n        halt\n",
+	}
+	for i, src := range srcs {
+		_, err := asm.Assemble("t", src, asm.Options{})
+		if err == nil {
+			t.Errorf("case %d: out-of-range immediate assembled", i)
+			continue
+		}
+		var ae *asm.Error
+		if !errors.As(err, &ae) {
+			t.Errorf("case %d: error %T is not an *asm.Error: %v", i, err, err)
+		}
+	}
+}
+
+// FuzzAssemble feeds arbitrary source to the assembler, seeded with the
+// nine workload kernels. The assembler must either return a structured
+// error or produce a program the emulator can load and step a bounded
+// number of times — it must never panic or hang.
+func FuzzAssemble(f *testing.F) {
+	for _, src := range workloads.Sources() {
+		f.Add(src)
+	}
+	f.Add(".text\nmain:\n        li r1, 3\nloop:\n        subi r1, r1, 1\n        bne r1, loop\n        halt\n")
+	f.Add(".text\n.proc main\nmain:\n        lda r2, table\n        ldq r3, 0(r2)\n        halt\n.endproc\n.data\n.org 0x100000\ntable: .quad 1, 2, 3\n")
+	f.Add(".text\nmain:\n        li r1, 0x8000000000\n        halt\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 1<<16 {
+			return // keep individual cases cheap
+		}
+		p, err := asm.Assemble("fuzz", src, asm.Options{})
+		if err != nil {
+			if !strings.Contains(err.Error(), "fuzz") {
+				t.Errorf("assembler error does not name the file: %v", err)
+			}
+			return
+		}
+		st, err := emu.New(p)
+		if err != nil {
+			return // assembled but not runnable (e.g. empty .text)
+		}
+		for i := 0; i < 10_000; i++ {
+			if _, ok := st.Step(); !ok {
+				break
+			}
+		}
+	})
+}

@@ -16,6 +16,7 @@ import (
 	"fmt"
 
 	"rvpsim/internal/isa"
+	"rvpsim/internal/simerr"
 )
 
 // Kind says where a predicted value comes from.
@@ -105,16 +106,16 @@ func DefaultCounterConfig() CounterConfig {
 	return CounterConfig{Entries: 1024, Threshold: 7, Bits: 3, Tagged: false}
 }
 
-// Validate checks the configuration.
+// Validate checks the configuration. Errors wrap simerr.ErrConfig.
 func (c CounterConfig) Validate() error {
 	if c.Entries <= 0 || c.Entries&(c.Entries-1) != 0 {
-		return fmt.Errorf("core: counter entries %d not a power of two", c.Entries)
+		return fmt.Errorf("core: counter entries %d not a power of two: %w", c.Entries, simerr.ErrConfig)
 	}
 	if c.Bits == 0 || c.Bits > 8 {
-		return fmt.Errorf("core: counter bits %d out of range", c.Bits)
+		return fmt.Errorf("core: counter bits %d out of range: %w", c.Bits, simerr.ErrConfig)
 	}
 	if c.Threshold > uint8(1<<c.Bits-1) {
-		return fmt.Errorf("core: threshold %d exceeds counter max", c.Threshold)
+		return fmt.Errorf("core: threshold %d exceeds counter max: %w", c.Threshold, simerr.ErrConfig)
 	}
 	return nil
 }
@@ -137,11 +138,11 @@ type CounterTable struct {
 	TagSteals uint64 // tagged entries stolen by an aliasing PC
 }
 
-// NewCounterTable builds a counter table; it panics on an invalid
-// configuration (a programming error).
-func NewCounterTable(cfg CounterConfig) *CounterTable {
+// NewCounterTable builds a counter table. Invalid configurations are
+// reported as errors wrapping simerr.ErrConfig, not panics.
+func NewCounterTable(cfg CounterConfig) (*CounterTable, error) {
 	if err := cfg.Validate(); err != nil {
-		panic(err)
+		return nil, err
 	}
 	t := &CounterTable{cfg: cfg, max: uint8(1<<cfg.Bits - 1), ctr: make([]uint8, cfg.Entries)}
 	if cfg.Tagged {
@@ -149,6 +150,16 @@ func NewCounterTable(cfg CounterConfig) *CounterTable {
 		for i := range t.tags {
 			t.tags[i] = -1
 		}
+	}
+	return t, nil
+}
+
+// MustCounterTable is NewCounterTable, panicking on error (tests and
+// known-valid defaults).
+func MustCounterTable(cfg CounterConfig) *CounterTable {
+	t, err := NewCounterTable(cfg)
+	if err != nil {
+		panic(err)
 	}
 	return t
 }

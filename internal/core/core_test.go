@@ -8,7 +8,7 @@ import (
 )
 
 func TestCounterTableResetting(t *testing.T) {
-	tab := NewCounterTable(CounterConfig{Entries: 16, Threshold: 7, Bits: 3})
+	tab := MustCounterTable(CounterConfig{Entries: 16, Threshold: 7, Bits: 3})
 	pc := 5
 	for i := 0; i < 6; i++ {
 		tab.Update(pc, true)
@@ -40,7 +40,7 @@ func TestCounterTableUntaggedInterference(t *testing.T) {
 	// Two PCs aliasing to the same entry. Positive interference: both
 	// exhibit reuse, so the shared counter stays confident for both —
 	// the effect the paper exploits with untagged RVP counters.
-	tab := NewCounterTable(CounterConfig{Entries: 16, Threshold: 7, Bits: 3})
+	tab := MustCounterTable(CounterConfig{Entries: 16, Threshold: 7, Bits: 3})
 	a, b := 3, 3+16
 	for i := 0; i < 7; i++ {
 		tab.Update(a, true)
@@ -52,7 +52,7 @@ func TestCounterTableUntaggedInterference(t *testing.T) {
 }
 
 func TestCounterTableTagged(t *testing.T) {
-	tab := NewCounterTable(CounterConfig{Entries: 16, Threshold: 7, Bits: 3, Tagged: true})
+	tab := MustCounterTable(CounterConfig{Entries: 16, Threshold: 7, Bits: 3, Tagged: true})
 	a, b := 3, 3+16
 	for i := 0; i < 8; i++ {
 		tab.Update(a, true)
@@ -92,7 +92,7 @@ func TestCounterConfigValidate(t *testing.T) {
 // Threshold consecutive subsequent reuses.
 func TestCounterNeverConfidentWithoutThresholdRun(t *testing.T) {
 	f := func(seq []bool) bool {
-		tab := NewCounterTable(CounterConfig{Entries: 4, Threshold: 7, Bits: 3})
+		tab := MustCounterTable(CounterConfig{Entries: 4, Threshold: 7, Bits: 3})
 		run := 0
 		for _, reuse := range seq {
 			tab.Update(9, reuse)
@@ -116,7 +116,7 @@ func ldq(rd, ra isa.Reg) isa.Inst  { return isa.Inst{Op: isa.LDQ, Rd: rd, Ra: ra
 func addi(rd, ra isa.Reg) isa.Inst { return isa.Inst{Op: isa.ADDI, Rd: rd, Ra: ra, Imm: 1} }
 
 func TestDynamicRVPWarmupAndPredict(t *testing.T) {
-	p := NewDynamicRVP(DefaultCounterConfig())
+	p := MustDynamicRVP(DefaultCounterConfig())
 	in := ldq(3, 4)
 	for i := 0; i < 7; i++ {
 		if d := p.Decide(10, in); d.Predict {
@@ -136,7 +136,7 @@ func TestDynamicRVPWarmupAndPredict(t *testing.T) {
 }
 
 func TestDynamicRVPLoadOnly(t *testing.T) {
-	p := NewDynamicRVP(DefaultCounterConfig(), LoadsOnly())
+	p := MustDynamicRVP(DefaultCounterConfig(), LoadsOnly())
 	add := addi(3, 4)
 	for i := 0; i < 10; i++ {
 		p.Commit(11, add, 1, 1)
@@ -154,7 +154,7 @@ func TestDynamicRVPHints(t *testing.T) {
 		20: {Kind: KindOtherReg, Reg: 9},
 		21: {Kind: KindLastValue},
 	}
-	p := NewDynamicRVP(DefaultCounterConfig(), WithHints(hints))
+	p := MustDynamicRVP(DefaultCounterConfig(), WithHints(hints))
 	in := ldq(3, 4)
 	d := p.Decide(20, in)
 	if d.Kind != KindOtherReg || d.Reg != 9 {
@@ -169,7 +169,7 @@ func TestDynamicRVPHints(t *testing.T) {
 }
 
 func TestDynamicRVPIgnoresNonWriters(t *testing.T) {
-	p := NewDynamicRVP(DefaultCounterConfig())
+	p := MustDynamicRVP(DefaultCounterConfig())
 	st := isa.Inst{Op: isa.STQ, Rd: 1, Ra: 2}
 	if d := p.Decide(5, st); d.Predict || d.Kind != KindNone {
 		t.Fatalf("store decision = %+v", d)
@@ -201,7 +201,7 @@ func TestGabbayInterference(t *testing.T) {
 	// Two instructions writing the same register share a counter: if one
 	// has reuse and the other does not, neither gets predicted — the
 	// interference the paper demonstrates against.
-	p := NewGabbayRVP(DefaultCounterConfig(), false)
+	p := MustGabbayRVP(DefaultCounterConfig(), false)
 	a := ldq(3, 4)  // always reuses
 	b := addi(3, 5) // never reuses
 	for i := 0; i < 20; i++ {
@@ -212,7 +212,7 @@ func TestGabbayInterference(t *testing.T) {
 		t.Fatal("register-indexed counter survived interference")
 	}
 	// Alone, the same training makes it confident.
-	p2 := NewGabbayRVP(DefaultCounterConfig(), false)
+	p2 := MustGabbayRVP(DefaultCounterConfig(), false)
 	for i := 0; i < 8; i++ {
 		p2.Commit(1, a, 9, 9)
 	}
@@ -222,7 +222,7 @@ func TestGabbayInterference(t *testing.T) {
 }
 
 func TestLVPPredictsLastValue(t *testing.T) {
-	p := NewLVP(DefaultLVPConfig(), "lvp")
+	p := MustLVP(DefaultLVPConfig(), "lvp")
 	in := ldq(3, 4)
 	// First commit installs the entry; seven consecutive hits follow.
 	for i := 0; i < 8; i++ {
@@ -246,7 +246,7 @@ func TestLVPPredictsLastValue(t *testing.T) {
 func TestLVPTagStealing(t *testing.T) {
 	cfg := DefaultLVPConfig()
 	cfg.Entries = 16
-	p := NewLVP(cfg, "lvp")
+	p := MustLVP(cfg, "lvp")
 	a, b := 3, 3+16 // alias
 	for i := 0; i < 8; i++ {
 		p.Commit(a, ldq(1, 2), 0, 10)
@@ -265,7 +265,7 @@ func TestLVPTagStealing(t *testing.T) {
 }
 
 func TestLVPStorageBits(t *testing.T) {
-	p := NewLVP(DefaultLVPConfig(), "lvp")
+	p := MustLVP(DefaultLVPConfig(), "lvp")
 	// 1K entries x (64 value + 3 counter + 20 tag) bits.
 	want := 1024 * (64 + 3 + 20)
 	if got := p.StorageBits(); got != want {
@@ -284,15 +284,15 @@ func TestNoPredictor(t *testing.T) {
 }
 
 func TestPredictorsImplementInterface(t *testing.T) {
-	var _ Predictor = NewDynamicRVP(DefaultCounterConfig())
+	var _ Predictor = MustDynamicRVP(DefaultCounterConfig())
 	var _ Predictor = NewStaticRVP("s", nil, nil)
-	var _ Predictor = NewGabbayRVP(DefaultCounterConfig(), true)
-	var _ Predictor = NewLVP(DefaultLVPConfig(), "lvp")
+	var _ Predictor = MustGabbayRVP(DefaultCounterConfig(), true)
+	var _ Predictor = MustLVP(DefaultLVPConfig(), "lvp")
 	var _ Predictor = NoPredictor{}
 }
 
 func TestResets(t *testing.T) {
-	d := NewDynamicRVP(DefaultCounterConfig())
+	d := MustDynamicRVP(DefaultCounterConfig())
 	in := ldq(3, 4)
 	for i := 0; i < 8; i++ {
 		d.Commit(1, in, 5, 5)
@@ -304,7 +304,7 @@ func TestResets(t *testing.T) {
 	if d.Decide(1, in).Predict {
 		t.Fatal("Reset did not clear counters")
 	}
-	l := NewLVP(DefaultLVPConfig(), "lvp")
+	l := MustLVP(DefaultLVPConfig(), "lvp")
 	for i := 0; i < 8; i++ {
 		l.Commit(1, in, 5, 5)
 	}

@@ -1,0 +1,65 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"rvpsim/internal/simerr"
+)
+
+// TestConstructorErrors checks every predictor constructor rejects an
+// invalid configuration with a structured error wrapping ErrConfig.
+func TestConstructorErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		err  func() error
+	}{
+		{"counter table", func() error {
+			_, err := NewCounterTable(CounterConfig{Entries: 100, Threshold: 7, Bits: 3})
+			return err
+		}},
+		{"dynamic rvp", func() error {
+			_, err := NewDynamicRVP(CounterConfig{Entries: 16, Threshold: 1, Bits: 0})
+			return err
+		}},
+		{"gabbay rvp", func() error {
+			_, err := NewGabbayRVP(CounterConfig{Entries: 64, Threshold: 9, Bits: 3}, false)
+			return err
+		}},
+		{"lvp", func() error {
+			_, err := NewLVP(LVPConfig{Entries: 3, Threshold: 7, Bits: 3}, "x")
+			return err
+		}},
+		{"stride", func() error {
+			_, err := NewStridePredictor(StrideConfig{Entries: 0, Threshold: 7, Bits: 3})
+			return err
+		}},
+		{"context", func() error {
+			cfg := DefaultContextConfig()
+			cfg.HistDepth = 0
+			_, err := NewContextPredictor(cfg)
+			return err
+		}},
+	}
+	for _, c := range cases {
+		err := c.err()
+		if err == nil {
+			t.Errorf("%s: invalid config accepted", c.name)
+			continue
+		}
+		if !errors.Is(err, simerr.ErrConfig) {
+			t.Errorf("%s: error %v does not wrap ErrConfig", c.name, err)
+		}
+	}
+}
+
+// TestMustDynamicRVPPanics checks the Must wrapper panics on the same
+// input the constructor rejects.
+func TestMustDynamicRVPPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustDynamicRVP accepted invalid config")
+		}
+	}()
+	MustDynamicRVP(CounterConfig{Entries: 100, Threshold: 7, Bits: 3})
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"rvpsim/internal/isa"
+	"rvpsim/internal/simerr"
 )
 
 // This file implements the more sophisticated buffer-based predictors the
@@ -40,10 +41,22 @@ type StridePredictor struct {
 	ctr    []uint8
 }
 
-// NewStridePredictor builds the predictor.
-func NewStridePredictor(cfg StrideConfig) *StridePredictor {
-	if cfg.Entries <= 0 || cfg.Entries&(cfg.Entries-1) != 0 {
-		panic(fmt.Sprintf("core: stride entries %d not a power of two", cfg.Entries))
+// Validate checks the configuration. Errors wrap simerr.ErrConfig.
+func (c StrideConfig) Validate() error {
+	if c.Entries <= 0 || c.Entries&(c.Entries-1) != 0 {
+		return fmt.Errorf("core: stride entries %d not a power of two: %w", c.Entries, simerr.ErrConfig)
+	}
+	if c.Bits == 0 || c.Bits > 8 || c.Threshold > uint8(1<<c.Bits-1) {
+		return fmt.Errorf("core: stride counter bits/threshold invalid: %w", simerr.ErrConfig)
+	}
+	return nil
+}
+
+// NewStridePredictor builds the predictor. Invalid configurations are
+// reported as errors wrapping simerr.ErrConfig.
+func NewStridePredictor(cfg StrideConfig) (*StridePredictor, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
 	p := &StridePredictor{
 		cfg:    cfg,
@@ -55,6 +68,15 @@ func NewStridePredictor(cfg StrideConfig) *StridePredictor {
 	}
 	for i := range p.tags {
 		p.tags[i] = -1
+	}
+	return p, nil
+}
+
+// MustStridePredictor is NewStridePredictor, panicking on error.
+func MustStridePredictor(cfg StrideConfig) *StridePredictor {
+	p, err := NewStridePredictor(cfg)
+	if err != nil {
+		panic(err)
 	}
 	return p
 }
@@ -161,14 +183,26 @@ type ContextPredictor struct {
 	patCtr []uint8
 }
 
-// NewContextPredictor builds the predictor.
-func NewContextPredictor(cfg ContextConfig) *ContextPredictor {
-	if cfg.Entries <= 0 || cfg.Entries&(cfg.Entries-1) != 0 ||
-		cfg.PatEntries <= 0 || cfg.PatEntries&(cfg.PatEntries-1) != 0 {
-		panic("core: context predictor sizes must be powers of two")
+// Validate checks the configuration. Errors wrap simerr.ErrConfig.
+func (c ContextConfig) Validate() error {
+	if c.Entries <= 0 || c.Entries&(c.Entries-1) != 0 ||
+		c.PatEntries <= 0 || c.PatEntries&(c.PatEntries-1) != 0 {
+		return fmt.Errorf("core: context predictor sizes must be powers of two: %w", simerr.ErrConfig)
 	}
-	if cfg.HistDepth < 1 {
-		panic("core: context predictor needs history depth >= 1")
+	if c.HistDepth < 1 {
+		return fmt.Errorf("core: context predictor needs history depth >= 1: %w", simerr.ErrConfig)
+	}
+	if c.Bits == 0 || c.Bits > 8 || c.Threshold > uint8(1<<c.Bits-1) {
+		return fmt.Errorf("core: context counter bits/threshold invalid: %w", simerr.ErrConfig)
+	}
+	return nil
+}
+
+// NewContextPredictor builds the predictor. Invalid configurations are
+// reported as errors wrapping simerr.ErrConfig.
+func NewContextPredictor(cfg ContextConfig) (*ContextPredictor, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
 	p := &ContextPredictor{
 		cfg:    cfg,
@@ -181,6 +215,15 @@ func NewContextPredictor(cfg ContextConfig) *ContextPredictor {
 	for i := range p.tags {
 		p.tags[i] = -1
 		p.hist[i] = make([]uint64, cfg.HistDepth)
+	}
+	return p, nil
+}
+
+// MustContextPredictor is NewContextPredictor, panicking on error.
+func MustContextPredictor(cfg ContextConfig) *ContextPredictor {
+	p, err := NewContextPredictor(cfg)
+	if err != nil {
+		panic(err)
 	}
 	return p
 }

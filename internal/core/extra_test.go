@@ -3,7 +3,7 @@ package core
 import "testing"
 
 func TestStridePredictorLearnsStride(t *testing.T) {
-	p := NewStridePredictor(DefaultStrideConfig())
+	p := MustStridePredictor(DefaultStrideConfig())
 	in := ldq(3, 4)
 	v := uint64(100)
 	// Train on a stride of 8: install + stride detect + 7 confirmations.
@@ -26,7 +26,7 @@ func TestStridePredictorLearnsStride(t *testing.T) {
 }
 
 func TestStridePredictorZeroStrideIsLastValue(t *testing.T) {
-	p := NewStridePredictor(DefaultStrideConfig())
+	p := MustStridePredictor(DefaultStrideConfig())
 	in := ldq(3, 4)
 	for i := 0; i < 9; i++ {
 		p.Commit(5, in, 0, 42)
@@ -40,7 +40,7 @@ func TestStridePredictorZeroStrideIsLastValue(t *testing.T) {
 func TestStridePredictorTagStealing(t *testing.T) {
 	cfg := DefaultStrideConfig()
 	cfg.Entries = 16
-	p := NewStridePredictor(cfg)
+	p := MustStridePredictor(cfg)
 	in := ldq(3, 4)
 	for i := 0; i < 10; i++ {
 		p.Commit(3, in, 0, uint64(i))
@@ -57,7 +57,7 @@ func TestStridePredictorTagStealing(t *testing.T) {
 func TestContextPredictorLearnsAlternation(t *testing.T) {
 	// Alternating values defeat last-value and stride predictors but are
 	// an order-2 context pattern.
-	p := NewContextPredictor(DefaultContextConfig())
+	p := MustContextPredictor(DefaultContextConfig())
 	in := ldq(3, 4)
 	vals := []uint64{10, 20}
 	for i := 0; i < 60; i++ {
@@ -80,7 +80,7 @@ func TestContextPredictorLearnsAlternation(t *testing.T) {
 }
 
 func TestContextPredictorResets(t *testing.T) {
-	p := NewContextPredictor(DefaultContextConfig())
+	p := MustContextPredictor(DefaultContextConfig())
 	in := ldq(3, 4)
 	for i := 0; i < 30; i++ {
 		p.Commit(7, in, 0, 5)
@@ -98,9 +98,9 @@ func TestStorageCosts(t *testing.T) {
 	// The paper's storage argument: RVP counters are a tiny fraction of
 	// any buffer-based scheme.
 	rvp := RVPStorageBits(DefaultCounterConfig())
-	lvp := NewLVP(DefaultLVPConfig(), "lvp").StorageBits()
-	stride := NewStridePredictor(DefaultStrideConfig()).StorageBits()
-	ctx := NewContextPredictor(DefaultContextConfig()).StorageBits()
+	lvp := MustLVP(DefaultLVPConfig(), "lvp").StorageBits()
+	stride := MustStridePredictor(DefaultStrideConfig()).StorageBits()
+	ctx := MustContextPredictor(DefaultContextConfig()).StorageBits()
 	if rvp != 1024*3 {
 		t.Errorf("RVP storage = %d bits, want 3072", rvp)
 	}
@@ -116,6 +116,6 @@ func TestStorageCosts(t *testing.T) {
 }
 
 func TestExtraPredictorsImplementInterface(t *testing.T) {
-	var _ Predictor = NewStridePredictor(DefaultStrideConfig())
-	var _ Predictor = NewContextPredictor(DefaultContextConfig())
+	var _ Predictor = MustStridePredictor(DefaultStrideConfig())
+	var _ Predictor = MustContextPredictor(DefaultContextConfig())
 }

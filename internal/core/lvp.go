@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"rvpsim/internal/isa"
+	"rvpsim/internal/simerr"
 )
 
 // LVPConfig configures the last-value prediction baseline.
@@ -21,13 +22,13 @@ func DefaultLVPConfig() LVPConfig {
 	return LVPConfig{Entries: 1024, Threshold: 7, Bits: 3, Tagged: true}
 }
 
-// Validate checks the configuration.
+// Validate checks the configuration. Errors wrap simerr.ErrConfig.
 func (c LVPConfig) Validate() error {
 	if c.Entries <= 0 || c.Entries&(c.Entries-1) != 0 {
-		return fmt.Errorf("core: lvp entries %d not a power of two", c.Entries)
+		return fmt.Errorf("core: lvp entries %d not a power of two: %w", c.Entries, simerr.ErrConfig)
 	}
 	if c.Bits == 0 || c.Bits > 8 || c.Threshold > uint8(1<<c.Bits-1) {
-		return fmt.Errorf("core: lvp counter bits/threshold invalid")
+		return fmt.Errorf("core: lvp counter bits/threshold invalid: %w", simerr.ErrConfig)
 	}
 	return nil
 }
@@ -50,10 +51,11 @@ type LVP struct {
 	TagSteals uint64 // entries stolen at training time
 }
 
-// NewLVP builds the predictor; it panics on invalid configuration.
-func NewLVP(cfg LVPConfig, name string) *LVP {
+// NewLVP builds the predictor. Invalid configurations are reported as
+// errors wrapping simerr.ErrConfig.
+func NewLVP(cfg LVPConfig, name string) (*LVP, error) {
 	if err := cfg.Validate(); err != nil {
-		panic(err)
+		return nil, err
 	}
 	p := &LVP{
 		name:   name,
@@ -67,6 +69,15 @@ func NewLVP(cfg LVPConfig, name string) *LVP {
 		for i := range p.tags {
 			p.tags[i] = -1
 		}
+	}
+	return p, nil
+}
+
+// MustLVP is NewLVP, panicking on error (tests and known-valid defaults).
+func MustLVP(cfg LVPConfig, name string) *LVP {
+	p, err := NewLVP(cfg, name)
+	if err != nil {
+		panic(err)
 	}
 	return p
 }

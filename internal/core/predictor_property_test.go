@@ -24,12 +24,12 @@ func (r *propRNG) intn(n int) int { return int(r.next() >> 33 % uint64(n)) }
 // calls agree), and Reset returns to the cold state.
 func TestPredictorsNeverPredictIneligible(t *testing.T) {
 	mk := []func() Predictor{
-		func() Predictor { return NewDynamicRVP(DefaultCounterConfig()) },
-		func() Predictor { return NewDynamicRVP(DefaultCounterConfig(), LoadsOnly()) },
-		func() Predictor { return NewLVP(DefaultLVPConfig(), "lvp") },
-		func() Predictor { return NewGabbayRVP(DefaultCounterConfig(), false) },
-		func() Predictor { return NewStridePredictor(DefaultStrideConfig()) },
-		func() Predictor { return NewContextPredictor(DefaultContextConfig()) },
+		func() Predictor { return MustDynamicRVP(DefaultCounterConfig()) },
+		func() Predictor { return MustDynamicRVP(DefaultCounterConfig(), LoadsOnly()) },
+		func() Predictor { return MustLVP(DefaultLVPConfig(), "lvp") },
+		func() Predictor { return MustGabbayRVP(DefaultCounterConfig(), false) },
+		func() Predictor { return MustStridePredictor(DefaultStrideConfig()) },
+		func() Predictor { return MustContextPredictor(DefaultContextConfig()) },
 		func() Predictor { return NewStaticRVP("s", map[int]bool{1: true, 5: true}, nil) },
 	}
 	ops := []isa.Op{isa.ADD, isa.LDQ, isa.STQ, isa.BEQ, isa.MUL, isa.LDT, isa.HALT, isa.NOP, isa.BR}
@@ -70,7 +70,7 @@ func TestPredictorsNeverPredictIneligible(t *testing.T) {
 // TestCounterTableMatchesReference cross-checks the counter table against
 // a simple reference model over random update streams.
 func TestCounterTableMatchesReference(t *testing.T) {
-	tab := NewCounterTable(CounterConfig{Entries: 8, Threshold: 5, Bits: 3})
+	tab := MustCounterTable(CounterConfig{Entries: 8, Threshold: 5, Bits: 3})
 	ref := make(map[int]uint8)
 	rng := &propRNG{s: 42}
 	for step := 0; step < 20000; step++ {
@@ -95,7 +95,7 @@ func TestCounterTableMatchesReference(t *testing.T) {
 // model with tags.
 func TestLVPMatchesReference(t *testing.T) {
 	cfg := LVPConfig{Entries: 8, Threshold: 3, Bits: 3, Tagged: true}
-	p := NewLVP(cfg, "lvp")
+	p := MustLVP(cfg, "lvp")
 	type entry struct {
 		tag  int
 		val  uint64

@@ -36,15 +36,30 @@ func WithName(name string) DynamicRVPOption {
 }
 
 // NewDynamicRVP builds a dynamic RVP predictor with the given counter
-// configuration.
-func NewDynamicRVP(cfg CounterConfig, opts ...DynamicRVPOption) *DynamicRVP {
+// configuration. Invalid configurations are reported as errors wrapping
+// simerr.ErrConfig.
+func NewDynamicRVP(cfg CounterConfig, opts ...DynamicRVPOption) (*DynamicRVP, error) {
+	t, err := NewCounterTable(cfg)
+	if err != nil {
+		return nil, err
+	}
 	p := &DynamicRVP{
 		name:     "drvp",
-		counters: NewCounterTable(cfg),
+		counters: t,
 		lastOut:  make(map[int]uint64),
 	}
 	for _, o := range opts {
 		o(p)
+	}
+	return p, nil
+}
+
+// MustDynamicRVP is NewDynamicRVP, panicking on error (tests and
+// known-valid defaults).
+func MustDynamicRVP(cfg CounterConfig, opts ...DynamicRVPOption) *DynamicRVP {
+	p, err := NewDynamicRVP(cfg, opts...)
+	if err != nil {
+		panic(err)
 	}
 	return p
 }
@@ -187,12 +202,26 @@ type GabbayRVP struct {
 
 // NewGabbayRVP builds the register-indexed predictor. Entries beyond the
 // 64 architectural registers are unused; the counter parameters (bits,
-// threshold) match cfg.
-func NewGabbayRVP(cfg CounterConfig, loadOnly bool) *GabbayRVP {
+// threshold) match cfg. Invalid parameters are reported as errors
+// wrapping simerr.ErrConfig.
+func NewGabbayRVP(cfg CounterConfig, loadOnly bool) (*GabbayRVP, error) {
 	c := cfg
 	c.Entries = 64
 	c.Tagged = false
-	return &GabbayRVP{name: "grp", cfg: c, counters: NewCounterTable(c), loadOnly: loadOnly}
+	t, err := NewCounterTable(c)
+	if err != nil {
+		return nil, err
+	}
+	return &GabbayRVP{name: "grp", cfg: c, counters: t, loadOnly: loadOnly}, nil
+}
+
+// MustGabbayRVP is NewGabbayRVP, panicking on error.
+func MustGabbayRVP(cfg CounterConfig, loadOnly bool) *GabbayRVP {
+	p, err := NewGabbayRVP(cfg, loadOnly)
+	if err != nil {
+		panic(err)
+	}
+	return p
 }
 
 // Name implements Predictor.

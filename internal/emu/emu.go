@@ -11,6 +11,7 @@ import (
 	"rvpsim/internal/isa"
 	"rvpsim/internal/mem"
 	"rvpsim/internal/program"
+	"rvpsim/internal/simerr"
 )
 
 // Exec describes one executed (committed) instruction. OldDest is the
@@ -44,8 +45,17 @@ type State struct {
 
 // New creates an architectural state for prog: memory is populated with
 // the encoded code image and all data chunks, the stack pointer is set,
-// and the PC points at the entry instruction.
+// and the PC points at the entry instruction. Structurally broken
+// programs (empty, entry out of range) are rejected up front; errors
+// wrap simerr.ErrConfig.
 func New(prog *program.Program) (*State, error) {
+	if prog == nil || len(prog.Insts) == 0 {
+		return nil, fmt.Errorf("emu: empty program: %w", simerr.ErrConfig)
+	}
+	if prog.Entry < 0 || prog.Entry >= len(prog.Insts) {
+		return nil, fmt.Errorf("emu: program %q entry %d out of range [0,%d): %w",
+			prog.Name, prog.Entry, len(prog.Insts), simerr.ErrConfig)
+	}
 	s := &State{Prog: prog, Mem: mem.NewMemory(), PC: prog.Entry}
 	for i, in := range prog.Insts {
 		w, err := isa.Encode(in)

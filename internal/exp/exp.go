@@ -12,13 +12,19 @@
 package exp
 
 import (
+	"context"
+	"errors"
+	"runtime"
 	"sync"
+	"time"
 
 	"rvpsim/internal/core"
+	"rvpsim/internal/faultinject"
 	"rvpsim/internal/obs"
 	"rvpsim/internal/pipeline"
 	"rvpsim/internal/profile"
 	"rvpsim/internal/program"
+	"rvpsim/internal/simerr"
 	"rvpsim/internal/stats"
 	"rvpsim/internal/workloads"
 )
@@ -34,6 +40,25 @@ type Options struct {
 	Threshold float64
 	// Parallel runs workloads on multiple goroutines when true.
 	Parallel bool
+	// MaxWorkers bounds the worker pool when Parallel is set (default
+	// GOMAXPROCS).
+	MaxWorkers int
+	// Retries is how many times a workload whose failure is marked
+	// transient (simerr.IsTransient) is retried. 0 means the default of
+	// one retry; negative disables retries.
+	Retries int
+	// Context, when non-nil, cancels in-flight sweeps: runs stop within
+	// one commit batch of the context ending.
+	Context context.Context
+	// RunTimeout, when positive, bounds each individual simulation run.
+	RunTimeout time.Duration
+	// WatchdogCycles arms the pipeline's forward-progress watchdog for
+	// every run (0 leaves it disabled).
+	WatchdogCycles int
+	// Faults maps workload name to a fault-injection configuration; the
+	// injector for a workload is created once and persists across that
+	// workload's runs and retries, so sticky faults stay stuck.
+	Faults map[string]faultinject.Config
 	// Registry, when non-nil, receives every simulation run's metrics
 	// (the runs attach observers publishing into it; counters aggregate
 	// across the whole sweep). Instruments are updated atomically, so
@@ -58,9 +83,10 @@ func DefaultOptions() Options {
 type Runner struct {
 	opts Options
 
-	mu       sync.Mutex
-	programs map[string]*program.Program
-	profiles map[string]*profile.Profile
+	mu        sync.Mutex
+	programs  map[string]*program.Program
+	profiles  map[string]*profile.Profile
+	injectors map[string]*faultinject.Injector
 }
 
 // NewRunner builds a Runner.
@@ -75,10 +101,29 @@ func NewRunner(opts Options) *Runner {
 		opts.Threshold = 0.80
 	}
 	return &Runner{
-		opts:     opts,
-		programs: map[string]*program.Program{},
-		profiles: map[string]*profile.Profile{},
+		opts:      opts,
+		programs:  map[string]*program.Program{},
+		profiles:  map[string]*profile.Profile{},
+		injectors: map[string]*faultinject.Injector{},
 	}
+}
+
+// injector returns the memoised fault injector for a workload, nil when
+// none is configured. One injector per workload persists across every
+// run and retry of that workload, so sticky faults stay stuck.
+func (r *Runner) injector(name string) *faultinject.Injector {
+	fc, ok := r.opts.Faults[name]
+	if !ok || !fc.Enabled() {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if inj, ok := r.injectors[name]; ok {
+		return inj
+	}
+	inj := faultinject.New(fc)
+	r.injectors[name] = inj
+	return inj
 }
 
 // Program returns the (memoised) program for a workload.
@@ -128,7 +173,12 @@ func (r *Runner) run(name string, cfg pipeline.Config, pred core.Predictor) (pip
 }
 
 // runOn simulates an explicit program (used for re-allocated programs).
+// The runner's context, per-run timeout, watchdog and fault injection
+// options all apply here.
 func (r *Runner) runOn(p *program.Program, cfg pipeline.Config, pred core.Predictor) (pipeline.Stats, error) {
+	if cfg.WatchdogCycles == 0 {
+		cfg.WatchdogCycles = r.opts.WatchdogCycles
+	}
 	sim, err := pipeline.New(cfg)
 	if err != nil {
 		return pipeline.Stats{}, err
@@ -136,36 +186,108 @@ func (r *Runner) runOn(p *program.Program, cfg pipeline.Config, pred core.Predic
 	if r.opts.Registry != nil {
 		sim.SetObserver(obs.NewObserverWith(r.opts.Registry))
 	}
-	st, err := sim.Run(p, pred, r.opts.Insts)
+	if inj := r.injector(p.Name); inj != nil {
+		sim.SetFaults(inj)
+	}
+	ctx := r.opts.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if r.opts.RunTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, r.opts.RunTimeout)
+		defer cancel()
+	}
+	st, err := sim.RunContext(ctx, p, pred, r.opts.Insts)
 	if err == nil && r.opts.OnRunDone != nil {
 		r.opts.OnRunDone(p.Name + "/" + pred.Name())
 	}
 	return st, err
 }
 
-// forEach runs f for every workload name, optionally in parallel, and
-// aggregates the first error.
-func (r *Runner) forEach(names []string, f func(name string) error) error {
-	if !r.opts.Parallel {
-		for _, n := range names {
-			if err := f(n); err != nil {
-				return err
+// forEach runs f for every workload name on a bounded worker pool. Each
+// invocation is isolated: panics are recovered into errors, failures the
+// simulator marks transient get retried (Options.Retries), and every
+// failure is attributed to its workload. The map carries one entry per
+// failed workload so drivers can emit partial tables; the returned error
+// joins all failures (nil when every workload succeeded).
+func (r *Runner) forEach(names []string, f func(name string) error) (map[string]error, error) {
+	retries := r.opts.Retries
+	if retries == 0 {
+		retries = 1
+	} else if retries < 0 {
+		retries = 0
+	}
+	one := func(name string) (err error) {
+		for attempt := 0; ; attempt++ {
+			err = func() (err error) {
+				defer func() {
+					if p := recover(); p != nil {
+						err = simerr.Newf("exp", "panic: %v", p)
+					}
+				}()
+				return f(name)
+			}()
+			if err == nil || attempt >= retries || !simerr.IsTransient(err) {
+				break
 			}
 		}
-		return nil
+		return simerr.WithWorkload(name, err)
 	}
-	errs := make(chan error, len(names))
-	for _, n := range names {
-		n := n
-		go func() { errs <- f(n) }()
+
+	errs := make([]error, len(names))
+	if !r.opts.Parallel {
+		for i, n := range names {
+			errs[i] = one(n)
+		}
+	} else {
+		workers := r.opts.MaxWorkers
+		if workers <= 0 {
+			workers = runtime.GOMAXPROCS(0)
+		}
+		if workers > len(names) {
+			workers = len(names)
+		}
+		sem := make(chan struct{}, workers)
+		var wg sync.WaitGroup
+		for i, n := range names {
+			wg.Add(1)
+			go func(i int, n string) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				errs[i] = one(n)
+			}(i, n)
+		}
+		wg.Wait()
 	}
-	var first error
-	for range names {
-		if err := <-errs; err != nil && first == nil {
-			first = err
+	fails := make(map[string]error, len(names))
+	for i, n := range names {
+		if errs[i] != nil {
+			fails[n] = errs[i]
 		}
 	}
-	return first
+	return fails, errors.Join(errs...)
+}
+
+// failReason renders the failure attached to a workload for MarkFailed
+// ("not measured" when the cell is missing for another reason, e.g. an
+// earlier predictor in the same workload callback failed first).
+func failReason(fails map[string]error, name string) string {
+	if err := fails[name]; err != nil {
+		return err.Error()
+	}
+	return "not measured"
+}
+
+// noteFailures appends one footnote per failed workload, in input order
+// so table output stays deterministic.
+func noteFailures(t *stats.Table, names []string, fails map[string]error) {
+	for _, n := range names {
+		if err := fails[n]; err != nil {
+			t.AddNote("failed: " + err.Error())
+		}
+	}
 }
 
 // predictorSpec names a predictor configuration for figure rows.
@@ -178,12 +300,12 @@ type predictorSpec struct {
 func lvpLoads() core.Predictor {
 	cfg := core.DefaultLVPConfig()
 	cfg.LoadOnly = true
-	return core.NewLVP(cfg, "lvp")
+	return core.MustLVP(cfg, "lvp")
 }
 
 // lvpAll builds the all-instruction LVP baseline.
 func lvpAll() core.Predictor {
-	return core.NewLVP(core.DefaultLVPConfig(), "lvp_all")
+	return core.MustLVP(core.DefaultLVPConfig(), "lvp_all")
 }
 
 // staticPredictor builds a StaticRVP from a workload's profile at the
@@ -212,7 +334,7 @@ func (r *Runner) dynamicPredictor(name string, level profile.Support, loadsOnly 
 		lists := pr.Lists(r.opts.Threshold, loadsOnly, 0)
 		opts = append(opts, core.WithHints(lists.Hints(level)))
 	}
-	return core.NewDynamicRVP(core.DefaultCounterConfig(), opts...), nil
+	return core.NewDynamicRVP(core.DefaultCounterConfig(), opts...)
 }
 
 // speedupTable runs the spec list over all workloads and renders speedups
@@ -225,7 +347,7 @@ func (r *Runner) speedupTable(title string, cfg pipeline.Config, specs []predict
 	base := make(map[string]int64)
 	var mu sync.Mutex
 
-	err := r.forEach(names, func(name string) error {
+	fails, err := r.forEach(names, func(name string) error {
 		st, err := r.run(name, cfg, core.NoPredictor{})
 		if err != nil {
 			return err
@@ -248,22 +370,27 @@ func (r *Runner) speedupTable(title string, cfg pipeline.Config, specs []predict
 		}
 		return nil
 	})
-	if err != nil {
-		return nil, err
-	}
 	for _, sp := range specs {
 		vals := map[string]float64{}
 		var all []float64
 		for _, n := range names {
-			v := results[key{sp.label, n}]
-			vals[n] = v
-			all = append(all, v)
+			if v, ok := results[key{sp.label, n}]; ok {
+				vals[n] = v
+				all = append(all, v)
+			} else {
+				t.MarkFailed(sp.label, n, failReason(fails, n))
+			}
 		}
-		vals["average"] = stats.Mean(all)
+		if len(all) > 0 {
+			vals["average"] = stats.Mean(all)
+		} else {
+			t.MarkFailed(sp.label, "average", "no successful runs")
+		}
 		t.AddRow(sp.label, "%.3f", vals)
 	}
+	noteFailures(t, names, fails)
 	_ = base
-	return t, nil
+	return t, err
 }
 
 // allNames returns the nine workload names.

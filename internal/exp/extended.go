@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"errors"
 	"sync"
 
 	"rvpsim/internal/core"
@@ -24,21 +25,21 @@ func (r *Runner) StorageTable() (*stats.Table, error) {
 		mk    func() core.Predictor
 	}{
 		{"drvp (storageless)", core.RVPStorageBits(core.DefaultCounterConfig()),
-			func() core.Predictor { return core.NewDynamicRVP(core.DefaultCounterConfig()) }},
+			func() core.Predictor { return core.MustDynamicRVP(core.DefaultCounterConfig()) }},
 		{"G&M register pred", 64 * 3,
-			func() core.Predictor { return core.NewGabbayRVP(core.DefaultCounterConfig(), false) }},
-		{"lvp", core.NewLVP(core.DefaultLVPConfig(), "x").StorageBits(),
+			func() core.Predictor { return core.MustGabbayRVP(core.DefaultCounterConfig(), false) }},
+		{"lvp", core.MustLVP(core.DefaultLVPConfig(), "x").StorageBits(),
 			lvpAll},
-		{"stride", core.NewStridePredictor(core.DefaultStrideConfig()).StorageBits(),
-			func() core.Predictor { return core.NewStridePredictor(core.DefaultStrideConfig()) }},
-		{"context (order 2)", core.NewContextPredictor(core.DefaultContextConfig()).StorageBits(),
-			func() core.Predictor { return core.NewContextPredictor(core.DefaultContextConfig()) }},
+		{"stride", core.MustStridePredictor(core.DefaultStrideConfig()).StorageBits(),
+			func() core.Predictor { return core.MustStridePredictor(core.DefaultStrideConfig()) }},
+		{"context (order 2)", core.MustContextPredictor(core.DefaultContextConfig()).StorageBits(),
+			func() core.Predictor { return core.MustContextPredictor(core.DefaultContextConfig()) }},
 	}
 
 	type key struct{ spec, wl string }
 	speed := map[key]float64{}
 	var mu sync.Mutex
-	err := r.forEach(names, func(name string) error {
+	fails, err := r.forEach(names, func(name string) error {
 		base, err := r.run(name, pipeline.BaselineConfig(), core.NoPredictor{})
 		if err != nil {
 			return err
@@ -54,21 +55,24 @@ func (r *Runner) StorageTable() (*stats.Table, error) {
 		}
 		return nil
 	})
-	if err != nil {
-		return nil, err
-	}
 	for _, sp := range specs {
 		var all []float64
 		for _, n := range names {
-			all = append(all, speed[key{sp.label, n}])
+			if v, ok := speed[key{sp.label, n}]; ok {
+				all = append(all, v)
+			}
 		}
-		t.AddRow(sp.label, "%.3f", map[string]float64{
-			"storage Kbit": float64(sp.bits) / 1024,
-			"avg speedup":  stats.Mean(all),
-		})
+		row := map[string]float64{"storage Kbit": float64(sp.bits) / 1024}
+		if len(all) > 0 {
+			row["avg speedup"] = stats.Mean(all)
+		} else {
+			t.MarkFailed(sp.label, "avg speedup", "no successful runs")
+		}
+		t.AddRow(sp.label, "%.3f", row)
 	}
+	noteFailures(t, names, fails)
 	t.AddNote("storage counts value-prediction state only (values, tags, strides, histories, counters)")
-	return t, nil
+	return t, err
 }
 
 // ThresholdTable is a second extension: the confidence-threshold sweep
@@ -78,18 +82,24 @@ func (r *Runner) ThresholdTable() (*stats.Table, error) {
 	names := allNames()
 	t := stats.NewTable("Extension: confidence threshold sweep (dynamic RVP, all instructions)",
 		[]string{"avg speedup", "coverage %", "accuracy %"})
+	allFails := map[string]error{}
+	var errs []error
 	for _, th := range []uint8{1, 3, 5, 7} {
 		cc := core.DefaultCounterConfig()
 		cc.Threshold = th
 		type acc struct{ spd, cov, accy float64 }
 		var mu sync.Mutex
 		var rows []acc
-		err := r.forEach(names, func(name string) error {
+		fails, err := r.forEach(names, func(name string) error {
 			base, err := r.run(name, pipeline.BaselineConfig(), core.NoPredictor{})
 			if err != nil {
 				return err
 			}
-			st, err := r.run(name, pipeline.BaselineConfig(), core.NewDynamicRVP(cc))
+			pred, err := core.NewDynamicRVP(cc)
+			if err != nil {
+				return err
+			}
+			st, err := r.run(name, pipeline.BaselineConfig(), pred)
 			if err != nil {
 				return err
 			}
@@ -103,7 +113,18 @@ func (r *Runner) ThresholdTable() (*stats.Table, error) {
 			return nil
 		})
 		if err != nil {
-			return nil, err
+			errs = append(errs, err)
+		}
+		for n, e := range fails {
+			allFails[n] = e
+		}
+		label := "threshold " + string('0'+th)
+		if len(rows) == 0 {
+			for _, c := range []string{"avg speedup", "coverage %", "accuracy %"} {
+				t.MarkFailed(label, c, "no successful runs")
+			}
+			t.AddRow(label, "%.3f", map[string]float64{})
+			continue
 		}
 		var spd, cov, accy []float64
 		for _, x := range rows {
@@ -111,11 +132,12 @@ func (r *Runner) ThresholdTable() (*stats.Table, error) {
 			cov = append(cov, x.cov)
 			accy = append(accy, x.accy)
 		}
-		t.AddRow("threshold "+string('0'+th), "%.3f", map[string]float64{
+		t.AddRow(label, "%.3f", map[string]float64{
 			"avg speedup": stats.Mean(spd),
 			"coverage %":  stats.Mean(cov),
 			"accuracy %":  stats.Mean(accy),
 		})
 	}
-	return t, nil
+	noteFailures(t, names, allFails)
+	return t, errors.Join(errs...)
 }

@@ -24,7 +24,7 @@ func (r *Runner) Figure1() (*stats.Table, error) {
 		vals[row] = map[string]float64{}
 	}
 	var mu sync.Mutex
-	err := r.forEach(names, func(name string) error {
+	fails, err := r.forEach(names, func(name string) error {
 		pr, err := r.Profile(name)
 		if err != nil {
 			return err
@@ -38,24 +38,40 @@ func (r *Runner) Figure1() (*stats.Table, error) {
 		vals["register or lvp"][name] = 100 * s.OrLV
 		return nil
 	})
-	if err != nil {
-		return nil, err
-	}
 	cint := []string{"go", "ijpeg", "li", "m88ksim", "perl"}
 	cfp := []string{"hydro2d", "mgrid", "su2cor", "turb3d"}
+	avg := func(row string, group []string) (float64, bool) {
+		var vs []float64
+		for _, n := range group {
+			if v, ok := vals[row][n]; ok {
+				vs = append(vs, v)
+			}
+		}
+		if len(vs) == 0 {
+			return 0, false
+		}
+		return stats.Mean(vs), true
+	}
 	for _, row := range rows {
-		var ci, fi []float64
-		for _, n := range cint {
-			ci = append(ci, vals[row][n])
+		for _, n := range names {
+			if _, ok := vals[row][n]; !ok {
+				t.MarkFailed(row, n, failReason(fails, n))
+			}
 		}
-		for _, n := range cfp {
-			fi = append(fi, vals[row][n])
+		if v, ok := avg(row, cint); ok {
+			vals[row]["C avg"] = v
+		} else {
+			t.MarkFailed(row, "C avg", "no successful runs")
 		}
-		vals[row]["C avg"] = stats.Mean(ci)
-		vals[row]["F avg"] = stats.Mean(fi)
+		if v, ok := avg(row, cfp); ok {
+			vals[row]["F avg"] = v
+		} else {
+			t.MarkFailed(row, "F avg", "no successful runs")
+		}
 		t.AddRow(row, "%.1f", vals[row])
 	}
-	return t, nil
+	noteFailures(t, names, fails)
+	return t, err
 }
 
 // Figure3 reproduces the static-RVP IPC comparison: no prediction, LVP,
@@ -89,7 +105,7 @@ func (r *Runner) Figure3() (*stats.Table, error) {
 			return r.staticPredictor(n, profile.SupportLiveLV, r.opts.Threshold)
 		}},
 	}
-	err := r.forEach(names, func(name string) error {
+	fails, err := r.forEach(names, func(name string) error {
 		for _, row := range rows {
 			pred, err := row.mk(name)
 			if err != nil {
@@ -105,17 +121,19 @@ func (r *Runner) Figure3() (*stats.Table, error) {
 		}
 		return nil
 	})
-	if err != nil {
-		return nil, err
-	}
 	for _, row := range rows {
 		m := map[string]float64{}
 		for _, n := range names {
-			m[n] = vals[key{row.label, n}]
+			if v, ok := vals[key{row.label, n}]; ok {
+				m[n] = v
+			} else {
+				t.MarkFailed(row.label, n, failReason(fails, n))
+			}
 		}
 		t.AddRow(row.label, "%.2f", m)
 	}
-	return t, nil
+	noteFailures(t, names, fails)
+	return t, err
 }
 
 // Figure4 reproduces the recovery-mechanism comparison: static RVP with
@@ -136,7 +154,7 @@ func (r *Runner) Figure4() (*stats.Table, error) {
 		{"srvp_reissue", pipeline.RecoverReissue},
 		{"srvp_selective", pipeline.RecoverSelective},
 	}
-	err := r.forEach(names, func(name string) error {
+	fails, err := r.forEach(names, func(name string) error {
 		base, err := r.run(name, pipeline.BaselineConfig(), core.NoPredictor{})
 		if err != nil {
 			return err
@@ -161,17 +179,19 @@ func (r *Runner) Figure4() (*stats.Table, error) {
 		}
 		return nil
 	})
-	if err != nil {
-		return nil, err
-	}
 	for _, label := range []string{"no_predict", "srvp_refetch", "srvp_reissue", "srvp_selective"} {
 		m := map[string]float64{}
 		for _, n := range names {
-			m[n] = vals[key{label, n}]
+			if v, ok := vals[key{label, n}]; ok {
+				m[n] = v
+			} else {
+				t.MarkFailed(label, n, failReason(fails, n))
+			}
 		}
 		t.AddRow(label, "%.2f", m)
 	}
-	return t, nil
+	noteFailures(t, names, fails)
+	return t, err
 }
 
 // Figure5 reproduces the dynamic-RVP-for-loads speedup graph: LVP, plain
@@ -200,7 +220,7 @@ func (r *Runner) Figure6() (*stats.Table, error) {
 	specs := []predictorSpec{
 		{"lvp_all", func(*Runner, string) (core.Predictor, error) { return lvpAll(), nil }},
 		{"Grp_all", func(*Runner, string) (core.Predictor, error) {
-			return core.NewGabbayRVP(core.DefaultCounterConfig(), false), nil
+			return core.NewGabbayRVP(core.DefaultCounterConfig(), false)
 		}},
 		{"drvp_all", func(rr *Runner, n string) (core.Predictor, error) {
 			return rr.dynamicPredictor(n, profile.SupportNone, false)
@@ -232,14 +252,14 @@ func (r *Runner) Table2() (*stats.Table, *stats.Table, error) {
 		}},
 		{"lvp", func(*Runner, string) (core.Predictor, error) { return lvpAll(), nil }},
 		{"G&M RP", func(*Runner, string) (core.Predictor, error) {
-			return core.NewGabbayRVP(core.DefaultCounterConfig(), false), nil
+			return core.NewGabbayRVP(core.DefaultCounterConfig(), false)
 		}},
 	}
 	type key struct{ row, wl string }
 	covV := map[key]float64{}
 	accV := map[key]float64{}
 	var mu sync.Mutex
-	err := r.forEach(names, func(name string) error {
+	fails, err := r.forEach(names, func(name string) error {
 		for _, sp := range specs {
 			pred, err := sp.make(r, name)
 			if err != nil {
@@ -256,19 +276,23 @@ func (r *Runner) Table2() (*stats.Table, *stats.Table, error) {
 		}
 		return nil
 	})
-	if err != nil {
-		return nil, nil, err
-	}
 	for _, sp := range specs {
 		cm, am := map[string]float64{}, map[string]float64{}
 		for _, n := range names {
-			cm[n] = covV[key{sp.label, n}]
-			am[n] = accV[key{sp.label, n}]
+			if v, ok := covV[key{sp.label, n}]; ok {
+				cm[n] = v
+				am[n] = accV[key{sp.label, n}]
+			} else {
+				cov.MarkFailed(sp.label, n, failReason(fails, n))
+				acc.MarkFailed(sp.label, n, failReason(fails, n))
+			}
 		}
 		cov.AddRow(sp.label, "%.1f", cm)
 		acc.AddRow(sp.label, "%.1f", am)
 	}
-	return cov, acc, nil
+	noteFailures(cov, names, fails)
+	noteFailures(acc, names, fails)
+	return cov, acc, err
 }
 
 // Figure7Workloads are the four applications the paper shows (the ones
@@ -285,7 +309,7 @@ func (r *Runner) Figure7() (*stats.Table, error) {
 	type key struct{ row, wl string }
 	vals := map[key]float64{}
 	var mu sync.Mutex
-	err := r.forEach(names, func(name string) error {
+	fails, err := r.forEach(names, func(name string) error {
 		prog, err := r.Program(name)
 		if err != nil {
 			return err
@@ -324,7 +348,7 @@ func (r *Runner) Figure7() (*stats.Table, error) {
 		if err != nil {
 			return err
 		}
-		realloc := core.NewDynamicRVP(core.DefaultCounterConfig(), core.WithName("drvp_realloc"))
+		realloc := core.MustDynamicRVP(core.DefaultCounterConfig(), core.WithName("drvp_realloc"))
 		if st, err = r.runOn(res.Prog, pipeline.BaselineConfig(), realloc); err != nil {
 			return err
 		}
@@ -340,17 +364,19 @@ func (r *Runner) Figure7() (*stats.Table, error) {
 		set("drvp_all_dead_lv(ideal)", st.Cycles)
 		return nil
 	})
-	if err != nil {
-		return nil, err
-	}
 	for _, label := range []string{"lvp", "drvp_all_noreallocate", "drvp_all_dead_lv_realloc", "drvp_all_dead_lv(ideal)"} {
 		m := map[string]float64{}
 		for _, n := range names {
-			m[n] = vals[key{label, n}]
+			if v, ok := vals[key{label, n}]; ok {
+				m[n] = v
+			} else {
+				t.MarkFailed(label, n, failReason(fails, n))
+			}
 		}
 		t.AddRow(label, "%.3f", m)
 	}
-	return t, nil
+	noteFailures(t, names, fails)
+	return t, err
 }
 
 // Figure8 reproduces the aggressive 16-wide machine study: LVP and

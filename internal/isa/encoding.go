@@ -46,7 +46,9 @@ func Encode(in Inst) (uint64, error) {
 }
 
 // MustEncode is Encode for instructions known to be valid; it panics on
-// error and is intended for assembler-produced instructions and tests.
+// error. It is intended for tests and hand-built fixtures only — library
+// code (the assembler validates at emit, the emulator at load) uses
+// Encode and returns the error to its caller.
 func MustEncode(in Inst) uint64 {
 	w, err := Encode(in)
 	if err != nil {

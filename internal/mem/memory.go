@@ -5,7 +5,11 @@
 // L1 miss penalty, 80-cycle L2 miss penalty).
 package mem
 
-import "fmt"
+import (
+	"fmt"
+
+	"rvpsim/internal/simerr"
+)
 
 // pageBits selects the sparse-memory page size (64 KiB pages).
 const pageBits = 16
@@ -65,20 +69,20 @@ type CacheConfig struct {
 	HitLatency  int // cycles for a hit (access time)
 }
 
-// Validate checks the geometry.
+// Validate checks the geometry. Errors wrap simerr.ErrConfig.
 func (c CacheConfig) Validate() error {
 	if c.SizeBytes <= 0 || c.Assoc <= 0 || c.LineBytes <= 0 {
-		return fmt.Errorf("mem: cache %s: nonpositive geometry", c.Name)
+		return fmt.Errorf("mem: cache %s: nonpositive geometry: %w", c.Name, simerr.ErrConfig)
 	}
 	if c.SizeBytes%(c.Assoc*c.LineBytes) != 0 {
-		return fmt.Errorf("mem: cache %s: size %d not divisible by assoc*line", c.Name, c.SizeBytes)
+		return fmt.Errorf("mem: cache %s: size %d not divisible by assoc*line: %w", c.Name, c.SizeBytes, simerr.ErrConfig)
 	}
 	sets := c.SizeBytes / (c.Assoc * c.LineBytes)
 	if sets&(sets-1) != 0 {
-		return fmt.Errorf("mem: cache %s: set count %d not a power of two", c.Name, sets)
+		return fmt.Errorf("mem: cache %s: set count %d not a power of two: %w", c.Name, sets, simerr.ErrConfig)
 	}
 	if c.LineBytes&(c.LineBytes-1) != 0 {
-		return fmt.Errorf("mem: cache %s: line size %d not a power of two", c.Name, c.LineBytes)
+		return fmt.Errorf("mem: cache %s: line size %d not a power of two: %w", c.Name, c.LineBytes, simerr.ErrConfig)
 	}
 	return nil
 }
@@ -100,11 +104,12 @@ type Cache struct {
 	FillStalls uint64 // hits that waited on an in-flight fill
 }
 
-// NewCache builds a cache from cfg; it panics on invalid geometry (a
-// configuration error, caught in tests).
-func NewCache(cfg CacheConfig) *Cache {
+// NewCache builds a cache from cfg. Invalid geometry is reported as an
+// error wrapping simerr.ErrConfig rather than a panic, so misconfigured
+// experiment points fail cleanly instead of sinking a whole sweep.
+func NewCache(cfg CacheConfig) (*Cache, error) {
 	if err := cfg.Validate(); err != nil {
-		panic(err)
+		return nil, err
 	}
 	sets := cfg.SizeBytes / (cfg.Assoc * cfg.LineBytes)
 	lb := uint(0)
@@ -120,7 +125,17 @@ func NewCache(cfg CacheConfig) *Cache {
 		valid:    make([]bool, sets*cfg.Assoc),
 		lru:      make([]uint8, sets*cfg.Assoc),
 		fillAt:   make([]int64, sets*cfg.Assoc),
+	}, nil
+}
+
+// MustNewCache is NewCache, panicking on error (tests and known-valid
+// defaults).
+func MustNewCache(cfg CacheConfig) *Cache {
+	c, err := NewCache(cfg)
+	if err != nil {
+		panic(err)
 	}
+	return c
 }
 
 // Access touches addr and reports whether it hit, ignoring fill timing.
@@ -234,8 +249,22 @@ type TLB struct {
 	Misses uint64
 }
 
-// NewTLB builds a TLB.
-func NewTLB(cfg TLBConfig) *TLB {
+// Validate checks the TLB configuration. Errors wrap simerr.ErrConfig.
+func (c TLBConfig) Validate() error {
+	if c.Entries <= 0 {
+		return fmt.Errorf("mem: tlb: nonpositive entry count %d: %w", c.Entries, simerr.ErrConfig)
+	}
+	if c.PageBytes <= 0 || c.PageBytes&(c.PageBytes-1) != 0 {
+		return fmt.Errorf("mem: tlb: page size %d not a positive power of two: %w", c.PageBytes, simerr.ErrConfig)
+	}
+	return nil
+}
+
+// NewTLB builds a TLB; invalid configurations are errors, not panics.
+func NewTLB(cfg TLBConfig) (*TLB, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	pb := uint(0)
 	for 1<<pb < cfg.PageBytes {
 		pb++
@@ -246,7 +275,16 @@ func NewTLB(cfg TLBConfig) *TLB {
 		entries:  make([]uint64, cfg.Entries),
 		valid:    make([]bool, cfg.Entries),
 		stamp:    make([]uint64, cfg.Entries),
+	}, nil
+}
+
+// MustNewTLB is NewTLB, panicking on error.
+func MustNewTLB(cfg TLBConfig) *TLB {
+	t, err := NewTLB(cfg)
+	if err != nil {
+		panic(err)
 	}
+	return t
 }
 
 // Access touches the page of addr and reports a hit.
@@ -307,15 +345,53 @@ func DefaultHierarchyConfig() HierarchyConfig {
 	}
 }
 
-// NewHierarchy builds the hierarchy.
-func NewHierarchy(cfg HierarchyConfig) *Hierarchy {
-	return &Hierarchy{
-		L1I:  NewCache(cfg.L1I),
-		L1D:  NewCache(cfg.L1D),
-		L2:   NewCache(cfg.L2),
-		ITLB: NewTLB(cfg.ITLB),
-		DTLB: NewTLB(cfg.DTLB),
+// Validate checks every level of the hierarchy configuration.
+func (c HierarchyConfig) Validate() error {
+	for _, cc := range []CacheConfig{c.L1I, c.L1D, c.L2} {
+		if err := cc.Validate(); err != nil {
+			return err
+		}
 	}
+	if err := c.ITLB.Validate(); err != nil {
+		return err
+	}
+	return c.DTLB.Validate()
+}
+
+// NewHierarchy builds the hierarchy; the first invalid level is
+// reported as an error wrapping simerr.ErrConfig.
+func NewHierarchy(cfg HierarchyConfig) (*Hierarchy, error) {
+	l1i, err := NewCache(cfg.L1I)
+	if err != nil {
+		return nil, err
+	}
+	l1d, err := NewCache(cfg.L1D)
+	if err != nil {
+		return nil, err
+	}
+	l2, err := NewCache(cfg.L2)
+	if err != nil {
+		return nil, err
+	}
+	itlb, err := NewTLB(cfg.ITLB)
+	if err != nil {
+		return nil, err
+	}
+	dtlb, err := NewTLB(cfg.DTLB)
+	if err != nil {
+		return nil, err
+	}
+	return &Hierarchy{L1I: l1i, L1D: l1d, L2: l2, ITLB: itlb, DTLB: dtlb}, nil
+}
+
+// MustNewHierarchy is NewHierarchy, panicking on error (tests and the
+// known-valid default configuration).
+func MustNewHierarchy(cfg HierarchyConfig) *Hierarchy {
+	h, err := NewHierarchy(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return h
 }
 
 // AccessData returns the latency, in cycles, of a data access to addr.

@@ -51,7 +51,7 @@ func TestMemoryClone(t *testing.T) {
 }
 
 func TestCacheHitMiss(t *testing.T) {
-	c := NewCache(CacheConfig{Name: "t", SizeBytes: 1024, Assoc: 2, LineBytes: 64, MissPenalty: 10, HitLatency: 1})
+	c := MustNewCache(CacheConfig{Name: "t", SizeBytes: 1024, Assoc: 2, LineBytes: 64, MissPenalty: 10, HitLatency: 1})
 	if c.Access(0) {
 		t.Error("cold access hit")
 	}
@@ -71,7 +71,7 @@ func TestCacheHitMiss(t *testing.T) {
 
 func TestCacheLRUReplacement(t *testing.T) {
 	// 2-way, 8 sets of 64B lines: addresses 0, 512, 1024 map to set 0.
-	c := NewCache(CacheConfig{Name: "t", SizeBytes: 1024, Assoc: 2, LineBytes: 64})
+	c := MustNewCache(CacheConfig{Name: "t", SizeBytes: 1024, Assoc: 2, LineBytes: 64})
 	c.Access(0)    // miss, installs A
 	c.Access(512)  // miss, installs B
 	c.Access(0)    // hit A; B becomes LRU
@@ -103,7 +103,7 @@ func TestCacheConfigValidate(t *testing.T) {
 }
 
 func TestCacheReset(t *testing.T) {
-	c := NewCache(CacheConfig{Name: "t", SizeBytes: 1024, Assoc: 2, LineBytes: 64})
+	c := MustNewCache(CacheConfig{Name: "t", SizeBytes: 1024, Assoc: 2, LineBytes: 64})
 	c.Access(0)
 	c.Access(0)
 	c.Reset()
@@ -116,7 +116,7 @@ func TestCacheReset(t *testing.T) {
 }
 
 func TestTLB(t *testing.T) {
-	tl := NewTLB(TLBConfig{Entries: 2, PageBytes: 8192, MissPenalty: 30})
+	tl := MustNewTLB(TLBConfig{Entries: 2, PageBytes: 8192, MissPenalty: 30})
 	if tl.Access(0) {
 		t.Error("cold TLB hit")
 	}
@@ -135,7 +135,7 @@ func TestTLB(t *testing.T) {
 }
 
 func TestHierarchyLatencies(t *testing.T) {
-	h := NewHierarchy(DefaultHierarchyConfig())
+	h := MustNewHierarchy(DefaultHierarchyConfig())
 	// Cold: TLB miss + L1 miss + L2 miss.
 	lat := h.AccessDataAt(0x10000, 0)
 	want := 1 + 30 + 20 + 80
@@ -156,7 +156,7 @@ func TestHierarchyLatencies(t *testing.T) {
 }
 
 func TestHierarchyL2SharedByIAndD(t *testing.T) {
-	h := NewHierarchy(DefaultHierarchyConfig())
+	h := MustNewHierarchy(DefaultHierarchyConfig())
 	h.AccessDataAt(0x40000, 0) // warms L2 line
 	lat := h.AccessInstAt(0x40000, 1000)
 	// ITLB and L1I miss but L2 hits: 30 + 20.
@@ -166,7 +166,7 @@ func TestHierarchyL2SharedByIAndD(t *testing.T) {
 }
 
 func TestFillTimeSecondaryMiss(t *testing.T) {
-	h := NewHierarchy(DefaultHierarchyConfig())
+	h := MustNewHierarchy(DefaultHierarchyConfig())
 	// Primary miss at cycle 1000: TLB(30) + L1 fill(20) + L2 fill(80).
 	lat := h.AccessDataAt(0x50000, 1000)
 	if lat != 1+30+20+80 {

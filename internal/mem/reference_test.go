@@ -59,7 +59,7 @@ func TestCacheMatchesReferenceLRU(t *testing.T) {
 		{Name: "direct", SizeBytes: 4 << 10, Assoc: 1, LineBytes: 64},
 	}
 	for _, cfg := range cfgs {
-		c := NewCache(cfg)
+		c := MustNewCache(cfg)
 		ref := newRefCache(cfg.SizeBytes, cfg.Assoc, cfg.LineBytes)
 		rng := &refRNG{s: 99}
 		for step := 0; step < 50000; step++ {
@@ -83,7 +83,7 @@ func TestCacheMatchesReferenceLRU(t *testing.T) {
 
 // TestFillStallCounting: secondary accesses during a fill are counted.
 func TestFillStallCounting(t *testing.T) {
-	h := NewHierarchy(DefaultHierarchyConfig())
+	h := MustNewHierarchy(DefaultHierarchyConfig())
 	h.AccessDataAt(0x80000, 100)  // primary miss
 	h.AccessDataAt(0x80008, 110)  // secondary: same line, fill in flight
 	h.AccessDataAt(0x80010, 5000) // fill long done

@@ -17,6 +17,7 @@ import (
 
 	"rvpsim/internal/bpred"
 	"rvpsim/internal/mem"
+	"rvpsim/internal/simerr"
 )
 
 // Recovery selects the value-misprediction recovery scheme (Section 4.3).
@@ -79,6 +80,13 @@ type Config struct {
 	// the port-pressure ablation.
 	PredictPorts int
 
+	// WatchdogCycles bounds the simulated-cycle gap between consecutive
+	// commits: if no instruction commits for more than this many cycles,
+	// the run aborts with an error wrapping simerr.ErrNoProgress instead
+	// of spinning in a livelocked recovery/IQ state. 0 disables the
+	// watchdog.
+	WatchdogCycles int
+
 	// Substrate configuration.
 	Mem   mem.HierarchyConfig
 	Bpred bpred.Config
@@ -134,19 +142,21 @@ func AggressiveConfig() Config {
 func (c Config) Validate() error {
 	switch {
 	case c.FetchWidth <= 0, c.DispatchWidth <= 0, c.IssueWidth <= 0, c.CommitWidth <= 0:
-		return fmt.Errorf("pipeline: nonpositive width")
+		return fmt.Errorf("pipeline: nonpositive width: %w", simerr.ErrConfig)
 	case c.IntIQ <= 0 || c.FPIQ <= 0 || c.Window <= 0:
-		return fmt.Errorf("pipeline: nonpositive queue size")
+		return fmt.Errorf("pipeline: nonpositive queue size: %w", simerr.ErrConfig)
 	case c.IntALUs <= 0 || c.FPUnits <= 0 || c.LoadStore <= 0:
-		return fmt.Errorf("pipeline: nonpositive unit count")
+		return fmt.Errorf("pipeline: nonpositive unit count: %w", simerr.ErrConfig)
 	case c.LoadStore > c.IntALUs:
-		return fmt.Errorf("pipeline: more load/store ports than integer units")
+		return fmt.Errorf("pipeline: more load/store ports than integer units: %w", simerr.ErrConfig)
 	case c.MaxFetchBlocks <= 0:
-		return fmt.Errorf("pipeline: MaxFetchBlocks must be positive")
+		return fmt.Errorf("pipeline: MaxFetchBlocks must be positive: %w", simerr.ErrConfig)
 	case c.FrontLatency < 1:
-		return fmt.Errorf("pipeline: FrontLatency must be at least 1")
+		return fmt.Errorf("pipeline: FrontLatency must be at least 1: %w", simerr.ErrConfig)
 	case c.MispredPenalty < 1:
-		return fmt.Errorf("pipeline: MispredPenalty must be at least 1")
+		return fmt.Errorf("pipeline: MispredPenalty must be at least 1: %w", simerr.ErrConfig)
+	case c.WatchdogCycles < 0:
+		return fmt.Errorf("pipeline: WatchdogCycles must not be negative: %w", simerr.ErrConfig)
 	}
-	return nil
+	return c.Mem.Validate()
 }

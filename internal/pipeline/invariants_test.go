@@ -20,8 +20,8 @@ func TestTimingInvariants(t *testing.T) {
 	}
 	preds := []func() core.Predictor{
 		func() core.Predictor { return core.NoPredictor{} },
-		func() core.Predictor { return core.NewDynamicRVP(core.DefaultCounterConfig()) },
-		func() core.Predictor { return core.NewLVP(core.DefaultLVPConfig(), "lvp") },
+		func() core.Predictor { return core.MustDynamicRVP(core.DefaultCounterConfig()) },
+		func() core.Predictor { return core.MustLVP(core.DefaultLVPConfig(), "lvp") },
 	}
 	for seed := 1; seed <= seeds; seed++ {
 		p := progtest.Random(uint64(seed))
@@ -107,7 +107,7 @@ func TestObserverInvariants(t *testing.T) {
 		sink := &checkSink{}
 		o.AddSink(sink)
 		sim.SetObserver(o)
-		st, err := sim.Run(p, core.NewDynamicRVP(core.DefaultCounterConfig()), 20_000)
+		st, err := sim.Run(p, core.MustDynamicRVP(core.DefaultCounterConfig()), 20_000)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -185,13 +185,13 @@ func TestObserverMatchesUnobservedRun(t *testing.T) {
 	for seed := 1; seed <= 5; seed++ {
 		p := progtest.Random(uint64(seed))
 		plain, err := pipeline.MustNew(pipeline.BaselineConfig()).
-			Run(p, core.NewDynamicRVP(core.DefaultCounterConfig()), 20_000)
+			Run(p, core.MustDynamicRVP(core.DefaultCounterConfig()), 20_000)
 		if err != nil {
 			t.Fatal(err)
 		}
 		sim := pipeline.MustNew(pipeline.BaselineConfig())
 		sim.SetObserver(obs.NewObserver())
-		observed, err := sim.Run(p, core.NewDynamicRVP(core.DefaultCounterConfig()), 20_000)
+		observed, err := sim.Run(p, core.MustDynamicRVP(core.DefaultCounterConfig()), 20_000)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -210,7 +210,7 @@ func TestCyclesMonotoneInBudget(t *testing.T) {
 		var prev int64
 		for _, budget := range []uint64{2_000, 8_000, 20_000} {
 			sim := pipeline.MustNew(pipeline.BaselineConfig())
-			st, err := sim.Run(p, core.NewDynamicRVP(core.DefaultCounterConfig()), budget)
+			st, err := sim.Run(p, core.MustDynamicRVP(core.DefaultCounterConfig()), budget)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -236,7 +236,7 @@ func TestPredictionNeverChangesArchitecture(t *testing.T) {
 		}
 		simB := pipeline.MustNew(pipeline.BaselineConfig())
 		simB.SetTracer(func(tr pipeline.TraceRecord) { idxRVP = append(idxRVP, tr.Index) })
-		if _, err := simB.Run(p, core.NewDynamicRVP(core.DefaultCounterConfig()), 5_000); err != nil {
+		if _, err := simB.Run(p, core.MustDynamicRVP(core.DefaultCounterConfig()), 5_000); err != nil {
 			t.Fatal(err)
 		}
 		if len(idxNo) != len(idxRVP) {

@@ -1,6 +1,7 @@
 package pipeline
 
 import (
+	"context"
 	"fmt"
 
 	"rvpsim/internal/bpred"
@@ -10,6 +11,7 @@ import (
 	"rvpsim/internal/mem"
 	"rvpsim/internal/obs"
 	"rvpsim/internal/program"
+	"rvpsim/internal/simerr"
 )
 
 // capRing is a lazily-cleared, cycle-indexed bandwidth counter used for
@@ -77,6 +79,21 @@ type TraceRecord struct {
 // Tracer receives one record per committed instruction, in commit order.
 type Tracer func(TraceRecord)
 
+// FaultInjector perturbs a run for robustness testing (see
+// internal/faultinject). All hooks run on the simulation goroutine; an
+// injector must not be shared between concurrent Sims.
+type FaultInjector interface {
+	// MemLatency may stretch (or shorten) one data-access latency.
+	MemLatency(addr uint64, now int64, lat int) int
+	// FlipPredict reports whether to invert this instruction's
+	// predict/don't-predict decision (confidence-counter bit flip).
+	FlipPredict(idx int) bool
+	// CheckPoint runs once per commit batch; a non-nil error aborts the
+	// run, and a panic propagates to the caller (exercising the
+	// experiment runner's recovery path).
+	CheckPoint(committed uint64, cycle int64) error
+}
+
 // Sim is the timing simulator. One Sim runs one program; allocate a new
 // Sim (or call Run again, which resets state) per measurement.
 type Sim struct {
@@ -85,10 +102,14 @@ type Sim struct {
 	bp     *bpred.Predictor
 	tracer Tracer
 	obs    *obs.Observer
+	faults FaultInjector
 }
 
 // SetTracer installs a per-instruction trace callback (nil disables).
 func (s *Sim) SetTracer(t Tracer) { s.tracer = t }
+
+// SetFaults installs a fault injector (nil disables).
+func (s *Sim) SetFaults(f FaultInjector) { s.faults = f }
 
 // SetObserver attaches an observability sink (nil disables). With an
 // observer attached, each Run publishes its statistics, stage-latency
@@ -115,14 +136,32 @@ func MustNew(cfg Config) *Sim {
 	return s
 }
 
+// commitBatch is how many committed instructions pass between
+// cancellation / fault-checkpoint polls. It bounds how much work a
+// canceled context can still charge: one batch.
+const commitBatch = 1024
+
 // Run simulates prog under value predictor pred for at most maxInsts
 // committed instructions (0 = until HALT) and returns the statistics.
 func (s *Sim) Run(prog *program.Program, pred core.Predictor, maxInsts uint64) (Stats, error) {
+	return s.RunContext(context.Background(), prog, pred, maxInsts)
+}
+
+// RunContext is Run honoring ctx: cancellation and deadlines are observed
+// at commit-batch granularity (the run stops within one batch of the
+// context ending, returning coherent partial Stats and an error wrapping
+// ctx.Err()). When cfg.WatchdogCycles > 0, a forward-progress watchdog
+// additionally aborts with an error wrapping simerr.ErrNoProgress if no
+// instruction commits for more than that many simulated cycles.
+func (s *Sim) RunContext(ctx context.Context, prog *program.Program, pred core.Predictor, maxInsts uint64) (Stats, error) {
 	st, err := emu.New(prog)
 	if err != nil {
-		return Stats{}, err
+		return Stats{}, simerr.New("emu", err)
 	}
-	s.hier = mem.NewHierarchy(s.cfg.Mem)
+	s.hier, err = mem.NewHierarchy(s.cfg.Mem)
+	if err != nil {
+		return Stats{}, simerr.New("mem", err)
+	}
 	s.bp = bpred.New(s.cfg.Bpred)
 	pred.Reset()
 
@@ -185,14 +224,61 @@ func (s *Sim) Run(prog *program.Program, pred core.Predictor, maxInsts uint64) (
 		curLine = ^uint64(0)
 	}
 
+	// finalize publishes end-of-run statistics. It runs on every exit
+	// path — normal completion, oracle error, cancellation, watchdog,
+	// injected fault — so aborted runs still return coherent partial
+	// Stats.
+	finalize := func() {
+		stats.Cycles = lastCycle
+		stats.DL1Hits, stats.DL1Misses = s.hier.L1D.Hits, s.hier.L1D.Misses
+		stats.IL1Hits, stats.IL1Misses = s.hier.L1I.Hits, s.hier.L1I.Misses
+		stats.L2Hits, stats.L2Misses = s.hier.L2.Hits, s.hier.L2.Misses
+		stats.CondBranches = s.bp.CondSeen
+		stats.CondMispredict = s.bp.CondMispred
+		stats.TargetMispred = s.bp.TargetMiss + s.bp.RASWrong
+		if m != nil {
+			m.flush(&stats)
+			s.hier.PublishMetrics(m.reg)
+			s.bp.PublishMetrics(m.reg)
+			if pub, ok := pred.(obs.Publisher); ok {
+				pub.PublishMetrics(m.reg)
+			}
+		}
+	}
+
+	wd := int64(cfg.WatchdogCycles)
+
 	for {
 		if maxInsts > 0 && stats.Committed >= maxInsts {
 			break
 		}
+		if stats.Committed&(commitBatch-1) == 0 {
+			if err := ctx.Err(); err != nil {
+				finalize()
+				return stats, &simerr.SimError{
+					Stage: "pipeline", Workload: prog.Name,
+					Cycle: lastCycle, HasCycle: true, Err: err,
+				}
+			}
+			if s.faults != nil {
+				if err := s.faults.CheckPoint(stats.Committed, lastCycle); err != nil {
+					finalize()
+					return stats, &simerr.SimError{
+						Stage: "faultinject", Workload: prog.Name,
+						Cycle: lastCycle, HasCycle: true, Err: err,
+					}
+				}
+			}
+		}
 		e, ok := st.Step()
 		if !ok {
 			if st.Err() != nil {
-				return stats, fmt.Errorf("pipeline: oracle: %w", st.Err())
+				finalize()
+				return stats, &simerr.SimError{
+					Stage: "emu", Workload: prog.Name,
+					Cycle: lastCycle, HasCycle: true,
+					Err: fmt.Errorf("oracle: %w", st.Err()),
+				}
 			}
 			break
 		}
@@ -280,6 +366,9 @@ func (s *Sim) Run(prog *program.Program, pred core.Predictor, maxInsts uint64) (
 		if e.WroteRd {
 			stats.Eligible++
 			dec = pred.Decide(idx, in)
+			if s.faults != nil && dec.Kind != core.KindNone && s.faults.FlipPredict(idx) {
+				dec.Predict = !dec.Predict
+			}
 			if dec.Kind != core.KindNone || dec.Predict {
 				switch dec.Kind {
 				case core.KindSameReg:
@@ -387,12 +476,17 @@ func (s *Sim) Run(prog *program.Program, pred core.Predictor, maxInsts uint64) (
 
 		// ---- Completion.
 		doneAt := issueAt + int64(cls.Latency())
-		if cls == isa.ClassLoad {
-			doneAt += int64(s.hier.AccessDataAt(e.EA, issueAt))
-			stats.Loads++
-		} else if cls == isa.ClassStore {
-			doneAt += int64(s.hier.AccessDataAt(e.EA, issueAt))
-			stats.Stores++
+		if cls == isa.ClassLoad || cls == isa.ClassStore {
+			lat := s.hier.AccessDataAt(e.EA, issueAt)
+			if s.faults != nil {
+				lat = s.faults.MemLatency(e.EA, issueAt, lat)
+			}
+			doneAt += int64(lat)
+			if cls == isa.ClassLoad {
+				stats.Loads++
+			} else {
+				stats.Stores++
+			}
 		}
 
 		// ---- Prediction verification and destination readiness.
@@ -479,6 +573,15 @@ func (s *Sim) Run(prog *program.Program, pred core.Predictor, maxInsts uint64) (
 			commitAt++
 		}
 		commitCap.book(commitAt)
+		if wd > 0 && commitAt-lastCommit > wd {
+			finalize()
+			return stats, &simerr.SimError{
+				Stage: "pipeline", Workload: prog.Name,
+				PC: e.PC, Cycle: commitAt, HasPC: true, HasCycle: true,
+				Err: fmt.Errorf("no commit for %d cycles (watchdog %d): %w",
+					commitAt-lastCommit, wd, simerr.ErrNoProgress),
+			}
+		}
 		lastCommit = commitAt
 		window[winN%uint64(cfg.Window)] = commitAt
 		winN++
@@ -529,21 +632,7 @@ func (s *Sim) Run(prog *program.Program, pred core.Predictor, maxInsts uint64) (
 		}
 	}
 
-	stats.Cycles = lastCycle
-	stats.DL1Hits, stats.DL1Misses = s.hier.L1D.Hits, s.hier.L1D.Misses
-	stats.IL1Hits, stats.IL1Misses = s.hier.L1I.Hits, s.hier.L1I.Misses
-	stats.L2Hits, stats.L2Misses = s.hier.L2.Hits, s.hier.L2.Misses
-	stats.CondBranches = s.bp.CondSeen
-	stats.CondMispredict = s.bp.CondMispred
-	stats.TargetMispred = s.bp.TargetMiss + s.bp.RASWrong
-	if m != nil {
-		m.flush(&stats)
-		s.hier.PublishMetrics(m.reg)
-		s.bp.PublishMetrics(m.reg)
-		if pub, ok := pred.(obs.Publisher); ok {
-			pub.PublishMetrics(m.reg)
-		}
-	}
+	finalize()
 	return stats, nil
 }
 

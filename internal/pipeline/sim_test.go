@@ -110,8 +110,8 @@ func TestBasicIPCSane(t *testing.T) {
 
 func TestDeterminism(t *testing.T) {
 	prog := assemble(t, loopProg)
-	a := run(t, prog, pipeline.BaselineConfig(), core.NewDynamicRVP(core.DefaultCounterConfig()))
-	b := run(t, prog, pipeline.BaselineConfig(), core.NewDynamicRVP(core.DefaultCounterConfig()))
+	a := run(t, prog, pipeline.BaselineConfig(), core.MustDynamicRVP(core.DefaultCounterConfig()))
+	b := run(t, prog, pipeline.BaselineConfig(), core.MustDynamicRVP(core.DefaultCounterConfig()))
 	if a != b {
 		t.Errorf("nondeterministic runs:\n%+v\n%+v", a, b)
 	}
@@ -120,7 +120,7 @@ func TestDeterminism(t *testing.T) {
 func TestRVPSpeedsUpReusefulCode(t *testing.T) {
 	prog := assemble(t, reuseProg)
 	base := run(t, prog, pipeline.BaselineConfig(), core.NoPredictor{})
-	rvp := run(t, prog, pipeline.BaselineConfig(), core.NewDynamicRVP(core.DefaultCounterConfig()))
+	rvp := run(t, prog, pipeline.BaselineConfig(), core.MustDynamicRVP(core.DefaultCounterConfig()))
 	if rvp.Predicted == 0 {
 		t.Fatal("no predictions made on perfectly reuseful code")
 	}
@@ -137,7 +137,7 @@ func TestMispredictionsCost(t *testing.T) {
 	// With drvp, the changing value keeps resetting confidence, so there
 	// should be few or no predictions and minimal slowdown.
 	base := run(t, prog, pipeline.BaselineConfig(), core.NoPredictor{})
-	rvp := run(t, prog, pipeline.BaselineConfig(), core.NewDynamicRVP(core.DefaultCounterConfig()))
+	rvp := run(t, prog, pipeline.BaselineConfig(), core.MustDynamicRVP(core.DefaultCounterConfig()))
 	slowdown := float64(rvp.Cycles) / float64(base.Cycles)
 	if slowdown > 1.05 {
 		t.Errorf("confidence filter failed: slowdown %.3f", slowdown)
@@ -185,8 +185,8 @@ func TestCorrectPredictionsQueuePressure(t *testing.T) {
 	cfgRe.Recovery = pipeline.RecoverReissue
 	cfgSel := pipeline.BaselineConfig()
 	cfgSel.Recovery = pipeline.RecoverSelective
-	re := run(t, prog, cfgRe, core.NewDynamicRVP(core.DefaultCounterConfig()))
-	sel := run(t, prog, cfgSel, core.NewDynamicRVP(core.DefaultCounterConfig()))
+	re := run(t, prog, cfgRe, core.MustDynamicRVP(core.DefaultCounterConfig()))
+	sel := run(t, prog, cfgSel, core.MustDynamicRVP(core.DefaultCounterConfig()))
 	if re.Cycles < sel.Cycles {
 		t.Errorf("reissue (%d) beat selective (%d)", re.Cycles, sel.Cycles)
 	}
@@ -235,13 +235,13 @@ func TestPortStarvationLimitsNonLoadPredictions(t *testing.T) {
 	prog := assemble(t, reuseProg)
 	cfg := pipeline.BaselineConfig()
 	cfg.PredictPorts = 1
-	pred := core.NewDynamicRVP(core.DefaultCounterConfig()) // all insts
+	pred := core.MustDynamicRVP(core.DefaultCounterConfig()) // all insts
 	st := run(t, prog, cfg, pred)
 	if st.PortStarved == 0 {
 		t.Error("expected port starvation with 1 predict port")
 	}
 	cfg.PredictPorts = 0
-	st2 := run(t, prog, cfg, core.NewDynamicRVP(core.DefaultCounterConfig()))
+	st2 := run(t, prog, cfg, core.MustDynamicRVP(core.DefaultCounterConfig()))
 	if st2.PortStarved != 0 {
 		t.Error("unmodelled port limit still starved predictions")
 	}

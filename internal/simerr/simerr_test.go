@@ -1,0 +1,77 @@
+package simerr
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestSimErrorFormatting(t *testing.T) {
+	err := At("pipeline", "li", 0x1000, 420, ErrNoProgress)
+	msg := err.Error()
+	for _, want := range []string{"pipeline", "[li]", "pc=0x1000", "cycle=420", "no forward progress"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("error %q missing %q", msg, want)
+		}
+	}
+	if !errors.Is(err, ErrNoProgress) {
+		t.Error("errors.Is lost the sentinel through SimError")
+	}
+	var se *SimError
+	if !errors.As(err, &se) || se.Cycle != 420 || !se.HasCycle {
+		t.Errorf("errors.As did not recover coordinates: %+v", se)
+	}
+}
+
+func TestNewNilPassthrough(t *testing.T) {
+	if New("mem", nil) != nil || At("mem", "x", 0, 0, nil) != nil || WithWorkload("x", nil) != nil || Transient(nil) != nil {
+		t.Error("nil error must stay nil through every wrapper")
+	}
+}
+
+func TestWithWorkload(t *testing.T) {
+	// Plain error: wrapped fresh.
+	err := WithWorkload("go", errors.New("boom"))
+	var se *SimError
+	if !errors.As(err, &se) || se.Workload != "go" {
+		t.Fatalf("plain error not attributed: %v", err)
+	}
+	// SimError missing workload: filled in, cause preserved.
+	err = WithWorkload("perl", New("mem", ErrConfig))
+	if !errors.As(err, &se) || se.Workload != "perl" || se.Stage != "mem" {
+		t.Fatalf("stage/workload wrong: %v", err)
+	}
+	if !errors.Is(err, ErrConfig) {
+		t.Error("sentinel lost")
+	}
+	// SimError that already names a workload keeps it.
+	orig := &SimError{Stage: "emu", Workload: "li", Err: ErrInjected}
+	if got := WithWorkload("go", orig); got != error(orig) {
+		t.Errorf("existing workload overwritten: %v", got)
+	}
+	// A wrapped SimError is not mutated; the new context wraps outside.
+	wrapped := fmt.Errorf("outer: %w", New("core", ErrConfig))
+	err = WithWorkload("ijpeg", wrapped)
+	if !strings.Contains(err.Error(), "outer") || !errors.Is(err, ErrConfig) {
+		t.Errorf("wrapped cause lost: %v", err)
+	}
+}
+
+func TestTransient(t *testing.T) {
+	base := New("faultinject", ErrInjected)
+	if IsTransient(base) {
+		t.Error("unmarked error reported transient")
+	}
+	tr := Transient(base)
+	if !IsTransient(tr) {
+		t.Error("marked error not reported transient")
+	}
+	if !errors.Is(tr, ErrInjected) {
+		t.Error("transient wrapper hides the cause")
+	}
+	// Marking survives further wrapping.
+	if !IsTransient(fmt.Errorf("run: %w", tr)) {
+		t.Error("transient lost through wrapping")
+	}
+}

@@ -41,12 +41,18 @@ func GeoMean(vs []float64) float64 {
 }
 
 // Table is a labelled grid: one row per series, one column per item.
+// Cells can be marked failed (MarkFailed) when the run that would have
+// produced them errored; failed cells render as "ERR" and carry their
+// failure reason through JSON round-trips.
 type Table struct {
 	Title   string
 	Columns []string
 	rows    []row
 	Notes   []string
+	failed  map[cellKey]string
 }
+
+type cellKey struct{ Row, Col string }
 
 type row struct {
 	label  string
@@ -71,6 +77,46 @@ func (t *Table) AddRow(label, format string, values map[string]float64) {
 
 // AddNote appends a footnote line.
 func (t *Table) AddNote(note string) { t.Notes = append(t.Notes, note) }
+
+// MarkFailed marks one cell as failed with a reason. The row need not
+// exist yet (a failed run usually produced no row at all); rendering
+// shows "ERR" wherever a failed cell would have held a value.
+func (t *Table) MarkFailed(label, col, reason string) {
+	if t.failed == nil {
+		t.failed = make(map[cellKey]string)
+	}
+	t.failed[cellKey{label, col}] = reason
+}
+
+// Failed returns the failure reason for a cell ("" when the cell
+// succeeded) and whether the cell was marked failed.
+func (t *Table) Failed(label, col string) (string, bool) {
+	r, ok := t.failed[cellKey{label, col}]
+	return r, ok
+}
+
+// FailedCells returns the failed cells in deterministic (row, column)
+// order as "row/col: reason" strings.
+func (t *Table) FailedCells() []string {
+	if len(t.failed) == 0 {
+		return nil
+	}
+	keys := make([]cellKey, 0, len(t.failed))
+	for k := range t.failed {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].Row != keys[j].Row {
+			return keys[i].Row < keys[j].Row
+		}
+		return keys[i].Col < keys[j].Col
+	})
+	out := make([]string, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, fmt.Sprintf("%s/%s: %s", k.Row, k.Col, t.failed[k]))
+	}
+	return out
+}
 
 // Row returns the values of the labelled row (nil when absent).
 func (t *Table) Row(label string) map[string]float64 {
@@ -110,7 +156,9 @@ func (t *Table) String() string {
 		for ci, c := range t.Columns {
 			v, ok := r.values[c]
 			s := "-"
-			if ok {
+			if _, bad := t.failed[cellKey{r.label, c}]; bad {
+				s = "ERR"
+			} else if ok {
 				s = fmt.Sprintf(r.format, v)
 			}
 			cells[ri][ci] = s
@@ -161,7 +209,9 @@ func (t *Table) Markdown() string {
 	for _, r := range t.rows {
 		fmt.Fprintf(&b, "| %s |", r.label)
 		for _, c := range t.Columns {
-			if v, ok := r.values[c]; ok {
+			if _, bad := t.failed[cellKey{r.label, c}]; bad {
+				b.WriteString(" ERR |")
+			} else if v, ok := r.values[c]; ok {
 				fmt.Fprintf(&b, " "+r.format+" |", v)
 			} else {
 				b.WriteString(" - |")
@@ -178,15 +228,22 @@ func (t *Table) Markdown() string {
 // tableJSON is the machine-readable shape of a Table: rows carry their
 // labels and values explicitly so run manifests round-trip cleanly.
 type tableJSON struct {
-	Title   string    `json:"title"`
-	Columns []string  `json:"columns"`
-	Rows    []rowJSON `json:"rows"`
-	Notes   []string  `json:"notes,omitempty"`
+	Title   string       `json:"title"`
+	Columns []string     `json:"columns"`
+	Rows    []rowJSON    `json:"rows"`
+	Notes   []string     `json:"notes,omitempty"`
+	Failed  []failedJSON `json:"failed,omitempty"`
 }
 
 type rowJSON struct {
 	Label  string             `json:"label"`
 	Values map[string]float64 `json:"values"`
+}
+
+type failedJSON struct {
+	Row    string `json:"row"`
+	Col    string `json:"col"`
+	Reason string `json:"reason"`
 }
 
 // MarshalJSON renders the table as a structured object (title, columns,
@@ -199,6 +256,21 @@ func (t *Table) MarshalJSON() ([]byte, error) {
 			cp[k] = v
 		}
 		out.Rows = append(out.Rows, rowJSON{Label: r.label, Values: cp})
+	}
+	if len(t.failed) > 0 {
+		keys := make([]cellKey, 0, len(t.failed))
+		for k := range t.failed {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool {
+			if keys[i].Row != keys[j].Row {
+				return keys[i].Row < keys[j].Row
+			}
+			return keys[i].Col < keys[j].Col
+		})
+		for _, k := range keys {
+			out.Failed = append(out.Failed, failedJSON{Row: k.Row, Col: k.Col, Reason: t.failed[k]})
+		}
 	}
 	return json.Marshal(out)
 }
@@ -214,8 +286,12 @@ func (t *Table) UnmarshalJSON(b []byte) error {
 	t.Columns = in.Columns
 	t.Notes = in.Notes
 	t.rows = nil
+	t.failed = nil
 	for _, r := range in.Rows {
 		t.AddRow(r.Label, "%.3f", r.Values)
+	}
+	for _, f := range in.Failed {
+		t.MarkFailed(f.Row, f.Col, f.Reason)
 	}
 	return nil
 }

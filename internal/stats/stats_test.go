@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"encoding/json"
 	"math"
 	"strings"
 	"testing"
@@ -77,5 +78,47 @@ func TestSortedKeys(t *testing.T) {
 	ks := SortedKeys(m)
 	if len(ks) != 2 || ks[0] != "a" || ks[1] != "b" {
 		t.Errorf("SortedKeys = %v", ks)
+	}
+}
+
+func TestFailedCells(t *testing.T) {
+	tab := NewTable("T", []string{"a", "b"})
+	tab.AddRow("r1", "%.1f", map[string]float64{"a": 1})
+	tab.MarkFailed("r1", "b", "watchdog: no forward progress")
+	if reason, ok := tab.Failed("r1", "b"); !ok || !strings.Contains(reason, "watchdog") {
+		t.Fatalf("Failed = %q, %v", reason, ok)
+	}
+	if _, ok := tab.Failed("r1", "a"); ok {
+		t.Error("healthy cell marked failed")
+	}
+	cells := tab.FailedCells()
+	if len(cells) != 1 || !strings.Contains(cells[0], "r1/b") {
+		t.Errorf("FailedCells = %v", cells)
+	}
+	if !strings.Contains(tab.String(), "ERR") || !strings.Contains(tab.Markdown(), " ERR |") {
+		t.Error("failed cell not rendered as ERR")
+	}
+}
+
+func TestFailedCellsJSONRoundTrip(t *testing.T) {
+	tab := NewTable("T", []string{"a", "b"})
+	tab.AddRow("r1", "%.1f", map[string]float64{"a": 1})
+	tab.MarkFailed("r1", "b", "boom")
+	tab.MarkFailed("r0", "a", "earlier row")
+	b, err := json.Marshal(tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Table
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if reason, ok := back.Failed("r1", "b"); !ok || reason != "boom" {
+		t.Errorf("round trip lost failure: %q, %v", reason, ok)
+	}
+	got := back.FailedCells()
+	want := []string{"r0/a: earlier row", "r1/b: boom"}
+	if len(got) != len(want) || got[0] != want[0] || got[1] != want[1] {
+		t.Errorf("FailedCells after round trip = %v", got)
 	}
 }

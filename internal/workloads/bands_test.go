@@ -42,7 +42,7 @@ func TestCoverageBands(t *testing.T) {
 				t.Fatal(err)
 			}
 			hints := pr.Lists(0.8, false, 0).Hints(profile.SupportDeadLV)
-			pred := core.NewDynamicRVP(core.DefaultCounterConfig(), core.WithHints(hints))
+			pred := core.MustDynamicRVP(core.DefaultCounterConfig(), core.WithHints(hints))
 			st, err := pipeline.MustNew(pipeline.BaselineConfig()).Run(p, pred, budget)
 			if err != nil {
 				t.Fatal(err)

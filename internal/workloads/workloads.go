@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"rvpsim/internal/asm"
 	"rvpsim/internal/program"
@@ -154,9 +155,35 @@ func (b *dataBuilder) doubles(name string, vs []float64) uint64 {
 	return b.array(name, words)
 }
 
+// Workload source texts, recorded at assembly time so Sources can hand
+// the real corpus to the assembler fuzzer.
+var (
+	srcMu   sync.Mutex
+	srcText = map[string]string{}
+)
+
 // assemble builds the final program from source + generated data.
 func (b *dataBuilder) assemble(name, src string) *program.Program {
+	srcMu.Lock()
+	srcText[name] = src
+	srcMu.Unlock()
 	p := asm.MustAssemble(name, src, asm.Options{ExternalSyms: b.syms})
 	p.Data = append(p.Data, b.chunks...)
 	return p
+}
+
+// Sources returns every workload's assembly source text keyed by name,
+// building the workloads as a side effect. It seeds the assembler's
+// fuzz corpus with realistic programs.
+func Sources() map[string]string {
+	for _, w := range All() {
+		w.Build()
+	}
+	srcMu.Lock()
+	defer srcMu.Unlock()
+	out := make(map[string]string, len(srcText))
+	for k, v := range srcText {
+		out[k] = v
+	}
+	return out
 }

@@ -68,6 +68,14 @@ func TestFacadePredictors(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	drvp, err := rvpsim.NewDynamicRVPWith(rvpsim.DefaultCounterConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	lvp, err := rvpsim.NewLVPWith(rvpsim.DefaultLVPConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
 	preds := []rvpsim.Predictor{
 		rvpsim.NoPrediction(),
 		rvpsim.DynamicRVP(),
@@ -75,8 +83,8 @@ func TestFacadePredictors(t *testing.T) {
 		rvpsim.LastValue(true),
 		rvpsim.LastValue(false),
 		rvpsim.GabbayRegisterPredictor(),
-		rvpsim.NewDynamicRVPWith(rvpsim.DefaultCounterConfig()),
-		rvpsim.NewLVPWith(rvpsim.DefaultLVPConfig()),
+		drvp,
+		lvp,
 	}
 	for _, p := range preds {
 		st, err := rvpsim.Run(prog, rvpsim.BaselineConfig(), p, 30_000)
