@@ -1,14 +1,14 @@
 # Developer and CI entry points for rvpsim. `make ci` is the gate a
-# change must pass: vet, build, the full test suite under the race
-# detector, and the cross-run determinism check.
+# change must pass: formatting, vet, build, the full test suite under
+# the race detector, and the cross-run determinism check.
 
 GO ?= go
 
-.PHONY: all ci vet build test race determinism bench fmt-check fuzz-smoke faults
+.PHONY: all ci vet build test race determinism lockstep bench fmt-check fuzz-smoke faults
 
 all: ci
 
-ci: vet build race determinism faults fuzz-smoke
+ci: fmt-check vet build race determinism faults fuzz-smoke
 
 vet:
 	$(GO) vet ./...
@@ -23,7 +23,14 @@ race:
 	$(GO) test -race ./...
 
 determinism:
-	$(GO) test -run TestDeterminism ./...
+	$(GO) test -run 'TestDeterminism|TestCheckpointDeterminism' ./...
+
+# Differential validation: run the timing pipeline and the reference
+# emulator in lockstep over all nine workloads under every recovery
+# scheme; any divergence in the committed stream or architectural state
+# fails the target.
+lockstep:
+	$(GO) test -race -run TestLockstepAllWorkloads ./internal/lockstep/ -count 1
 
 bench:
 	$(GO) test -bench . -benchtime 1x ./...
@@ -32,6 +39,7 @@ bench:
 # stay manual (go test -fuzz FuzzAssemble -fuzztime 10m ./internal/asm).
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzAssemble -fuzztime 30s ./internal/asm
+	$(GO) test -run '^$$' -fuzz FuzzEncodeDecode -fuzztime 30s ./internal/isa
 
 # Fault-injection invariant suite: recovery schemes must never commit a
 # wrong value and must terminate under injected latency/flip/panic faults.

@@ -6,6 +6,7 @@
 //	experiments [-n insts] [-profile insts] [-serial] [-md report.md]
 //	            [-only fig1,fig3,...] [-manifest dir] [-metrics out.prom]
 //	            [-pprof dir] [-heartbeat seconds] [-watchdog cycles]
+//	            [-resume dir] [-ckpt-every insts]
 //
 // With no -only filter it runs the full set: Figure 1 (reuse degrees),
 // Table 1 (machine config), Figure 3 (static RVP), Figure 4 (recovery
@@ -26,16 +27,27 @@
 // figures still run, a warning goes to stderr, and the binary exits
 // nonzero at the end. -watchdog arms the pipeline's forward-progress
 // watchdog so a hung run aborts with a structured error.
+//
+// Crash safety: -resume names a state directory holding a write-ahead
+// journal (journal.jsonl) plus per-run checkpoints (ckpt/*.ckpt). Every
+// finished cell is fsync'd to the journal before aggregation; rerunning
+// with the same -resume dir replays completed cells and re-enters
+// half-finished runs from their latest checkpoint (cadence set by
+// -ckpt-every). SIGINT/SIGTERM checkpoint in-flight runs and exit
+// cleanly, so an interrupted sweep loses no completed work.
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"runtime"
 	"strings"
+	"syscall"
 	"time"
 
 	"rvpsim/internal/exp"
@@ -56,7 +68,12 @@ func run() int {
 	pprofDir := flag.String("pprof", "", "capture CPU and heap profiles of the sweep into this directory")
 	heartbeat := flag.Int("heartbeat", 0, "print a progress heartbeat to stderr every N seconds (0 = off)")
 	watchdog := flag.Int("watchdog", 0, "abort a run if no instruction commits for N simulated cycles (0 = off)")
+	resumeDir := flag.String("resume", "", "state directory for crash-safe sweeps: journal finished cells, checkpoint and resume in-flight runs")
+	ckptEvery := flag.Uint64("ckpt-every", 500_000, "auto-checkpoint cadence in committed instructions for in-flight runs (needs -resume; 0 = off)")
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	opts := exp.DefaultOptions()
 	opts.Insts = *n
@@ -67,6 +84,11 @@ func run() int {
 	}
 	opts.Parallel = !*serial
 	opts.WatchdogCycles = *watchdog
+	opts.Context = ctx
+	if *resumeDir != "" {
+		opts.StateDir = *resumeDir
+		opts.CheckpointEvery = *ckptEvery
+	}
 
 	reg := obs.NewRegistry()
 	if *manifestDir != "" || *metricsOut != "" {
@@ -95,6 +117,16 @@ func run() int {
 	}
 
 	r := exp.NewRunner(opts)
+	if err := r.EnableResume(); err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: resume: %v\n", err)
+		return 1
+	}
+	defer r.Close()
+	if *resumeDir != "" {
+		if done := r.Journaled(); done > 0 {
+			fmt.Printf("resuming from %s: %d completed cells journaled\n", *resumeDir, done)
+		}
+	}
 
 	want := map[string]bool{}
 	if *only != "" {
@@ -206,6 +238,15 @@ func run() int {
 			return 1
 		}
 		fmt.Printf("markdown report written to %s\n", *md)
+	}
+	if ctx.Err() != nil {
+		fmt.Fprintln(os.Stderr, "experiments: interrupted; in-flight runs checkpointed")
+		if *resumeDir != "" {
+			fmt.Fprintf(os.Stderr, "experiments: rerun with -resume %s to continue where this sweep stopped\n", *resumeDir)
+		} else {
+			fmt.Fprintln(os.Stderr, "experiments: rerun with -resume <dir> to make sweeps restartable")
+		}
+		return 1
 	}
 	if len(failed) > 0 {
 		fmt.Fprintf(os.Stderr, "experiments: completed with failures in: %s\n", strings.Join(failed, ", "))

@@ -6,11 +6,18 @@
 //	rvpsim [-w workload | -f prog.s] [-p predictor] [-n insts]
 //	       [-recovery refetch|reissue|selective] [-wide] [-support level]
 //	       [-trace out.json] [-events out.jsonl] [-metrics out.prom] [-json]
-//	       [-timeout 30s] [-watchdog cycles]
+//	       [-timeout 30s] [-watchdog cycles] [-lockstep [-check-every n]]
 //
 // Predictors: none, drvp, drvp_loads, lvp, lvp_loads, grp, and the
 // hint-assisted drvp variants drvp_dead, drvp_dead_lv (which profile the
 // program first). -wide selects the 16-issue machine.
+//
+// -lockstep replaces the normal run with a differential validation run:
+// the timing pipeline and the architectural reference emulator execute
+// the program side by side, every committed instruction's (PC, dest
+// register, value) is compared, and the full register/memory state is
+// compared every -check-every commits. Any divergence exits nonzero with
+// the first divergent commit identified.
 //
 // Observability: -trace writes a Chrome trace_event file (load it in
 // chrome://tracing or https://ui.perfetto.dev), -events a JSONL event
@@ -44,6 +51,8 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit the full run Stats as one JSON object instead of the text summary")
 	timeout := flag.Duration("timeout", 0, "wall-clock bound for the run, e.g. 30s (0 = none)")
 	watchdog := flag.Int("watchdog", 0, "abort if no instruction commits for N simulated cycles (0 = off)")
+	lock := flag.Bool("lockstep", false, "differentially validate the pipeline against the reference emulator instead of a normal run")
+	checkEvery := flag.Uint64("check-every", 10_000, "lockstep: compare full register/memory state every N commits")
 	flag.Parse()
 
 	if *list {
@@ -78,6 +87,22 @@ func main() {
 		cfg.Recovery = rvpsim.RecoverSelective
 	default:
 		fatal(fmt.Errorf("unknown recovery %q", *recovery))
+	}
+
+	if *lock {
+		res, lerr := rvpsim.Validate(prog, cfg, func() rvpsim.Predictor {
+			p, perr := makePredictor(*predName, prog, *n)
+			if perr != nil {
+				fatal(perr)
+			}
+			return p
+		}, rvpsim.LockstepOptions{MaxInsts: *n, CheckEvery: *checkEvery})
+		if lerr != nil {
+			fatal(lerr)
+		}
+		fmt.Printf("lockstep OK: %s under %s/%s: %d commits compared, %d state checks, zero divergences\n",
+			prog.Name(), *predName, *recovery, res.Committed, res.StateChecks)
+		return
 	}
 
 	pred, err := makePredictor(*predName, prog, *n)

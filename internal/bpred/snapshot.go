@@ -1,0 +1,78 @@
+package bpred
+
+import (
+	"fmt"
+
+	"rvpsim/internal/simerr"
+)
+
+// State is the restorable state of the branch predictor: PHT, global
+// history, BTB contents, return-address stack, and statistics. Geometry
+// is not serialized — a restored run rebuilds the predictor from its
+// Config first. Restore errors wrap simerr.ErrCorrupt.
+type State struct {
+	PHT     []uint8
+	History uint64
+
+	BTBTags  []uint64
+	BTBTgts  []int
+	BTBValid []bool
+	BTBLRU   []uint8
+
+	RAS    []int
+	RASTop int
+
+	CondSeen    uint64
+	CondMispred uint64
+	TargetMiss  uint64
+	RASCorrect  uint64
+	RASWrong    uint64
+	UncondSeen  uint64
+}
+
+// Snapshot captures the predictor's dynamic state.
+func (p *Predictor) Snapshot() State {
+	return State{
+		PHT:         append([]uint8(nil), p.pht...),
+		History:     p.history,
+		BTBTags:     append([]uint64(nil), p.btbTags...),
+		BTBTgts:     append([]int(nil), p.btbTgts...),
+		BTBValid:    append([]bool(nil), p.btbValid...),
+		BTBLRU:      append([]uint8(nil), p.btbLRU...),
+		RAS:         append([]int(nil), p.ras...),
+		RASTop:      p.rasTop,
+		CondSeen:    p.CondSeen,
+		CondMispred: p.CondMispred,
+		TargetMiss:  p.TargetMiss,
+		RASCorrect:  p.RASCorrect,
+		RASWrong:    p.RASWrong,
+		UncondSeen:  p.UncondSeen,
+	}
+}
+
+// Restore loads a snapshot taken from a predictor of identical geometry.
+func (p *Predictor) Restore(s State) error {
+	if len(s.PHT) != len(p.pht) || len(s.BTBTags) != len(p.btbTags) ||
+		len(s.BTBTgts) != len(p.btbTgts) || len(s.BTBValid) != len(p.btbValid) ||
+		len(s.BTBLRU) != len(p.btbLRU) || len(s.RAS) != len(p.ras) {
+		return fmt.Errorf("bpred: snapshot geometry mismatch: %w", simerr.ErrCorrupt)
+	}
+	if s.RASTop < 0 || s.RASTop > len(p.ras) {
+		return fmt.Errorf("bpred: snapshot RAS top %d out of range: %w", s.RASTop, simerr.ErrCorrupt)
+	}
+	copy(p.pht, s.PHT)
+	p.history = s.History
+	copy(p.btbTags, s.BTBTags)
+	copy(p.btbTgts, s.BTBTgts)
+	copy(p.btbValid, s.BTBValid)
+	copy(p.btbLRU, s.BTBLRU)
+	copy(p.ras, s.RAS)
+	p.rasTop = s.RASTop
+	p.CondSeen = s.CondSeen
+	p.CondMispred = s.CondMispred
+	p.TargetMiss = s.TargetMiss
+	p.RASCorrect = s.RASCorrect
+	p.RASWrong = s.RASWrong
+	p.UncondSeen = s.UncondSeen
+	return nil
+}

@@ -1,0 +1,153 @@
+// Package checkpoint implements the on-disk format for simulator
+// snapshots: a versioned, checksummed container around a gob-encoded
+// pipeline.Snapshot, written atomically (temp file + rename) so a crash
+// mid-write can never leave a live checkpoint path pointing at a torn
+// file. Loading validates magic, version, length, and a CRC-64 of the
+// payload; any damage — truncation, bit rot, a different format — is
+// reported as an error wrapping simerr.ErrCorrupt so callers can discard
+// the file and recompute instead of dying.
+package checkpoint
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"hash/crc64"
+	"io"
+	"os"
+	"path/filepath"
+
+	"rvpsim/internal/core"
+	"rvpsim/internal/pipeline"
+	"rvpsim/internal/simerr"
+)
+
+// magic identifies a checkpoint file. Version is separate so readers can
+// distinguish "not a checkpoint at all" from "a checkpoint from another
+// era of the format".
+var magic = [8]byte{'R', 'V', 'P', 'C', 'K', 'P', 'T', '\n'}
+
+// Version is the current checkpoint format version. Bump it whenever
+// the Snapshot schema changes incompatibly; old files then fail loudly
+// as corrupt/unsupported rather than misrestoring.
+const Version uint32 = 1
+
+var crcTable = crc64.MakeTable(crc64.ECMA)
+
+func init() {
+	// The predictor state travels inside Snapshot as a core.PredictorState
+	// interface value; gob needs every concrete type registered.
+	for _, st := range core.AllPredictorStates() {
+		gob.Register(st)
+	}
+}
+
+// header is the fixed-size preamble: magic, version, payload length,
+// payload CRC-64 (ECMA).
+const headerSize = 8 + 4 + 8 + 8
+
+// Encode serializes a snapshot into the container format.
+func Encode(snap *pipeline.Snapshot) ([]byte, error) {
+	if snap == nil {
+		return nil, simerr.Newf("checkpoint", "nil snapshot")
+	}
+	var payload bytes.Buffer
+	if err := gob.NewEncoder(&payload).Encode(snap); err != nil {
+		return nil, simerr.New("checkpoint", fmt.Errorf("encode: %w", err))
+	}
+	buf := make([]byte, headerSize, headerSize+payload.Len())
+	copy(buf[:8], magic[:])
+	binary.LittleEndian.PutUint32(buf[8:12], Version)
+	binary.LittleEndian.PutUint64(buf[12:20], uint64(payload.Len()))
+	binary.LittleEndian.PutUint64(buf[20:28], crc64.Checksum(payload.Bytes(), crcTable))
+	return append(buf, payload.Bytes()...), nil
+}
+
+// Decode parses a container produced by Encode. Damage of any kind is an
+// error wrapping simerr.ErrCorrupt.
+func Decode(data []byte) (*pipeline.Snapshot, error) {
+	corrupt := func(format string, args ...any) error {
+		return simerr.New("checkpoint", fmt.Errorf(format+": %w", append(args, simerr.ErrCorrupt)...))
+	}
+	if len(data) < headerSize {
+		return nil, corrupt("truncated header (%d bytes)", len(data))
+	}
+	if !bytes.Equal(data[:8], magic[:]) {
+		return nil, corrupt("bad magic")
+	}
+	if v := binary.LittleEndian.Uint32(data[8:12]); v != Version {
+		return nil, corrupt("unsupported version %d (want %d)", v, Version)
+	}
+	n := binary.LittleEndian.Uint64(data[12:20])
+	want := binary.LittleEndian.Uint64(data[20:28])
+	payload := data[headerSize:]
+	if uint64(len(payload)) != n {
+		return nil, corrupt("payload is %d bytes, header says %d", len(payload), n)
+	}
+	if got := crc64.Checksum(payload, crcTable); got != want {
+		return nil, corrupt("payload checksum %#x, header says %#x", got, want)
+	}
+	var snap pipeline.Snapshot
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&snap); err != nil {
+		return nil, corrupt("decode: %v", err)
+	}
+	return &snap, nil
+}
+
+// Save writes a snapshot to path atomically: the container is written
+// and fsync'd to a temp file in the same directory, then renamed over
+// path. Readers therefore always see either the previous checkpoint or
+// the new one, never a torn mix.
+func Save(path string, snap *pipeline.Snapshot) error {
+	data, err := Encode(snap)
+	if err != nil {
+		return err
+	}
+	dir := filepath.Dir(path)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return simerr.New("checkpoint", err)
+	}
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return simerr.New("checkpoint", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return simerr.New("checkpoint", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return simerr.New("checkpoint", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return simerr.New("checkpoint", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return simerr.New("checkpoint", err)
+	}
+	// Best-effort directory sync so the rename itself is durable.
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+	return nil
+}
+
+// Load reads and validates the checkpoint at path. A missing file is
+// reported as the underlying fs error (check with os.IsNotExist /
+// errors.Is(err, fs.ErrNotExist)); a damaged file wraps
+// simerr.ErrCorrupt.
+func Load(path string) (*pipeline.Snapshot, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	data, err := io.ReadAll(f)
+	if err != nil {
+		return nil, simerr.New("checkpoint", err)
+	}
+	return Decode(data)
+}

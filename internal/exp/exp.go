@@ -14,10 +14,13 @@ package exp
 import (
 	"context"
 	"errors"
+	"io/fs"
+	"os"
 	"runtime"
 	"sync"
 	"time"
 
+	"rvpsim/internal/checkpoint"
 	"rvpsim/internal/core"
 	"rvpsim/internal/faultinject"
 	"rvpsim/internal/obs"
@@ -69,6 +72,16 @@ type Options struct {
 	// safe for concurrent calls; the experiments binary points it at a
 	// progress heartbeat.
 	OnRunDone func(label string)
+	// StateDir, when set (and EnableResume is called), makes sweeps
+	// crash-safe: every finished cell is fsync'd to a write-ahead
+	// journal under this directory before table aggregation, a rerun
+	// replays journaled cells instead of re-simulating them, and
+	// half-finished runs resume from their latest checkpoint.
+	StateDir string
+	// CheckpointEvery is the auto-checkpoint cadence, in committed
+	// instructions, for in-flight runs when StateDir is active. Zero
+	// disables checkpointing (the journal still works).
+	CheckpointEvery uint64
 }
 
 // DefaultOptions returns a laptop-scale configuration: large enough for
@@ -87,6 +100,8 @@ type Runner struct {
 	programs  map[string]*program.Program
 	profiles  map[string]*profile.Profile
 	injectors map[string]*faultinject.Injector
+	journal   *Journal
+	warnings  []string
 }
 
 // NewRunner builds a Runner.
@@ -163,32 +178,96 @@ func (r *Runner) Profile(name string) (*profile.Profile, error) {
 	return pr, nil
 }
 
+// EnableResume opens the write-ahead journal inside Options.StateDir,
+// replaying completed cells from any previous (crashed or interrupted)
+// sweep. A damaged journal tail is truncated with a footnoted warning,
+// never fatal. No-op when StateDir is unset.
+func (r *Runner) EnableResume() error {
+	if r.opts.StateDir == "" {
+		return nil
+	}
+	j, err := OpenJournal(JournalPath(r.opts.StateDir))
+	if err != nil {
+		return err
+	}
+	if j.Truncated > 0 {
+		r.warn("journal: dropped %d damaged tail record(s); their cells will be re-simulated", j.Truncated)
+		r.count("exp_journal_truncated", "journal records dropped as torn or corrupt")
+	}
+	r.mu.Lock()
+	r.journal = j
+	r.mu.Unlock()
+	return nil
+}
+
+// Journaled reports how many completed cells the journal holds (0
+// without EnableResume).
+func (r *Runner) Journaled() int {
+	r.mu.Lock()
+	j := r.journal
+	r.mu.Unlock()
+	if j == nil {
+		return 0
+	}
+	return j.Len()
+}
+
+// Close releases the journal, if open.
+func (r *Runner) Close() error {
+	r.mu.Lock()
+	j := r.journal
+	r.journal = nil
+	r.mu.Unlock()
+	if j == nil {
+		return nil
+	}
+	return j.Close()
+}
+
+// count bumps a sweep-level observability counter when a registry is
+// attached.
+func (r *Runner) count(name, help string) {
+	if r.opts.Registry != nil {
+		r.opts.Registry.Counter(name, help).Inc()
+	}
+}
+
 // run simulates one workload under one predictor and machine config.
-func (r *Runner) run(name string, cfg pipeline.Config, pred core.Predictor) (pipeline.Stats, error) {
+// The scope names the experiment asking (see runKey).
+func (r *Runner) run(scope, name string, cfg pipeline.Config, pred core.Predictor) (pipeline.Stats, error) {
 	p, err := r.Program(name)
 	if err != nil {
 		return pipeline.Stats{}, err
 	}
-	return r.runOn(p, cfg, pred)
+	return r.runOn(scope, p, cfg, pred)
 }
 
 // runOn simulates an explicit program (used for re-allocated programs).
 // The runner's context, per-run timeout, watchdog and fault injection
-// options all apply here.
-func (r *Runner) runOn(p *program.Program, cfg pipeline.Config, pred core.Predictor) (pipeline.Stats, error) {
+// options all apply here. With a journal open, a cell that already
+// completed is replayed from the journal; otherwise the run is
+// periodically checkpointed, resumed from a prior checkpoint when one
+// exists, and journaled (fsync'd) on completion before its result is
+// returned to any aggregation.
+func (r *Runner) runOn(scope string, p *program.Program, cfg pipeline.Config, pred core.Predictor) (pipeline.Stats, error) {
 	if cfg.WatchdogCycles == 0 {
 		cfg.WatchdogCycles = r.opts.WatchdogCycles
 	}
-	sim, err := pipeline.New(cfg)
-	if err != nil {
-		return pipeline.Stats{}, err
+	key := runKey(scope, p.Name, pred.Name(), cfg)
+	r.mu.Lock()
+	journal := r.journal
+	r.mu.Unlock()
+	if journal != nil {
+		if st, ok := journal.Lookup(key); ok {
+			r.count("exp_journal_replayed", "sweep cells served from the journal instead of re-simulated")
+			if r.opts.OnRunDone != nil {
+				r.opts.OnRunDone(p.Name + "/" + pred.Name())
+			}
+			return st, nil
+		}
 	}
-	if r.opts.Registry != nil {
-		sim.SetObserver(obs.NewObserverWith(r.opts.Registry))
-	}
-	if inj := r.injector(p.Name); inj != nil {
-		sim.SetFaults(inj)
-	}
+
+	inj := r.injector(p.Name)
 	ctx := r.opts.Context
 	if ctx == nil {
 		ctx = context.Background()
@@ -198,11 +277,122 @@ func (r *Runner) runOn(p *program.Program, cfg pipeline.Config, pred core.Predic
 		ctx, cancel = context.WithTimeout(ctx, r.opts.RunTimeout)
 		defer cancel()
 	}
-	st, err := sim.RunContext(ctx, p, pred, r.opts.Insts)
-	if err == nil && r.opts.OnRunDone != nil {
+	newSim := func() (*pipeline.Sim, error) {
+		sim, err := pipeline.New(cfg)
+		if err != nil {
+			return nil, err
+		}
+		if r.opts.Registry != nil {
+			sim.SetObserver(obs.NewObserverWith(r.opts.Registry))
+		}
+		if inj != nil {
+			sim.SetFaults(inj)
+		}
+		return sim, nil
+	}
+
+	// Checkpointing applies only to unperturbed runs: a fault injector's
+	// effects are not captured in a snapshot, so resuming an injected
+	// run would not replay deterministically.
+	ckptable, isCkptable := pred.(core.Checkpointable)
+	canCkpt := journal != nil && r.opts.CheckpointEvery > 0 && inj == nil && isCkptable
+	var ckptPath string
+	var pristine core.PredictorState
+	if canCkpt {
+		ckptPath = ckptFile(r.opts.StateDir, key)
+		pristine = ckptable.SnapshotState()
+	}
+	arm := func(sim *pipeline.Sim) {
+		if !canCkpt {
+			return
+		}
+		sim.SetCheckpoint(r.opts.CheckpointEvery, func(snap *pipeline.Snapshot) error {
+			if err := checkpoint.Save(ckptPath, snap); err != nil {
+				return err
+			}
+			r.count("exp_ckpt_saves", "periodic run checkpoints written")
+			return nil
+		})
+	}
+
+	var sim *pipeline.Sim
+	var st pipeline.Stats
+	var err error
+	ran := false
+	if canCkpt {
+		snap, lerr := checkpoint.Load(ckptPath)
+		switch {
+		case lerr == nil:
+			if sim, err = newSim(); err != nil {
+				return pipeline.Stats{}, err
+			}
+			arm(sim)
+			st, err = sim.ResumeContext(ctx, snap, p, pred, r.opts.Insts)
+			if err != nil && errors.Is(err, simerr.ErrCorrupt) {
+				// The checkpoint does not belong to this cell as currently
+				// configured (changed budget, predictor sizing, schema).
+				// Discard it, restore the predictor's pristine state, and
+				// run the cell from scratch.
+				r.warn("checkpoint for %s rejected (%v); re-running cell from scratch", key, lerr2str(err))
+				r.count("exp_ckpt_corrupt", "checkpoints discarded as damaged or mismatched")
+				os.Remove(ckptPath)
+				_ = ckptable.RestoreState(pristine)
+			} else {
+				ran = true
+				r.count("exp_ckpt_restores", "runs resumed from a checkpoint")
+			}
+		case errors.Is(lerr, fs.ErrNotExist):
+			// Nothing to resume.
+		default:
+			r.warn("checkpoint for %s unreadable (%v); re-running cell from scratch", key, lerr2str(lerr))
+			r.count("exp_ckpt_corrupt", "checkpoints discarded as damaged or mismatched")
+			os.Remove(ckptPath)
+		}
+	}
+	if !ran {
+		if sim, err = newSim(); err != nil {
+			return pipeline.Stats{}, err
+		}
+		arm(sim)
+		st, err = sim.RunContext(ctx, p, pred, r.opts.Insts)
+	}
+	if err != nil {
+		// Checkpoint-then-exit: a cancelled or timed-out run leaves its
+		// latest coherent state behind so a -resume rerun picks the cell
+		// up mid-stream instead of starting over.
+		if canCkpt && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
+			if snap, serr := sim.Snapshot(); serr == nil {
+				if werr := checkpoint.Save(ckptPath, snap); werr == nil {
+					r.count("exp_ckpt_saves", "periodic run checkpoints written")
+				}
+			}
+		}
+		return st, err
+	}
+	// Write-ahead: the finished cell is durable in the journal before the
+	// caller can aggregate it; its checkpoint is then redundant.
+	if journal != nil {
+		if jerr := journal.Record(key, st); jerr != nil {
+			return st, jerr
+		}
+		r.count("exp_journal_appends", "sweep cells appended to the journal")
+	}
+	if canCkpt {
+		os.Remove(ckptPath)
+	}
+	if r.opts.OnRunDone != nil {
 		r.opts.OnRunDone(p.Name + "/" + pred.Name())
 	}
-	return st, err
+	return st, nil
+}
+
+// lerr2str compacts a load/validation error for a one-line footnote.
+func lerr2str(err error) string {
+	var se *simerr.SimError
+	if errors.As(err, &se) {
+		return se.Err.Error()
+	}
+	return err.Error()
 }
 
 // forEach runs f for every workload name on a bounded worker pool. Each
@@ -281,12 +471,17 @@ func failReason(fails map[string]error, name string) string {
 }
 
 // noteFailures appends one footnote per failed workload, in input order
-// so table output stays deterministic.
-func noteFailures(t *stats.Table, names []string, fails map[string]error) {
+// so table output stays deterministic, then drains any non-fatal
+// recovery warnings (truncated journal tail, discarded checkpoints)
+// accumulated since the last table into footnotes as well.
+func (r *Runner) noteFailures(t *stats.Table, names []string, fails map[string]error) {
 	for _, n := range names {
 		if err := fails[n]; err != nil {
 			t.AddNote("failed: " + err.Error())
 		}
+	}
+	for _, w := range r.drainWarnings() {
+		t.AddNote("warning: " + w)
 	}
 }
 
@@ -338,8 +533,9 @@ func (r *Runner) dynamicPredictor(name string, level profile.Support, loadsOnly 
 }
 
 // speedupTable runs the spec list over all workloads and renders speedups
-// over no-prediction, plus a final "average" column.
-func (r *Runner) speedupTable(title string, cfg pipeline.Config, specs []predictorSpec, names []string) (*stats.Table, error) {
+// over no-prediction, plus a final "average" column. scope keys the
+// journal cells for this experiment.
+func (r *Runner) speedupTable(scope, title string, cfg pipeline.Config, specs []predictorSpec, names []string) (*stats.Table, error) {
 	cols := append(append([]string(nil), names...), "average")
 	t := stats.NewTable(title, cols)
 	type key struct{ spec, wl string }
@@ -348,7 +544,7 @@ func (r *Runner) speedupTable(title string, cfg pipeline.Config, specs []predict
 	var mu sync.Mutex
 
 	fails, err := r.forEach(names, func(name string) error {
-		st, err := r.run(name, cfg, core.NoPredictor{})
+		st, err := r.run(scope, name, cfg, core.NoPredictor{})
 		if err != nil {
 			return err
 		}
@@ -360,7 +556,7 @@ func (r *Runner) speedupTable(title string, cfg pipeline.Config, specs []predict
 			if err != nil {
 				return err
 			}
-			ps, err := r.run(name, cfg, pred)
+			ps, err := r.run(scope, name, cfg, pred)
 			if err != nil {
 				return err
 			}
@@ -388,7 +584,7 @@ func (r *Runner) speedupTable(title string, cfg pipeline.Config, specs []predict
 		}
 		t.AddRow(sp.label, "%.3f", vals)
 	}
-	noteFailures(t, names, fails)
+	r.noteFailures(t, names, fails)
 	_ = base
 	return t, err
 }

@@ -2,6 +2,7 @@ package exp
 
 import (
 	"errors"
+	"fmt"
 	"sync"
 
 	"rvpsim/internal/core"
@@ -40,12 +41,12 @@ func (r *Runner) StorageTable() (*stats.Table, error) {
 	speed := map[key]float64{}
 	var mu sync.Mutex
 	fails, err := r.forEach(names, func(name string) error {
-		base, err := r.run(name, pipeline.BaselineConfig(), core.NoPredictor{})
+		base, err := r.run("ext_storage", name, pipeline.BaselineConfig(), core.NoPredictor{})
 		if err != nil {
 			return err
 		}
 		for _, sp := range specs {
-			st, err := r.run(name, pipeline.BaselineConfig(), sp.mk())
+			st, err := r.run("ext_storage", name, pipeline.BaselineConfig(), sp.mk())
 			if err != nil {
 				return err
 			}
@@ -70,7 +71,7 @@ func (r *Runner) StorageTable() (*stats.Table, error) {
 		}
 		t.AddRow(sp.label, "%.3f", row)
 	}
-	noteFailures(t, names, fails)
+	r.noteFailures(t, names, fails)
 	t.AddNote("storage counts value-prediction state only (values, tags, strides, histories, counters)")
 	return t, err
 }
@@ -85,13 +86,14 @@ func (r *Runner) ThresholdTable() (*stats.Table, error) {
 	allFails := map[string]error{}
 	var errs []error
 	for _, th := range []uint8{1, 3, 5, 7} {
+		scope := fmt.Sprintf("ext_threshold_%d", th)
 		cc := core.DefaultCounterConfig()
 		cc.Threshold = th
 		type acc struct{ spd, cov, accy float64 }
 		var mu sync.Mutex
 		var rows []acc
 		fails, err := r.forEach(names, func(name string) error {
-			base, err := r.run(name, pipeline.BaselineConfig(), core.NoPredictor{})
+			base, err := r.run(scope, name, pipeline.BaselineConfig(), core.NoPredictor{})
 			if err != nil {
 				return err
 			}
@@ -99,7 +101,7 @@ func (r *Runner) ThresholdTable() (*stats.Table, error) {
 			if err != nil {
 				return err
 			}
-			st, err := r.run(name, pipeline.BaselineConfig(), pred)
+			st, err := r.run(scope, name, pipeline.BaselineConfig(), pred)
 			if err != nil {
 				return err
 			}
@@ -138,6 +140,6 @@ func (r *Runner) ThresholdTable() (*stats.Table, error) {
 			"accuracy %":  stats.Mean(accy),
 		})
 	}
-	noteFailures(t, names, allFails)
+	r.noteFailures(t, names, allFails)
 	return t, errors.Join(errs...)
 }

@@ -70,7 +70,7 @@ func (r *Runner) Figure1() (*stats.Table, error) {
 		}
 		t.AddRow(row, "%.1f", vals[row])
 	}
-	noteFailures(t, names, fails)
+	r.noteFailures(t, names, fails)
 	return t, err
 }
 
@@ -111,7 +111,7 @@ func (r *Runner) Figure3() (*stats.Table, error) {
 			if err != nil {
 				return err
 			}
-			st, err := r.run(name, cfg, pred)
+			st, err := r.run("fig3", name, cfg, pred)
 			if err != nil {
 				return err
 			}
@@ -132,7 +132,7 @@ func (r *Runner) Figure3() (*stats.Table, error) {
 		}
 		t.AddRow(row.label, "%.2f", m)
 	}
-	noteFailures(t, names, fails)
+	r.noteFailures(t, names, fails)
 	return t, err
 }
 
@@ -155,7 +155,7 @@ func (r *Runner) Figure4() (*stats.Table, error) {
 		{"srvp_selective", pipeline.RecoverSelective},
 	}
 	fails, err := r.forEach(names, func(name string) error {
-		base, err := r.run(name, pipeline.BaselineConfig(), core.NoPredictor{})
+		base, err := r.run("fig4", name, pipeline.BaselineConfig(), core.NoPredictor{})
 		if err != nil {
 			return err
 		}
@@ -169,7 +169,7 @@ func (r *Runner) Figure4() (*stats.Table, error) {
 		for _, rc := range recoveries {
 			cfg := pipeline.BaselineConfig()
 			cfg.Recovery = rc.rec
-			st, err := r.run(name, cfg, pred90)
+			st, err := r.run("fig4", name, cfg, pred90)
 			if err != nil {
 				return err
 			}
@@ -190,7 +190,7 @@ func (r *Runner) Figure4() (*stats.Table, error) {
 		}
 		t.AddRow(label, "%.2f", m)
 	}
-	noteFailures(t, names, fails)
+	r.noteFailures(t, names, fails)
 	return t, err
 }
 
@@ -210,7 +210,7 @@ func (r *Runner) Figure5() (*stats.Table, error) {
 			return rr.dynamicPredictor(n, profile.SupportDeadLV, true)
 		}},
 	}
-	return r.speedupTable("Figure 5: dynamic RVP for loads, speedup over no prediction",
+	return r.speedupTable("fig5", "Figure 5: dynamic RVP for loads, speedup over no prediction",
 		pipeline.BaselineConfig(), specs, allNames())
 }
 
@@ -232,7 +232,7 @@ func (r *Runner) Figure6() (*stats.Table, error) {
 			return rr.dynamicPredictor(n, profile.SupportDeadLV, false)
 		}},
 	}
-	return r.speedupTable("Figure 6: dynamic RVP for all instructions, speedup over no prediction",
+	return r.speedupTable("fig6", "Figure 6: dynamic RVP for all instructions, speedup over no prediction",
 		pipeline.BaselineConfig(), specs, allNames())
 }
 
@@ -265,7 +265,7 @@ func (r *Runner) Table2() (*stats.Table, *stats.Table, error) {
 			if err != nil {
 				return err
 			}
-			st, err := r.run(name, pipeline.BaselineConfig(), pred)
+			st, err := r.run("tab2", name, pipeline.BaselineConfig(), pred)
 			if err != nil {
 				return err
 			}
@@ -290,8 +290,8 @@ func (r *Runner) Table2() (*stats.Table, *stats.Table, error) {
 		cov.AddRow(sp.label, "%.1f", cm)
 		acc.AddRow(sp.label, "%.1f", am)
 	}
-	noteFailures(cov, names, fails)
-	noteFailures(acc, names, fails)
+	r.noteFailures(cov, names, fails)
+	r.noteFailures(acc, names, fails)
 	return cov, acc, err
 }
 
@@ -314,7 +314,7 @@ func (r *Runner) Figure7() (*stats.Table, error) {
 		if err != nil {
 			return err
 		}
-		base, err := r.run(name, pipeline.BaselineConfig(), core.NoPredictor{})
+		base, err := r.run("fig7", name, pipeline.BaselineConfig(), core.NoPredictor{})
 		if err != nil {
 			return err
 		}
@@ -324,7 +324,7 @@ func (r *Runner) Figure7() (*stats.Table, error) {
 			mu.Unlock()
 		}
 		// LVP (all instructions, as in Figure 6).
-		st, err := r.run(name, pipeline.BaselineConfig(), lvpAll())
+		st, err := r.run("fig7", name, pipeline.BaselineConfig(), lvpAll())
 		if err != nil {
 			return err
 		}
@@ -334,7 +334,7 @@ func (r *Runner) Figure7() (*stats.Table, error) {
 		if err != nil {
 			return err
 		}
-		if st, err = r.run(name, pipeline.BaselineConfig(), pred); err != nil {
+		if st, err = r.run("fig7", name, pipeline.BaselineConfig(), pred); err != nil {
 			return err
 		}
 		set("drvp_all_noreallocate", st.Cycles)
@@ -349,7 +349,7 @@ func (r *Runner) Figure7() (*stats.Table, error) {
 			return err
 		}
 		realloc := core.MustDynamicRVP(core.DefaultCounterConfig(), core.WithName("drvp_realloc"))
-		if st, err = r.runOn(res.Prog, pipeline.BaselineConfig(), realloc); err != nil {
+		if st, err = r.runOn("fig7", res.Prog, pipeline.BaselineConfig(), realloc); err != nil {
 			return err
 		}
 		set("drvp_all_dead_lv_realloc", st.Cycles)
@@ -358,7 +358,7 @@ func (r *Runner) Figure7() (*stats.Table, error) {
 		if err != nil {
 			return err
 		}
-		if st, err = r.run(name, pipeline.BaselineConfig(), ideal); err != nil {
+		if st, err = r.run("fig7", name, pipeline.BaselineConfig(), ideal); err != nil {
 			return err
 		}
 		set("drvp_all_dead_lv(ideal)", st.Cycles)
@@ -375,7 +375,7 @@ func (r *Runner) Figure7() (*stats.Table, error) {
 		}
 		t.AddRow(label, "%.3f", m)
 	}
-	noteFailures(t, names, fails)
+	r.noteFailures(t, names, fails)
 	return t, err
 }
 
@@ -392,7 +392,7 @@ func (r *Runner) Figure8() (*stats.Table, error) {
 			return rr.dynamicPredictor(n, profile.SupportDeadLV, false)
 		}},
 	}
-	return r.speedupTable("Figure 8: 16-wide processor, speedup over no prediction",
+	return r.speedupTable("fig8", "Figure 8: 16-wide processor, speedup over no prediction",
 		pipeline.AggressiveConfig(), specs, allNames())
 }
 

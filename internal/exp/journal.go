@@ -1,0 +1,208 @@
+package exp
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"rvpsim/internal/pipeline"
+	"rvpsim/internal/simerr"
+)
+
+// Journal is the write-ahead results log for a sweep: every finished
+// cell (one workload × predictor × experiment simulation run) is
+// appended — and fsync'd — before its result enters any table, so a
+// crash can lose at most the in-flight runs. Records are JSON lines,
+// each wrapped in a checksum envelope; on open, a torn or corrupt tail
+// (the signature of a crash mid-append) is detected and truncated away,
+// never fatal. Completed cells found in the journal are replayed from it
+// instead of re-simulated.
+type Journal struct {
+	mu   sync.Mutex
+	f    *os.File
+	done map[string]pipeline.Stats
+
+	// Truncated reports how many damaged tail records were dropped when
+	// the journal was opened.
+	Truncated int
+}
+
+// journalEnvelope is one line on disk: Rec's exact bytes are protected
+// by CRC-32 (IEEE), so a torn write or bit flip in either field fails
+// validation.
+type journalEnvelope struct {
+	CRC uint32          `json:"crc"`
+	Rec json.RawMessage `json:"rec"`
+}
+
+// journalRecord is the payload: which cell finished and its result.
+type journalRecord struct {
+	Key   string         `json:"key"`
+	Stats pipeline.Stats `json:"stats"`
+}
+
+// OpenJournal opens (creating if absent) the journal at path and replays
+// every valid record. The first damaged record and everything after it
+// are truncated from the file; the count of dropped records is available
+// as Journal.Truncated.
+func OpenJournal(path string) (*Journal, error) {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return nil, simerr.New("journal", err)
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, simerr.New("journal", err)
+	}
+	j := &Journal{f: f, done: map[string]pipeline.Stats{}}
+
+	data, err := io.ReadAll(f)
+	if err != nil {
+		f.Close()
+		return nil, simerr.New("journal", err)
+	}
+	// Writers always terminate records with '\n', so an unterminated
+	// final line is by definition a torn write.
+	valid := 0 // byte offset past the last valid record
+	for valid < len(data) {
+		nl := bytes.IndexByte(data[valid:], '\n')
+		if nl < 0 {
+			break
+		}
+		rec, ok := parseJournalLine(data[valid : valid+nl])
+		if !ok {
+			break
+		}
+		j.done[rec.Key] = rec.Stats
+		valid += nl + 1
+	}
+	if valid < len(data) {
+		// Count what is being dropped: the bad record plus anything after
+		// it (replay must not resume past a hole in the log).
+		j.Truncated = 1 + bytes.Count(data[valid:], []byte{'\n'})
+		if data[len(data)-1] == '\n' {
+			j.Truncated--
+		}
+	}
+	if err := f.Truncate(int64(valid)); err != nil {
+		f.Close()
+		return nil, simerr.New("journal", err)
+	}
+	if _, err := f.Seek(int64(valid), io.SeekStart); err != nil {
+		f.Close()
+		return nil, simerr.New("journal", err)
+	}
+	return j, nil
+}
+
+// parseJournalLine validates one envelope line.
+func parseJournalLine(line []byte) (journalRecord, bool) {
+	var rec journalRecord
+	if len(bytes.TrimSpace(line)) == 0 {
+		return rec, false
+	}
+	var env journalEnvelope
+	if err := json.Unmarshal(line, &env); err != nil {
+		return rec, false
+	}
+	if crc32.ChecksumIEEE(env.Rec) != env.CRC {
+		return rec, false
+	}
+	if err := json.Unmarshal(env.Rec, &rec); err != nil || rec.Key == "" {
+		return rec, false
+	}
+	return rec, true
+}
+
+// Lookup reports the journaled result for a cell, if present.
+func (j *Journal) Lookup(key string) (pipeline.Stats, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st, ok := j.done[key]
+	return st, ok
+}
+
+// Len reports how many completed cells the journal holds.
+func (j *Journal) Len() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.done)
+}
+
+// Record appends one finished cell and fsyncs before returning, making
+// the write-ahead guarantee: the result is durable before any table
+// aggregation sees it.
+func (j *Journal) Record(key string, st pipeline.Stats) error {
+	rec, err := json.Marshal(journalRecord{Key: key, Stats: st})
+	if err != nil {
+		return simerr.New("journal", err)
+	}
+	line, err := json.Marshal(journalEnvelope{CRC: crc32.ChecksumIEEE(rec), Rec: rec})
+	if err != nil {
+		return simerr.New("journal", err)
+	}
+	line = append(line, '\n')
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if _, err := j.f.Write(line); err != nil {
+		return simerr.New("journal", err)
+	}
+	if err := j.f.Sync(); err != nil {
+		return simerr.New("journal", err)
+	}
+	j.done[key] = st
+	return nil
+}
+
+// Close closes the underlying file.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.f.Close()
+}
+
+// runKey names one sweep cell: scope, workload, predictor, and a digest
+// of the machine configuration. The scope disambiguates cells that share
+// all three of the others but differ in how the predictor was trained
+// (Figure 3's 80% profile threshold vs Figure 4's 90%, the extended
+// sweep's four counter thresholds); the config digest separates the same
+// predictor run under different machines (Figure 4's three recovery
+// schemes, Figure 8's 16-wide core).
+func runKey(scope, workload, predictor string, cfg pipeline.Config) string {
+	sum := sha256.Sum256([]byte(fmt.Sprintf("%+v", cfg)))
+	return scope + "/" + workload + "/" + predictor + "@" + hex.EncodeToString(sum[:4])
+}
+
+// ckptFile maps a cell key to its checkpoint path under dir: a digest
+// keeps arbitrary key characters out of the filesystem namespace.
+func ckptFile(dir, key string) string {
+	sum := sha256.Sum256([]byte(key))
+	return filepath.Join(dir, "ckpt", hex.EncodeToString(sum[:8])+".ckpt")
+}
+
+// JournalPath is the journal's location inside a state directory.
+func JournalPath(dir string) string { return filepath.Join(dir, "journal.jsonl") }
+
+// warning records a non-fatal recovery event (corrupt journal tail
+// truncated, damaged checkpoint discarded) destined for a table
+// footnote.
+func (r *Runner) warn(format string, args ...any) {
+	r.mu.Lock()
+	r.warnings = append(r.warnings, fmt.Sprintf(format, args...))
+	r.mu.Unlock()
+}
+
+// drainWarnings returns and clears accumulated warnings.
+func (r *Runner) drainWarnings() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	w := r.warnings
+	r.warnings = nil
+	return w
+}

@@ -1,0 +1,50 @@
+package isa
+
+import "testing"
+
+// FuzzEncodeDecode checks that the 64-bit machine encoding is a
+// bijection on its valid domain, from both directions:
+//
+//   - any word Decode accepts must re-encode to the identical word
+//     (every bit of a valid encoding is meaningful — the register
+//     fields are total over the 0..63 name space and the immediate
+//     sign-extension is exact), and
+//   - any instruction Encode accepts must decode back to the identical
+//     instruction.
+//
+// The fuzzed input doubles as both a raw machine word and raw
+// instruction fields, so the corpus explores invalid opcodes,
+// out-of-range immediates, and boundary sign bits for free.
+func FuzzEncodeDecode(f *testing.F) {
+	f.Add(uint64(0), uint8(0), uint8(0), uint8(0), int64(0))
+	f.Add(uint64(0xFFFFFFFFFFFFFFFF), uint8(HALT), uint8(63), uint8(31), ImmMax)
+	f.Add(uint64(1)<<56, uint8(numOps-1), uint8(1), uint8(2), ImmMin)
+	f.Add(uint64(LDQ)<<56|1<<37, uint8(STQ), uint8(33), uint8(200), int64(-1))
+
+	f.Fuzz(func(t *testing.T, w uint64, op, rd, ra uint8, imm int64) {
+		// Word direction: Decode(w) ok => Encode(Decode(w)) == w.
+		if in, err := Decode(w); err == nil {
+			back, eerr := Encode(in)
+			if eerr != nil {
+				t.Fatalf("Decode(%#x) = %+v, but Encode rejects it: %v", w, in, eerr)
+			}
+			if back != w {
+				t.Fatalf("round trip changed the word: %#x -> %+v -> %#x", w, in, back)
+			}
+		}
+
+		// Instruction direction: Encode(in) ok => Decode(Encode(in)) == in.
+		in := Inst{Op: Op(op), Rd: Reg(rd), Ra: Reg(ra), Rb: Reg(rd ^ ra), Imm: imm}
+		word, err := Encode(in)
+		if err != nil {
+			return // invalid field; rejection is the correct behavior
+		}
+		got, derr := Decode(word)
+		if derr != nil {
+			t.Fatalf("Encode(%+v) = %#x, but Decode rejects it: %v", in, word, derr)
+		}
+		if got != in {
+			t.Fatalf("round trip changed the instruction: %+v -> %#x -> %+v", in, word, got)
+		}
+	})
+}

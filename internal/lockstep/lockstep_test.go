@@ -1,0 +1,172 @@
+package lockstep
+
+import (
+	"errors"
+	"testing"
+
+	"rvpsim/internal/asm"
+	"rvpsim/internal/core"
+	"rvpsim/internal/pipeline"
+	"rvpsim/internal/simerr"
+	"rvpsim/internal/workloads"
+)
+
+func dynRVP() core.Predictor { return core.MustDynamicRVP(core.DefaultCounterConfig()) }
+
+// TestLockstepAllWorkloads is the acceptance check: the pipeline commits
+// the identical (PC, dest-reg, value) stream and architectural state as
+// the reference emulator on every workload under every recovery scheme.
+func TestLockstepAllWorkloads(t *testing.T) {
+	recoveries := []pipeline.Recovery{pipeline.RecoverRefetch, pipeline.RecoverReissue, pipeline.RecoverSelective}
+	for _, w := range workloads.All() {
+		for _, rec := range recoveries {
+			t.Run(w.Name+"/"+rec.String(), func(t *testing.T) {
+				t.Parallel()
+				prog, err := workloads.ByName(w.Name)
+				if err != nil {
+					t.Fatal(err)
+				}
+				cfg := pipeline.BaselineConfig()
+				cfg.Recovery = rec
+				res, err := Run(prog, cfg, dynRVP, Options{MaxInsts: 40_000, CheckEvery: 10_000})
+				if err != nil {
+					t.Fatalf("divergence: %v", err)
+				}
+				if res.Committed == 0 {
+					t.Fatal("no instructions compared")
+				}
+				if res.StateChecks == 0 {
+					t.Fatal("no architectural state comparisons performed")
+				}
+			})
+		}
+	}
+}
+
+// TestStreamDivergence forces a commit-stream divergence by validating
+// one workload against a different reference program; the harness must
+// report it as a typed lockstep error at the first divergent commit.
+func TestStreamDivergence(t *testing.T) {
+	prog, err := workloads.ByName("li")
+	if err != nil {
+		t.Fatal(err)
+	}
+	refProg, err := workloads.ByName("go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = run(prog, refProg, pipeline.BaselineConfig(), dynRVP, Options{MaxInsts: 10_000})
+	if !errors.Is(err, simerr.ErrDivergence) {
+		t.Fatalf("want ErrDivergence, got %v", err)
+	}
+	var d *Divergence
+	if !errors.As(err, &d) {
+		t.Fatalf("error does not carry *Divergence: %v", err)
+	}
+	var se *simerr.SimError
+	if !errors.As(err, &se) || se.Stage != "lockstep" {
+		t.Fatalf("error is not a lockstep-stage SimError: %v", err)
+	}
+}
+
+// TestStateDivergenceBisection: two programs whose commit streams are
+// identical (stores write no destination register) but whose memory
+// images diverge at the store. Only the boundary state comparison can
+// see this, and the bisection must pin the exact commit.
+func TestStateDivergenceBisection(t *testing.T) {
+	srcA := `
+.text
+main:
+        lda r2, d
+        li  r1, 5
+        stq r1, 0(r2)
+        li  r3, 1
+        halt
+.data
+.org 0x200000
+d:      .quad 0, 0
+`
+	// Identical except the store lands 8 bytes over.
+	srcB := `
+.text
+main:
+        lda r2, d
+        li  r1, 5
+        stq r1, 8(r2)
+        li  r3, 1
+        halt
+.data
+.org 0x200000
+d:      .quad 0, 0
+`
+	progA, err := asm.Assemble("t", srcA, asm.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	progB, err := asm.Assemble("t", srcB, asm.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = run(progA, progB, pipeline.BaselineConfig(), dynRVP, Options{MaxInsts: 1_000})
+	if !errors.Is(err, simerr.ErrDivergence) {
+		t.Fatalf("want ErrDivergence, got %v", err)
+	}
+	var d *Divergence
+	if !errors.As(err, &d) {
+		t.Fatalf("error does not carry *Divergence: %v", err)
+	}
+	if d.Field != "memory" {
+		t.Errorf("divergent field = %q, want %q", d.Field, "memory")
+	}
+	// The two code images differ (the store encodes a different offset),
+	// so the memory divergence exists from the initial image: the
+	// harness must pin it at commit 0 rather than blaming a later one.
+	if d.Commit != 0 {
+		t.Errorf("bisected first divergent commit = %d, want 0", d.Commit)
+	}
+}
+
+// TestNoStateChecks: with boundary comparisons disabled the
+// state-only divergence above goes (by design) undetected.
+func TestNoStateChecks(t *testing.T) {
+	prog, err := workloads.ByName("mgrid")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(prog, pipeline.BaselineConfig(), dynRVP, Options{MaxInsts: 5_000, NoStateChecks: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.StateChecks != 0 {
+		t.Errorf("StateChecks = %d with checks disabled", res.StateChecks)
+	}
+}
+
+// TestFirstDivergent checks the bisection over a synthetic oracle.
+func TestFirstDivergent(t *testing.T) {
+	for _, tc := range []struct{ lo, hi, first uint64 }{
+		{0, 100, 37},
+		{0, 1, 1},
+		{36, 37, 37},
+		{0, 1 << 20, 999_999},
+	} {
+		calls := 0
+		got, err := firstDivergent(tc.lo, tc.hi, func(n uint64) (bool, error) {
+			calls++
+			return n < tc.first, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != tc.first {
+			t.Errorf("firstDivergent(%d, %d) = %d, want %d", tc.lo, tc.hi, got, tc.first)
+		}
+		if calls > 64 {
+			t.Errorf("bisection took %d probes for range (%d, %d]", calls, tc.lo, tc.hi)
+		}
+	}
+	wantErr := errors.New("probe failed")
+	if _, err := firstDivergent(0, 100, func(uint64) (bool, error) { return false, wantErr }); !errors.Is(err, wantErr) {
+		t.Errorf("probe error not propagated: %v", err)
+	}
+}

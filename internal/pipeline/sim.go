@@ -62,9 +62,11 @@ type pendingPred struct {
 	useSeen  bool
 }
 
-// TraceRecord is the per-committed-instruction timing record delivered to
-// a Tracer: when the instruction moved through each pipeline event and
-// how value prediction treated it.
+// TraceRecord is the per-committed-instruction record delivered to a
+// Tracer: when the instruction moved through each pipeline event, how
+// value prediction treated it, and what it architecturally did (PC and
+// destination write) — the latter lets differential harnesses compare
+// the committed stream against a reference emulator.
 type TraceRecord struct {
 	Index     int // static instruction index
 	FetchAt   int64
@@ -74,6 +76,11 @@ type TraceRecord struct {
 	CommitAt  int64
 	Predicted bool
 	Correct   bool
+
+	PC      uint64  // simulated-memory address of the instruction
+	WroteRd bool    // instruction architecturally wrote Rd
+	Rd      isa.Reg // destination register (valid when WroteRd)
+	Value   uint64  // value written to Rd (valid when WroteRd)
 }
 
 // Tracer receives one record per committed instruction, in commit order.
@@ -94,6 +101,66 @@ type FaultInjector interface {
 	CheckPoint(committed uint64, cycle int64) error
 }
 
+// runState is the complete per-run mutable simulation state: the oracle
+// emulator, statistics, per-register and per-instruction timing, queue
+// occupancy, bandwidth books, and front-end position. Keeping it in one
+// struct (rather than locals of the run loop) is what makes a run
+// snapshot-able: Sim.Snapshot serializes exactly these fields plus the
+// subsystem states (emu, memory hierarchy, branch predictor, value
+// predictor).
+type runState struct {
+	prog *program.Program
+	pred core.Predictor
+	st   *emu.State
+
+	stats Stats
+
+	// Per-register timing state.
+	regReady   [isa.NumRegs]int64 // when the latest value is available
+	specUntil  [isa.NumRegs]int64 // selective-reissue taint: latest verify time
+	regPending [isa.NumRegs]*pendingPred
+
+	// Per-static-instruction readiness of the previous result (for
+	// KindLastValue prediction sources). Like regReady for same-register
+	// sources, it collapses while the value repeats: a re-allocated
+	// register would have held the (identical) value since the oldest
+	// instance of the run, so consumers need not wait for the newest.
+	lvReady []int64
+	lvLast  []uint64
+
+	// Queue occupancy rings: release time of the instruction N-slots back.
+	intIQ  []int64
+	fpIQ   []int64
+	window []int64
+	intN   uint64
+	fpN    uint64
+	winN   uint64
+
+	// Bandwidth books.
+	dispatchCap *capRing
+	issueCap    *capRing
+	intCap      *capRing
+	lsCap       *capRing
+	fpCap       *capRing
+	commitCap   *capRing
+	portCap     *capRing // nil unless cfg.PredictPorts > 0
+
+	// Front-end state.
+	fetchCycle  int64
+	minFetch    int64
+	fetchSlots  int
+	fetchBlocks int
+	curLine     uint64
+
+	lastDispatch int64
+	lastCommit   int64
+	lastCycle    int64
+	activePreds  []*pendingPred
+
+	lastCkpt uint64 // stats.Committed at the last periodic checkpoint
+	coherent bool   // state is at an instruction boundary (snapshot-safe)
+}
+
 // Sim is the timing simulator. One Sim runs one program; allocate a new
 // Sim (or call Run again, which resets state) per measurement.
 type Sim struct {
@@ -103,6 +170,10 @@ type Sim struct {
 	tracer Tracer
 	obs    *obs.Observer
 	faults FaultInjector
+
+	cur       *runState // state of the current / most recent run
+	ckptEvery uint64
+	ckptFn    func(*Snapshot) error
 }
 
 // SetTracer installs a per-instruction trace callback (nil disables).
@@ -118,6 +189,18 @@ func (s *Sim) SetFaults(f FaultInjector) { s.faults = f }
 // observer has event sinks — emits one structured trace event per
 // committed instruction, in commit order.
 func (s *Sim) SetObserver(o *obs.Observer) { s.obs = o }
+
+// SetCheckpoint arms periodic checkpointing: fn receives a fresh
+// Snapshot at the first commit-batch boundary after each further
+// `every` committed instructions. fn runs on the simulation goroutine;
+// a non-nil error aborts the run with a "checkpoint"-stage SimError
+// (return nil from fn to treat write failures as non-fatal). every == 0
+// or fn == nil disables periodic checkpointing. Snapshot construction
+// only reads simulator state, so arming checkpoints cannot change the
+// committed instruction/value stream.
+func (s *Sim) SetCheckpoint(every uint64, fn func(*Snapshot) error) {
+	s.ckptEvery, s.ckptFn = every, fn
+}
 
 // New builds a simulator for the configuration.
 func New(cfg Config) (*Sim, error) {
@@ -140,6 +223,33 @@ func MustNew(cfg Config) *Sim {
 // cancellation / fault-checkpoint polls. It bounds how much work a
 // canceled context can still charge: one batch.
 const commitBatch = 1024
+
+// newRunState builds the zeroed timing state for a fresh run.
+func (s *Sim) newRunState(prog *program.Program, pred core.Predictor, st *emu.State) *runState {
+	cfg := s.cfg
+	r := &runState{
+		prog:        prog,
+		pred:        pred,
+		st:          st,
+		lvReady:     make([]int64, len(prog.Insts)),
+		lvLast:      make([]uint64, len(prog.Insts)),
+		intIQ:       make([]int64, cfg.IntIQ),
+		fpIQ:        make([]int64, cfg.FPIQ),
+		window:      make([]int64, cfg.Window),
+		dispatchCap: newCapRing(cfg.DispatchWidth),
+		issueCap:    newCapRing(cfg.IssueWidth),
+		intCap:      newCapRing(cfg.IntALUs),
+		lsCap:       newCapRing(cfg.LoadStore),
+		fpCap:       newCapRing(cfg.FPUnits),
+		commitCap:   newCapRing(cfg.CommitWidth),
+		curLine:     ^uint64(0),
+		coherent:    true,
+	}
+	if cfg.PredictPorts > 0 {
+		r.portCap = newCapRing(cfg.PredictPorts)
+	}
+	return r
+}
 
 // Run simulates prog under value predictor pred for at most maxInsts
 // committed instructions (0 = until HALT) and returns the statistics.
@@ -164,48 +274,69 @@ func (s *Sim) RunContext(ctx context.Context, prog *program.Program, pred core.P
 	}
 	s.bp = bpred.New(s.cfg.Bpred)
 	pred.Reset()
+	r := s.newRunState(prog, pred, st)
+	s.cur = r
+	return s.loop(ctx, r, maxInsts)
+}
 
-	var stats Stats
-	cfg := s.cfg
-
-	// Per-register timing state.
-	var regReady [isa.NumRegs]int64  // when the latest value is available
-	var specUntil [isa.NumRegs]int64 // selective-reissue taint: latest verify time
-	var regPending [isa.NumRegs]*pendingPred
-
-	// Per-static-instruction readiness of the previous result (for
-	// KindLastValue prediction sources). Like regReady for same-register
-	// sources, it collapses while the value repeats: a re-allocated
-	// register would have held the (identical) value since the oldest
-	// instance of the run, so consumers need not wait for the newest.
-	lvReady := make([]int64, len(prog.Insts))
-	lvLast := make([]uint64, len(prog.Insts))
-
-	// Queue occupancy rings: release time of the instruction N-slots back.
-	intIQ := make([]int64, cfg.IntIQ)
-	fpIQ := make([]int64, cfg.FPIQ)
-	window := make([]int64, cfg.Window)
-	var intN, fpN, winN uint64
-
-	// Bandwidth books.
-	dispatchCap := newCapRing(cfg.DispatchWidth)
-	issueCap := newCapRing(cfg.IssueWidth)
-	intCap := newCapRing(cfg.IntALUs)
-	lsCap := newCapRing(cfg.LoadStore)
-	fpCap := newCapRing(cfg.FPUnits)
-	commitCap := newCapRing(cfg.CommitWidth)
-	var portCap *capRing
-	if cfg.PredictPorts > 0 {
-		portCap = newCapRing(cfg.PredictPorts)
+// ResumeContext continues a run from a Snapshot: the simulator state is
+// rebuilt exactly as it was when the snapshot was taken, and simulation
+// proceeds until maxInsts *total* committed instructions (0 = until
+// HALT). The restored run commits the identical instruction/value stream
+// — and ends with identical Stats — as an uninterrupted run of the same
+// program, predictor, and configuration.
+//
+// prog must be the same program the snapshot was taken from, and pred a
+// predictor constructed identically to the original (its dynamic state
+// is overwritten from the snapshot; it must implement
+// core.Checkpointable). Mismatches are rejected with errors wrapping
+// simerr.ErrCorrupt, not silently misrestored.
+func (s *Sim) ResumeContext(ctx context.Context, snap *Snapshot, prog *program.Program, pred core.Predictor, maxInsts uint64) (Stats, error) {
+	if snap == nil {
+		return Stats{}, simerr.Newf("checkpoint", "nil snapshot")
 	}
+	if err := snap.validateFor(s.cfg, prog, pred); err != nil {
+		return Stats{}, err
+	}
+	st, err := emu.Restore(prog, snap.Emu)
+	if err != nil {
+		return Stats{}, simerr.New("checkpoint", err)
+	}
+	s.hier, err = mem.NewHierarchy(s.cfg.Mem)
+	if err != nil {
+		return Stats{}, simerr.New("mem", err)
+	}
+	if err := s.hier.Restore(snap.Mem); err != nil {
+		return Stats{}, simerr.New("checkpoint", err)
+	}
+	s.bp = bpred.New(s.cfg.Bpred)
+	if err := s.bp.Restore(snap.Bpred); err != nil {
+		return Stats{}, simerr.New("checkpoint", err)
+	}
+	if err := pred.(core.Checkpointable).RestoreState(snap.Predictor); err != nil {
+		return Stats{}, simerr.New("checkpoint", err)
+	}
+	r, err := s.restoreRunState(snap, prog, pred, st)
+	if err != nil {
+		return Stats{}, err
+	}
+	s.cur = r
+	return s.loop(ctx, r, maxInsts)
+}
 
-	// Front-end state.
-	var fetchCycle, minFetch int64
-	fetchSlots, fetchBlocks := 0, 0
-	curLine := ^uint64(0)
+// RestoreSim builds a fresh simulator configured exactly as the one the
+// snapshot was taken from. Follow with ResumeContext to continue the run.
+func RestoreSim(snap *Snapshot) (*Sim, error) {
+	if snap == nil {
+		return nil, simerr.Newf("checkpoint", "nil snapshot")
+	}
+	return New(snap.Config)
+}
 
-	var lastDispatch, lastCommit, lastCycle int64
-	var activePreds []*pendingPred
+// loop is the simulation main loop, shared by fresh and resumed runs.
+func (s *Sim) loop(ctx context.Context, r *runState, maxInsts uint64) (Stats, error) {
+	cfg := s.cfg
+	prog, pred, st := r.prog, r.pred, r.st
 	srcBuf := make([]isa.Reg, 0, 4)
 
 	// Observability: batched metrics and (when sinks are attached)
@@ -218,10 +349,10 @@ func (s *Sim) RunContext(ctx context.Context, prog *program.Program, pred core.P
 	var ev obs.Event
 
 	resetFetch := func(to int64) {
-		fetchCycle = to
-		fetchSlots = 0
-		fetchBlocks = 0
-		curLine = ^uint64(0)
+		r.fetchCycle = to
+		r.fetchSlots = 0
+		r.fetchBlocks = 0
+		r.curLine = ^uint64(0)
 	}
 
 	// finalize publishes end-of-run statistics. It runs on every exit
@@ -229,15 +360,15 @@ func (s *Sim) RunContext(ctx context.Context, prog *program.Program, pred core.P
 	// injected fault — so aborted runs still return coherent partial
 	// Stats.
 	finalize := func() {
-		stats.Cycles = lastCycle
-		stats.DL1Hits, stats.DL1Misses = s.hier.L1D.Hits, s.hier.L1D.Misses
-		stats.IL1Hits, stats.IL1Misses = s.hier.L1I.Hits, s.hier.L1I.Misses
-		stats.L2Hits, stats.L2Misses = s.hier.L2.Hits, s.hier.L2.Misses
-		stats.CondBranches = s.bp.CondSeen
-		stats.CondMispredict = s.bp.CondMispred
-		stats.TargetMispred = s.bp.TargetMiss + s.bp.RASWrong
+		r.stats.Cycles = r.lastCycle
+		r.stats.DL1Hits, r.stats.DL1Misses = s.hier.L1D.Hits, s.hier.L1D.Misses
+		r.stats.IL1Hits, r.stats.IL1Misses = s.hier.L1I.Hits, s.hier.L1I.Misses
+		r.stats.L2Hits, r.stats.L2Misses = s.hier.L2.Hits, s.hier.L2.Misses
+		r.stats.CondBranches = s.bp.CondSeen
+		r.stats.CondMispredict = s.bp.CondMispred
+		r.stats.TargetMispred = s.bp.TargetMiss + s.bp.RASWrong
 		if m != nil {
-			m.flush(&stats)
+			m.flush(&r.stats)
 			s.hier.PublishMetrics(m.reg)
 			s.bp.PublishMetrics(m.reg)
 			if pub, ok := pred.(obs.Publisher); ok {
@@ -249,37 +380,53 @@ func (s *Sim) RunContext(ctx context.Context, prog *program.Program, pred core.P
 	wd := int64(cfg.WatchdogCycles)
 
 	for {
-		if maxInsts > 0 && stats.Committed >= maxInsts {
+		if maxInsts > 0 && r.stats.Committed >= maxInsts {
 			break
 		}
-		if stats.Committed&(commitBatch-1) == 0 {
+		if r.stats.Committed&(commitBatch-1) == 0 {
 			if err := ctx.Err(); err != nil {
 				finalize()
-				return stats, &simerr.SimError{
+				return r.stats, &simerr.SimError{
 					Stage: "pipeline", Workload: prog.Name,
-					Cycle: lastCycle, HasCycle: true, Err: err,
+					Cycle: r.lastCycle, HasCycle: true, Err: err,
 				}
 			}
 			if s.faults != nil {
-				if err := s.faults.CheckPoint(stats.Committed, lastCycle); err != nil {
+				if err := s.faults.CheckPoint(r.stats.Committed, r.lastCycle); err != nil {
 					finalize()
-					return stats, &simerr.SimError{
+					return r.stats, &simerr.SimError{
 						Stage: "faultinject", Workload: prog.Name,
-						Cycle: lastCycle, HasCycle: true, Err: err,
+						Cycle: r.lastCycle, HasCycle: true, Err: err,
+					}
+				}
+			}
+			if s.ckptFn != nil && s.ckptEvery > 0 && r.stats.Committed >= r.lastCkpt+s.ckptEvery {
+				r.lastCkpt = r.stats.Committed
+				snap, err := s.buildSnapshot(r)
+				if err == nil {
+					err = s.ckptFn(snap)
+				}
+				if err != nil {
+					finalize()
+					return r.stats, &simerr.SimError{
+						Stage: "checkpoint", Workload: prog.Name,
+						Cycle: r.lastCycle, HasCycle: true, Err: err,
 					}
 				}
 			}
 		}
+		r.coherent = false
 		e, ok := st.Step()
 		if !ok {
 			if st.Err() != nil {
 				finalize()
-				return stats, &simerr.SimError{
+				return r.stats, &simerr.SimError{
 					Stage: "emu", Workload: prog.Name,
-					Cycle: lastCycle, HasCycle: true,
+					Cycle: r.lastCycle, HasCycle: true,
 					Err: fmt.Errorf("oracle: %w", st.Err()),
 				}
 			}
+			r.coherent = true
 			break
 		}
 		in := e.Inst
@@ -290,72 +437,72 @@ func (s *Sim) RunContext(ctx context.Context, prog *program.Program, pred core.P
 		// ---- Refetch-recovery trigger: first use of a mispredicted value
 		// squashes from this instruction onward.
 		if cfg.Recovery == RecoverRefetch {
-			for _, r := range srcs {
-				if r.IsZero() {
+			for _, reg := range srcs {
+				if reg.IsZero() {
 					continue
 				}
-				if p := regPending[r]; p != nil && p.wrong && !p.useSeen {
+				if p := r.regPending[reg]; p != nil && p.wrong && !p.useSeen {
 					p.useSeen = true
 					redirect := p.doneAt + int64(cfg.MispredPenalty)
-					if redirect > minFetch {
-						minFetch = redirect
+					if redirect > r.minFetch {
+						r.minFetch = redirect
 					}
-					stats.Refetches++
+					r.stats.Refetches++
 				}
 			}
 		}
 
 		// ---- Fetch.
-		if fetchCycle < minFetch {
-			resetFetch(minFetch)
+		if r.fetchCycle < r.minFetch {
+			resetFetch(r.minFetch)
 		}
 		line := e.PC &^ 63
-		if line != curLine {
-			if lat := s.hier.AccessInstAt(e.PC, fetchCycle); lat > 0 {
-				resetFetch(fetchCycle + int64(lat))
+		if line != r.curLine {
+			if lat := s.hier.AccessInstAt(e.PC, r.fetchCycle); lat > 0 {
+				resetFetch(r.fetchCycle + int64(lat))
 			}
-			curLine = line
+			r.curLine = line
 		}
-		if fetchSlots >= cfg.FetchWidth {
-			resetFetch(fetchCycle + 1)
-			curLine = line
+		if r.fetchSlots >= cfg.FetchWidth {
+			resetFetch(r.fetchCycle + 1)
+			r.curLine = line
 		}
-		myFetch := fetchCycle
-		fetchSlots++
+		myFetch := r.fetchCycle
+		r.fetchSlots++
 
 		// ---- Dispatch: in order, gated by window, queue space, and
 		// dispatch bandwidth.
 		dispatch := myFetch + int64(cfg.FrontLatency)
-		if dispatch < lastDispatch {
-			dispatch = lastDispatch
+		if dispatch < r.lastDispatch {
+			dispatch = r.lastDispatch
 		}
-		if winN >= uint64(cfg.Window) {
-			if t := window[winN%uint64(cfg.Window)]; t > dispatch {
-				stats.StallWindow += t - dispatch
+		if r.winN >= uint64(cfg.Window) {
+			if t := r.window[r.winN%uint64(cfg.Window)]; t > dispatch {
+				r.stats.StallWindow += t - dispatch
 				dispatch = t
 			}
 		}
 		useFPQ := cls == isa.ClassFPAdd || cls == isa.ClassFPMul || cls == isa.ClassFPDiv
 		if useFPQ {
-			if fpN >= uint64(cfg.FPIQ) {
-				if t := fpIQ[fpN%uint64(cfg.FPIQ)]; t > dispatch {
-					stats.StallFPIQ += t - dispatch
+			if r.fpN >= uint64(cfg.FPIQ) {
+				if t := r.fpIQ[r.fpN%uint64(cfg.FPIQ)]; t > dispatch {
+					r.stats.StallFPIQ += t - dispatch
 					dispatch = t
 				}
 			}
 		} else {
-			if intN >= uint64(cfg.IntIQ) {
-				if t := intIQ[intN%uint64(cfg.IntIQ)]; t > dispatch {
-					stats.StallIntIQ += t - dispatch
+			if r.intN >= uint64(cfg.IntIQ) {
+				if t := r.intIQ[r.intN%uint64(cfg.IntIQ)]; t > dispatch {
+					r.stats.StallIntIQ += t - dispatch
 					dispatch = t
 				}
 			}
 		}
-		for !dispatchCap.avail(dispatch) {
+		for !r.dispatchCap.avail(dispatch) {
 			dispatch++
 		}
-		dispatchCap.book(dispatch)
-		lastDispatch = dispatch
+		r.dispatchCap.book(dispatch)
+		r.lastDispatch = dispatch
 
 		// ---- Value prediction decision.
 		var dec core.Decision
@@ -364,7 +511,7 @@ func (s *Sim) RunContext(ctx context.Context, prog *program.Program, pred core.P
 		predicted := false
 		correct := false
 		if e.WroteRd {
-			stats.Eligible++
+			r.stats.Eligible++
 			dec = pred.Decide(idx, in)
 			if s.faults != nil && dec.Kind != core.KindNone && s.faults.FlipPredict(idx) {
 				dec.Predict = !dec.Predict
@@ -373,17 +520,17 @@ func (s *Sim) RunContext(ctx context.Context, prog *program.Program, pred core.P
 				switch dec.Kind {
 				case core.KindSameReg:
 					predVal = e.OldDest
-					predReady = regReady[in.Rd]
+					predReady = r.regReady[in.Rd]
 				case core.KindOtherReg:
 					if dec.Reg == in.Rd {
 						predVal = e.OldDest
 					} else {
 						predVal = st.Regs[dec.Reg]
 					}
-					predReady = regReady[dec.Reg]
+					predReady = r.regReady[dec.Reg]
 				case core.KindLastValue:
 					predVal = dec.Value
-					predReady = lvReady[idx]
+					predReady = r.lvReady[idx]
 				case core.KindBuffer:
 					predVal = dec.Value
 					predReady = dispatch
@@ -395,22 +542,22 @@ func (s *Sim) RunContext(ctx context.Context, prog *program.Program, pred core.P
 				// register read port to fetch the prior value for the
 				// verification compare; buffer-based predictions (LVP)
 				// come with their own value datapath instead.
-				if cls != isa.ClassLoad && dec.Kind != core.KindBuffer && portCap != nil {
-					if portCap.avail(dispatch) {
-						portCap.book(dispatch)
+				if cls != isa.ClassLoad && dec.Kind != core.KindBuffer && r.portCap != nil {
+					if r.portCap.avail(dispatch) {
+						r.portCap.book(dispatch)
 					} else {
 						predicted = false
-						stats.PortStarved++
+						r.stats.PortStarved++
 					}
 				}
 			}
 			if predicted {
 				correct = predVal == e.NewDest
-				stats.Predicted++
+				r.stats.Predicted++
 				if correct {
-					stats.PredictCorrect++
+					r.stats.PredictCorrect++
 				} else {
-					stats.PredictWrong++
+					r.stats.PredictWrong++
 				}
 			}
 		}
@@ -418,17 +565,17 @@ func (s *Sim) RunContext(ctx context.Context, prog *program.Program, pred core.P
 		// ---- Source operands, first-use detection, selective taint.
 		srcReady := dispatch + 1
 		var holdUntil int64
-		for _, r := range srcs {
-			if r.IsZero() {
+		for _, reg := range srcs {
+			if reg.IsZero() {
 				continue
 			}
-			if t := regReady[r]; t > srcReady {
+			if t := r.regReady[reg]; t > srcReady {
 				srcReady = t
 			}
-			if cfg.Recovery == RecoverSelective && specUntil[r] > holdUntil {
-				holdUntil = specUntil[r]
+			if cfg.Recovery == RecoverSelective && r.specUntil[reg] > holdUntil {
+				holdUntil = r.specUntil[reg]
 			}
-			if p := regPending[r]; p != nil && !p.useSeen {
+			if p := r.regPending[reg]; p != nil && !p.useSeen {
 				p.useSeen = true
 			}
 		}
@@ -436,8 +583,8 @@ func (s *Sim) RunContext(ctx context.Context, prog *program.Program, pred core.P
 		// Reissue: every instruction dispatched after a pending
 		// prediction's first use stays queued until it verifies.
 		if cfg.Recovery == RecoverReissue {
-			live := activePreds[:0]
-			for _, p := range activePreds {
+			live := r.activePreds[:0]
+			for _, p := range r.activePreds {
 				if p.verifyAt > dispatch {
 					live = append(live, p)
 					if p.useSeen && p.verifyAt > holdUntil {
@@ -445,7 +592,7 @@ func (s *Sim) RunContext(ctx context.Context, prog *program.Program, pred core.P
 					}
 				}
 			}
-			activePreds = live
+			r.activePreds = live
 		}
 
 		// ---- Issue: earliest cycle with a free unit and issue slot.
@@ -457,20 +604,20 @@ func (s *Sim) RunContext(ctx context.Context, prog *program.Program, pred core.P
 		var unit *capRing
 		switch cls {
 		case isa.ClassFPAdd, isa.ClassFPMul, isa.ClassFPDiv:
-			unit = fpCap
+			unit = r.fpCap
 		default:
-			unit = intCap
+			unit = r.intCap
 		}
 		for {
-			if issueCap.avail(t) && unit.avail(t) && (!isMem || lsCap.avail(t)) {
+			if r.issueCap.avail(t) && unit.avail(t) && (!isMem || r.lsCap.avail(t)) {
 				break
 			}
 			t++
 		}
-		issueCap.book(t)
+		r.issueCap.book(t)
 		unit.book(t)
 		if isMem {
-			lsCap.book(t)
+			r.lsCap.book(t)
 		}
 		issueAt := t
 
@@ -483,9 +630,9 @@ func (s *Sim) RunContext(ctx context.Context, prog *program.Program, pred core.P
 			}
 			doneAt += int64(lat)
 			if cls == isa.ClassLoad {
-				stats.Loads++
+				r.stats.Loads++
 			} else {
-				stats.Stores++
+				r.stats.Stores++
 			}
 		}
 
@@ -504,9 +651,9 @@ func (s *Sim) RunContext(ctx context.Context, prog *program.Program, pred core.P
 					verifyAt = predReady
 				}
 				pp := &pendingPred{verifyAt: verifyAt, doneAt: doneAt, wrong: !correct}
-				regPending[in.Rd] = pp
+				r.regPending[in.Rd] = pp
 				if cfg.Recovery == RecoverReissue {
-					activePreds = append(activePreds, pp)
+					r.activePreds = append(r.activePreds, pp)
 				}
 				switch {
 				case correct:
@@ -515,30 +662,30 @@ func (s *Sim) RunContext(ctx context.Context, prog *program.Program, pred core.P
 					if doneAt < rr {
 						rr = doneAt
 					}
-					regReady[in.Rd] = rr
+					r.regReady[in.Rd] = rr
 				case cfg.Recovery == RecoverRefetch:
-					regReady[in.Rd] = doneAt
+					r.regReady[in.Rd] = doneAt
 				default:
 					// Dependents reissue one cycle after the real value.
-					regReady[in.Rd] = doneAt + 1
+					r.regReady[in.Rd] = doneAt + 1
 				}
 				if cfg.Recovery == RecoverSelective && verifyAt > taintOut {
 					taintOut = verifyAt
 				}
 			} else {
-				regReady[in.Rd] = doneAt
-				regPending[in.Rd] = nil
+				r.regReady[in.Rd] = doneAt
+				r.regPending[in.Rd] = nil
 			}
 			if cfg.Recovery == RecoverSelective {
-				specUntil[in.Rd] = taintOut
+				r.specUntil[in.Rd] = taintOut
 			}
-			if e.NewDest == lvLast[idx] {
-				if doneAt < lvReady[idx] {
-					lvReady[idx] = doneAt
+			if e.NewDest == r.lvLast[idx] {
+				if doneAt < r.lvReady[idx] {
+					r.lvReady[idx] = doneAt
 				}
 			} else {
-				lvReady[idx] = doneAt
-				lvLast[idx] = e.NewDest
+				r.lvReady[idx] = doneAt
+				r.lvLast[idx] = e.NewDest
 			}
 		}
 
@@ -548,17 +695,17 @@ func (s *Sim) RunContext(ctx context.Context, prog *program.Program, pred core.P
 			qFree = holdUntil
 		}
 		if useFPQ {
-			fpIQ[fpN%uint64(cfg.FPIQ)] = qFree
-			fpN++
+			r.fpIQ[r.fpN%uint64(cfg.FPIQ)] = qFree
+			r.fpN++
 		} else {
-			intIQ[intN%uint64(cfg.IntIQ)] = qFree
-			intN++
+			r.intIQ[r.intN%uint64(cfg.IntIQ)] = qFree
+			r.intN++
 		}
 
 		// ---- Control transfers: predictor consultation and redirects.
 		if e.IsCTI {
-			stats.Branches++
-			s.handleCTI(e, idx, myFetch, doneAt, &minFetch, &fetchBlocks)
+			r.stats.Branches++
+			s.handleCTI(e, idx, myFetch, doneAt, &r.minFetch, &r.fetchBlocks)
 		}
 
 		// ---- Commit: in order, after completion and verification.
@@ -566,33 +713,33 @@ func (s *Sim) RunContext(ctx context.Context, prog *program.Program, pred core.P
 		if predicted && verifyAt+1 > commitAt {
 			commitAt = verifyAt + 1
 		}
-		if commitAt < lastCommit {
-			commitAt = lastCommit
+		if commitAt < r.lastCommit {
+			commitAt = r.lastCommit
 		}
-		for !commitCap.avail(commitAt) {
+		for !r.commitCap.avail(commitAt) {
 			commitAt++
 		}
-		commitCap.book(commitAt)
-		if wd > 0 && commitAt-lastCommit > wd {
+		r.commitCap.book(commitAt)
+		if wd > 0 && commitAt-r.lastCommit > wd {
 			finalize()
-			return stats, &simerr.SimError{
+			return r.stats, &simerr.SimError{
 				Stage: "pipeline", Workload: prog.Name,
 				PC: e.PC, Cycle: commitAt, HasPC: true, HasCycle: true,
 				Err: fmt.Errorf("no commit for %d cycles (watchdog %d): %w",
-					commitAt-lastCommit, wd, simerr.ErrNoProgress),
+					commitAt-r.lastCommit, wd, simerr.ErrNoProgress),
 			}
 		}
-		lastCommit = commitAt
-		window[winN%uint64(cfg.Window)] = commitAt
-		winN++
-		if commitAt > lastCycle {
-			lastCycle = commitAt
+		r.lastCommit = commitAt
+		r.window[r.winN%uint64(cfg.Window)] = commitAt
+		r.winN++
+		if commitAt > r.lastCycle {
+			r.lastCycle = commitAt
 		}
-		stats.Committed++
+		r.stats.Committed++
 		if m != nil {
 			m.observe(commitAt-myFetch, issueAt-dispatch, commitAt-dispatch)
-			if stats.Committed&(flushEvery-1) == 0 {
-				m.flush(&stats)
+			if r.stats.Committed&(flushEvery-1) == 0 {
+				m.flush(&r.stats)
 			}
 		}
 
@@ -611,6 +758,10 @@ func (s *Sim) RunContext(ctx context.Context, prog *program.Program, pred core.P
 				CommitAt:  commitAt,
 				Predicted: predicted,
 				Correct:   correct,
+				PC:        e.PC,
+				WroteRd:   e.WroteRd,
+				Rd:        in.Rd,
+				Value:     e.NewDest,
 			})
 		}
 		if emitEvents {
@@ -627,13 +778,14 @@ func (s *Sim) RunContext(ctx context.Context, prog *program.Program, pred core.P
 			s.obs.Emit(&ev)
 		}
 
+		r.coherent = true
 		if in.Op == isa.HALT {
 			break
 		}
 	}
 
 	finalize()
-	return stats, nil
+	return r.stats, nil
 }
 
 // handleCTI models the front end's interaction with one control transfer:

@@ -25,13 +25,22 @@ var (
 	// ErrInjected reports a deliberately injected fault (see
 	// internal/faultinject).
 	ErrInjected = errors.New("injected fault")
+	// ErrCorrupt reports a damaged durability artifact: a checkpoint
+	// file or journal record whose checksum, header, or geometry does
+	// not validate. Corruption is recoverable — callers discard the
+	// artifact and recompute — so this is never fatal to a sweep.
+	ErrCorrupt = errors.New("corrupt checkpoint or journal data")
+	// ErrDivergence reports that the lockstep differential harness
+	// found the timing pipeline committing a different (PC, dest-reg,
+	// value) stream or architectural state than the reference emulator.
+	ErrDivergence = errors.New("pipeline diverged from reference emulator")
 )
 
 // SimError is the simulator's structured error: which subsystem failed
 // and, when known, where in the run. Zero-valued coordinate fields mean
 // "unknown", not "cycle/PC zero"; HasPC/HasCycle disambiguate.
 type SimError struct {
-	Stage    string // failing subsystem: "pipeline", "mem", "core", "emu", "exp", "faultinject"
+	Stage    string // failing subsystem: "pipeline", "mem", "core", "emu", "exp", "faultinject", "checkpoint", "journal", "lockstep"
 	Workload string // workload / program name, when known
 	PC       uint64 // simulated-memory address of the faulting instruction
 	Cycle    int64  // simulated cycle of the failure

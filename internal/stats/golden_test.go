@@ -1,0 +1,99 @@
+package stats
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files with current output")
+
+// goldenTable builds the fixture exercised by every golden rendering:
+// a partial grid (one absent cell), two failed cells — one of which has
+// no row at all — and recovery-style footnotes.
+func goldenTable() *Table {
+	t := NewTable("Figure N. Speedup over no prediction", []string{"go", "li", "mgrid"})
+	t.AddRow("lvp_loads", "%.3f", map[string]float64{"go": 1.021, "li": 1.048, "mgrid": 1.012})
+	t.AddRow("drvp_loads", "%.3f", map[string]float64{"go": 1.035, "li": 1.062})
+	t.AddRow("drvp", "%.3f", map[string]float64{"go": 1.044, "li": 1.071, "mgrid": 1.009})
+	t.MarkFailed("drvp_loads", "mgrid", "simulated fault: oracle mismatch at pc 0x1040")
+	t.MarkFailed("grp", "go", "predictor construction failed")
+	t.AddNote("warning: journal: dropped 1 damaged tail record(s); affected cells re-run")
+	t.AddNote("failed: drvp_loads/mgrid: simulated fault: oracle mismatch at pc 0x1040")
+	return t
+}
+
+// checkGolden compares got against testdata/<name>, rewriting the file
+// under -update.
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading golden file (run `go test ./internal/stats -update` to create it): %v", err)
+	}
+	if string(got) != string(want) {
+		t.Errorf("%s does not match golden file:\n--- got\n%s--- want\n%s", name, got, want)
+	}
+}
+
+// TestGoldenText locks the fixed-width rendering: ERR markers in failed
+// cells, "-" in absent ones, and footnotes at the end.
+func TestGoldenText(t *testing.T) {
+	checkGolden(t, "table.txt", []byte(goldenTable().String()))
+}
+
+// TestGoldenMarkdown locks the markdown rendering of the same fixture.
+func TestGoldenMarkdown(t *testing.T) {
+	checkGolden(t, "table.md", []byte(goldenTable().Markdown()))
+}
+
+// TestGoldenJSON locks the machine-readable shape, including the sorted
+// failed-cell list and the row-less failed cell.
+func TestGoldenJSON(t *testing.T) {
+	b, err := json.MarshalIndent(goldenTable(), "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "table.json", append(b, '\n'))
+}
+
+// TestGoldenJSONRoundTrip: unmarshalling the golden JSON reproduces the
+// failure markers and notes (formats reset to the documented default).
+func TestGoldenJSONRoundTrip(t *testing.T) {
+	b, err := json.Marshal(goldenTable())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Table
+	if err := json.Unmarshal(b, &got); err != nil {
+		t.Fatal(err)
+	}
+	if reason, ok := got.Failed("drvp_loads", "mgrid"); !ok || reason != "simulated fault: oracle mismatch at pc 0x1040" {
+		t.Errorf("failed cell lost in round trip: %q, %v", reason, ok)
+	}
+	if reason, ok := got.Failed("grp", "go"); !ok || reason != "predictor construction failed" {
+		t.Errorf("row-less failed cell lost in round trip: %q, %v", reason, ok)
+	}
+	if len(got.Notes) != 2 {
+		t.Errorf("notes lost in round trip: %v", got.Notes)
+	}
+	b2, err := json.Marshal(&got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b2) != string(b) {
+		t.Errorf("JSON is not a fixed point of the round trip:\n%s\nvs\n%s", b, b2)
+	}
+}

@@ -1,6 +1,9 @@
 package rvpsim_test
 
 import (
+	"context"
+	"errors"
+	"path/filepath"
 	"testing"
 
 	"rvpsim"
@@ -226,5 +229,70 @@ func TestFacadeStorageBits(t *testing.T) {
 	}
 	if rvpsim.StorageBits(rvpsim.NoPrediction()) != 0 {
 		t.Error("NoPrediction has storage")
+	}
+}
+
+func TestFacadeCheckpointResume(t *testing.T) {
+	prog, err := rvpsim.Workload("li")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := rvpsim.BaselineConfig()
+	ref, err := rvpsim.Run(prog, cfg, rvpsim.DynamicRVP(), 30_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Run the first 12k instructions, checkpointing to disk along the way.
+	path := filepath.Join(t.TempDir(), "run.ckpt")
+	saves := 0
+	_, err = rvpsim.RunCheckpointed(context.Background(), prog, cfg, rvpsim.DynamicRVP(), 12_000, 4_000,
+		func(snap *rvpsim.Snapshot) error {
+			saves++
+			return rvpsim.SaveCheckpoint(path, snap)
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if saves == 0 {
+		t.Fatal("no periodic checkpoints taken")
+	}
+
+	// Resume from the last on-disk checkpoint: final stats must be
+	// identical to the uninterrupted run.
+	snap, err := rvpsim.LoadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := rvpsim.Resume(snap, prog, rvpsim.DynamicRVP(), 30_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != ref {
+		t.Errorf("resumed stats differ from uninterrupted run:\ngot  %+v\nwant %+v", got, ref)
+	}
+
+	// A resume against the wrong program is corruption, not garbage.
+	other, err := rvpsim.Workload("go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rvpsim.Resume(snap, other, rvpsim.DynamicRVP(), 30_000); !errors.Is(err, rvpsim.ErrCorrupt) {
+		t.Errorf("wrong-program resume: want ErrCorrupt, got %v", err)
+	}
+}
+
+func TestFacadeValidate(t *testing.T) {
+	prog, err := rvpsim.Workload("perl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := rvpsim.Validate(prog, rvpsim.BaselineConfig(),
+		rvpsim.DynamicRVP, rvpsim.LockstepOptions{MaxInsts: 20_000, CheckEvery: 5_000})
+	if err != nil {
+		t.Fatalf("divergence on a correct machine: %v", err)
+	}
+	if res.Committed == 0 || res.StateChecks == 0 {
+		t.Errorf("empty validation run: %+v", res)
 	}
 }
