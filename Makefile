@@ -4,11 +4,11 @@
 
 GO ?= go
 
-.PHONY: all ci vet build test race determinism lockstep bench fmt-check fuzz-smoke faults
+.PHONY: all ci vet build test race determinism lockstep bench bench-smoke fmt-check fuzz-smoke faults
 
 all: ci
 
-ci: fmt-check vet build race determinism faults fuzz-smoke
+ci: fmt-check vet build race determinism faults fuzz-smoke bench-smoke
 
 vet:
 	$(GO) vet ./...
@@ -32,8 +32,18 @@ determinism:
 lockstep:
 	$(GO) test -race -run TestLockstepAllWorkloads ./internal/lockstep/ -count 1
 
+# Full benchmark sweep through the regression harness: 3 averaged
+# repetitions of every benchmark, appended to BENCH_pipeline.json and
+# compared against the previous recorded run (>10% IPS drop fails).
 bench:
-	$(GO) test -bench . -benchtime 1x ./...
+	$(GO) run ./cmd/benchreg -compare
+
+# CI fast path: one short BenchmarkSimulator repetition through the same
+# harness, written to a throwaway file — proves the benchmark and the
+# harness still work without touching the tracked trajectory.
+bench-smoke:
+	$(GO) run ./cmd/benchreg -smoke -out BENCH_smoke.json
+	@rm -f BENCH_smoke.json
 
 # Short fuzzing pass: 30s per native fuzz target. Long exploratory runs
 # stay manual (go test -fuzz FuzzAssemble -fuzztime 10m ./internal/asm).

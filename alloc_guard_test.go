@@ -1,0 +1,55 @@
+package rvpsim_test
+
+// Steady-state allocation guard for the simulator hot loop. A Run has
+// unavoidable per-run setup cost (capacity rings, dense predictor
+// state, the memory page table), so absolute allocs/op is nonzero; what
+// must stay at zero is the marginal cost of simulating MORE
+// instructions. The guard therefore measures the delta between a long
+// and a short run: (allocs(300k) - allocs(100k)) / 200k extra
+// instructions must be ~0. Any per-commit allocation sneaking back into
+// the pipeline loop (pendingPred churn, trace records, map growth)
+// shows up here as thousands of allocations and fails loudly.
+
+import (
+	"testing"
+
+	"rvpsim"
+)
+
+const (
+	allocGuardShort = 100_000
+	allocGuardLong  = 300_000
+)
+
+func allocsForRun(t *testing.T, insts uint64) float64 {
+	t.Helper()
+	prog, err := rvpsim.Workload("li")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := rvpsim.BaselineConfig()
+	return testing.AllocsPerRun(3, func() {
+		if _, err := rvpsim.Run(prog, cfg, rvpsim.DynamicRVP(), insts); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestZeroAllocsPerCommit(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector instrumentation allocates; guard is meaningless under -race")
+	}
+	if testing.Short() {
+		t.Skip("simulates 1.2M instructions; skipped with -short")
+	}
+	short := allocsForRun(t, allocGuardShort)
+	long := allocsForRun(t, allocGuardLong)
+	perCommit := (long - short) / float64(allocGuardLong-allocGuardShort)
+	t.Logf("allocs: short(%d)=%.0f long(%d)=%.0f -> %.6f allocs/commit",
+		allocGuardShort, short, allocGuardLong, long, perCommit)
+	// Tolerance admits measurement noise (GC-triggered runtime allocs),
+	// not real per-commit allocation: one alloc per commit would read 1.0.
+	if perCommit > 0.001 {
+		t.Fatalf("steady-state allocation regression: %.6f allocs/commit (want ~0)", perCommit)
+	}
+}

@@ -1,0 +1,98 @@
+// Command benchreg runs the repository's benchmark suite and appends
+// the distilled result to the BENCH_pipeline.json trajectory.
+//
+// Usage:
+//
+//	benchreg [-out BENCH_pipeline.json] [-bench pattern] [-benchtime 3x]
+//	         [-count 3] [-label text] [-insts 300000]
+//	         [-compare] [-threshold 0.10] [-smoke]
+//
+// Default mode measures and appends. With -compare, the new run is
+// additionally checked against the previous entry that carries
+// simulator metrics: an IPS drop larger than -threshold (fractional)
+// exits nonzero — the run is still saved first, so the regression is on
+// record. -smoke is the CI fast path: one short BenchmarkSimulator
+// repetition written to a throwaway file, proving the harness and the
+// benchmark both still work without perturbing the tracked trajectory.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"rvpsim/internal/benchreg"
+)
+
+func main() {
+	var (
+		out       = flag.String("out", "BENCH_pipeline.json", "trajectory file to append to")
+		dir       = flag.String("dir", ".", "package directory holding bench_test.go")
+		pattern   = flag.String("bench", ".", "benchmark pattern (-bench regexp)")
+		benchtime = flag.String("benchtime", "3x", "per-benchmark time or iteration budget")
+		count     = flag.Int("count", 3, "repetitions to average")
+		label     = flag.String("label", "", "free-form label recorded on the run")
+		insts     = flag.Uint64("insts", 300_000, "instructions per BenchmarkSimulator iteration (bench_test.go benchInsts)")
+		compare   = flag.Bool("compare", false, "fail (exit 1) on IPS regression vs the previous recorded run")
+		threshold = flag.Float64("threshold", 0.10, "fractional IPS regression threshold for -compare")
+		smoke     = flag.Bool("smoke", false, "CI smoke: one short BenchmarkSimulator rep to a throwaway file")
+		verbose   = flag.Bool("v", false, "echo raw go test -bench output")
+	)
+	flag.Parse()
+
+	opts := benchreg.Options{
+		Dir:       *dir,
+		Pattern:   *pattern,
+		Benchtime: *benchtime,
+		Count:     *count,
+		Label:     *label,
+		SimInsts:  *insts,
+	}
+	if *smoke {
+		opts.Pattern = "^BenchmarkSimulator$"
+		opts.Benchtime = "1x"
+		opts.Count = 1
+		if opts.Label == "" {
+			opts.Label = "smoke"
+		}
+	}
+
+	run, text, err := benchreg.Execute(opts)
+	if err != nil {
+		fmt.Fprint(os.Stderr, text)
+		fmt.Fprintln(os.Stderr, "benchreg:", err)
+		os.Exit(1)
+	}
+	if *verbose || *smoke {
+		fmt.Print(text)
+	}
+
+	f, err := benchreg.Load(*out)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchreg:", err)
+		os.Exit(1)
+	}
+	prev := f.LastWithSim()
+	f.Runs = append(f.Runs, run)
+	if err := f.Save(*out); err != nil {
+		fmt.Fprintln(os.Stderr, "benchreg:", err)
+		os.Exit(1)
+	}
+
+	if run.Sim != nil {
+		fmt.Printf("benchreg: %s: %.0f sim_insts/s, %.1f ns/inst, %.5f allocs/commit (%d reps)\n",
+			run.GitSHA, run.Sim.IPS, run.Sim.NsPerInst, run.Sim.AllocsPerCommit, run.Iterations)
+		if prev != nil && prev.Sim.IPS > 0 {
+			fmt.Printf("benchreg: previous %s: %.0f sim_insts/s (%+.1f%%)\n",
+				prev.GitSHA, prev.Sim.IPS, (run.Sim.IPS/prev.Sim.IPS-1)*100)
+		}
+	}
+	fmt.Printf("benchreg: recorded run %d in %s\n", len(f.Runs), *out)
+
+	if *compare {
+		if err := benchreg.Compare(prev, &run, *threshold); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,165 @@
+// Package benchreg is the benchmark-regression harness: it runs the
+// repository's bench_test.go suite, distills the output into a compact
+// JSON trajectory (BENCH_pipeline.json), and compares new runs against
+// the previous entry with a configurable regression threshold.
+//
+// The trajectory file is append-only: every invocation adds one Run, so
+// the file records how simulator throughput evolved across commits (the
+// git SHA and timestamp are captured per run). cmd/experiments can
+// append per-sweep wall-time/IPS records into the same schema via its
+// -bench-out flag.
+package benchreg
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+
+	"rvpsim/internal/simerr"
+)
+
+// Schema identifies the BENCH JSON layout. Bump on incompatible change.
+const Schema = "rvpsim-bench/v1"
+
+// SimMetrics is the headline simulator-throughput measurement, taken
+// from BenchmarkSimulator.
+type SimMetrics struct {
+	IPS             float64 `json:"ips"`               // committed sim instructions / wall second
+	NsPerInst       float64 `json:"ns_per_inst"`       // inverse, in nanoseconds
+	AllocsPerCommit float64 `json:"allocs_per_commit"` // heap allocations per committed instruction
+}
+
+// FigureTime is the wall time of one figure/table benchmark.
+type FigureTime struct {
+	Name        string  `json:"name"`
+	WallSeconds float64 `json:"wall_seconds"`
+}
+
+// SweepRecord is one experiment-sweep measurement appended by
+// `cmd/experiments -bench-out`.
+type SweepRecord struct {
+	Name        string  `json:"name"`
+	WallSeconds float64 `json:"wall_seconds"`
+	Insts       uint64  `json:"insts,omitempty"`
+	IPS         float64 `json:"ips,omitempty"`
+}
+
+// Run is one trajectory entry: where (git SHA), when, and what was
+// measured.
+type Run struct {
+	GitSHA     string        `json:"git_sha"`
+	Timestamp  string        `json:"timestamp"` // RFC 3339, UTC
+	GoVersion  string        `json:"go_version,omitempty"`
+	Label      string        `json:"label,omitempty"`
+	Iterations int           `json:"iterations,omitempty"`
+	Sim        *SimMetrics   `json:"sim,omitempty"`
+	Figures    []FigureTime  `json:"figures,omitempty"`
+	Sweeps     []SweepRecord `json:"sweeps,omitempty"`
+}
+
+// File is the whole trajectory.
+type File struct {
+	Schema string `json:"schema"`
+	Runs   []Run  `json:"runs"`
+}
+
+// Load reads a trajectory file. A missing file is not an error: it
+// returns an empty trajectory ready to append to. A present-but-invalid
+// file is an error wrapping simerr.ErrCorrupt.
+func Load(path string) (*File, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return &File{Schema: Schema}, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("benchreg: %w", err)
+	}
+	var f File
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("benchreg: %s: %v: %w", path, err, simerr.ErrCorrupt)
+	}
+	if f.Schema != Schema {
+		return nil, fmt.Errorf("benchreg: %s: schema %q, want %q: %w", path, f.Schema, Schema, simerr.ErrCorrupt)
+	}
+	return &f, nil
+}
+
+// Save writes the trajectory as indented JSON (atomically via a
+// temp-file rename, so a crash cannot truncate the history).
+func (f *File) Save(path string) error {
+	f.Schema = Schema
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return fmt.Errorf("benchreg: %w", err)
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("benchreg: %w", err)
+	}
+	return os.Rename(tmp, path)
+}
+
+// LastWithSim returns the most recent run carrying simulator metrics,
+// or nil.
+func (f *File) LastWithSim() *Run {
+	for i := len(f.Runs) - 1; i >= 0; i-- {
+		if f.Runs[i].Sim != nil {
+			return &f.Runs[i]
+		}
+	}
+	return nil
+}
+
+// Compare checks cur against prev: an IPS drop larger than threshold
+// (fractional, e.g. 0.10 = 10%) is a regression error. Either run
+// lacking sim metrics compares clean.
+func Compare(prev, cur *Run, threshold float64) error {
+	if prev == nil || cur == nil || prev.Sim == nil || cur.Sim == nil || prev.Sim.IPS <= 0 {
+		return nil
+	}
+	drop := 1 - cur.Sim.IPS/prev.Sim.IPS
+	if drop > threshold {
+		return fmt.Errorf("benchreg: IPS regression %.1f%% (%.0f -> %.0f insts/s, threshold %.0f%%)",
+			drop*100, prev.Sim.IPS, cur.Sim.IPS, threshold*100)
+	}
+	return nil
+}
+
+// BuildRun distills parsed benchmark output into a trajectory entry.
+// simInsts is the per-iteration instruction budget of BenchmarkSimulator
+// (bench_test.go's benchInsts), used to scale allocs/op to allocs per
+// committed instruction.
+func BuildRun(p *Parsed, simInsts uint64, gitSHA, timestamp, goVersion, label string, iterations int) Run {
+	run := Run{
+		GitSHA:     gitSHA,
+		Timestamp:  timestamp,
+		GoVersion:  goVersion,
+		Label:      label,
+		Iterations: iterations,
+	}
+	var names []string
+	for name := range p.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		b := p.Benchmarks[name]
+		if name == "BenchmarkSimulator" {
+			sim := &SimMetrics{
+				IPS:       b.Metric("sim_insts/s"),
+				NsPerInst: b.Metric("ns/op") / float64(simInsts),
+			}
+			if allocs, ok := b.Metrics["allocs/op"]; ok && simInsts > 0 {
+				sim.AllocsPerCommit = allocs / float64(simInsts)
+			}
+			run.Sim = sim
+			continue
+		}
+		run.Figures = append(run.Figures, FigureTime{
+			Name:        name,
+			WallSeconds: b.Metric("ns/op") / 1e9,
+		})
+	}
+	return run
+}

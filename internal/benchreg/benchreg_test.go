@@ -1,0 +1,124 @@
+package benchreg
+
+import (
+	"errors"
+	"math"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"rvpsim/internal/simerr"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: rvpsim
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkFigure1-8 	       1	 812345678 ns/op	        62.50 orlvp_%	 1024 B/op	       10 allocs/op
+BenchmarkSimulator-8 	       3	  25000000 ns/op	  12000000 sim_insts/s	 5126768 B/op	      75 allocs/op
+BenchmarkSimulator-8 	       3	  24000000 ns/op	  13000000 sim_insts/s	 5126768 B/op	      75 allocs/op
+PASS
+ok  	rvpsim	0.419s
+`
+
+func TestParseBenchOutput(t *testing.T) {
+	p, err := ParseBenchOutput(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := p.Benchmarks["BenchmarkSimulator"]
+	if sim == nil {
+		t.Fatal("BenchmarkSimulator not parsed")
+	}
+	if sim.Samples != 2 {
+		t.Fatalf("samples = %d, want 2 (repetitions aggregated)", sim.Samples)
+	}
+	if got, want := sim.Metric("sim_insts/s"), 12_500_000.0; math.Abs(got-want) > 1 {
+		t.Errorf("sim_insts/s = %v, want %v", got, want)
+	}
+	if got, want := sim.Metric("ns/op"), 24_500_000.0; math.Abs(got-want) > 1 {
+		t.Errorf("ns/op = %v, want %v", got, want)
+	}
+	fig := p.Benchmarks["BenchmarkFigure1"]
+	if fig == nil || fig.Metric("orlvp_%") != 62.50 {
+		t.Errorf("Figure1 custom metric not parsed: %+v", fig)
+	}
+}
+
+func TestParseBenchOutputFailure(t *testing.T) {
+	_, err := ParseBenchOutput(strings.NewReader("--- FAIL: TestX\nFAIL\n"))
+	if !errors.Is(err, simerr.ErrCorrupt) {
+		t.Fatalf("err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestBuildRun(t *testing.T) {
+	p, err := ParseBenchOutput(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := BuildRun(p, 300_000, "abc123", "2026-08-05T00:00:00Z", "go1.x", "test", 2)
+	if run.Sim == nil {
+		t.Fatal("no sim metrics")
+	}
+	if math.Abs(run.Sim.IPS-12_500_000) > 1 {
+		t.Errorf("IPS = %v", run.Sim.IPS)
+	}
+	if want := 24_500_000.0 / 300_000; math.Abs(run.Sim.NsPerInst-want) > 1e-9 {
+		t.Errorf("NsPerInst = %v, want %v", run.Sim.NsPerInst, want)
+	}
+	if want := 75.0 / 300_000; math.Abs(run.Sim.AllocsPerCommit-want) > 1e-12 {
+		t.Errorf("AllocsPerCommit = %v, want %v", run.Sim.AllocsPerCommit, want)
+	}
+	if len(run.Figures) != 1 || run.Figures[0].Name != "BenchmarkFigure1" {
+		t.Fatalf("figures = %+v", run.Figures)
+	}
+	if want := 812345678.0 / 1e9; math.Abs(run.Figures[0].WallSeconds-want) > 1e-9 {
+		t.Errorf("figure wall seconds = %v, want %v", run.Figures[0].WallSeconds, want)
+	}
+}
+
+func TestCompare(t *testing.T) {
+	prev := &Run{Sim: &SimMetrics{IPS: 10_000_000}}
+	ok := &Run{Sim: &SimMetrics{IPS: 9_500_000}}  // -5%: within 10%
+	bad := &Run{Sim: &SimMetrics{IPS: 8_000_000}} // -20%: regression
+	if err := Compare(prev, ok, 0.10); err != nil {
+		t.Errorf("5%% drop flagged: %v", err)
+	}
+	if err := Compare(prev, bad, 0.10); err == nil {
+		t.Error("20% drop not flagged")
+	}
+	if err := Compare(nil, bad, 0.10); err != nil {
+		t.Errorf("nil prev must compare clean: %v", err)
+	}
+	if err := Compare(&Run{}, bad, 0.10); err != nil {
+		t.Errorf("prev without sim metrics must compare clean: %v", err)
+	}
+}
+
+func TestLoadSaveRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "BENCH_pipeline.json")
+
+	f, err := Load(path) // missing file -> empty trajectory
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Runs) != 0 {
+		t.Fatalf("fresh trajectory has %d runs", len(f.Runs))
+	}
+	f.Runs = append(f.Runs, Run{GitSHA: "abc", Timestamp: "t", Sim: &SimMetrics{IPS: 1e7}})
+	if err := f.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	g, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Runs) != 1 || g.Runs[0].GitSHA != "abc" || g.Runs[0].Sim.IPS != 1e7 {
+		t.Fatalf("round trip mismatch: %+v", g.Runs)
+	}
+	if g.LastWithSim() == nil {
+		t.Fatal("LastWithSim lost the run")
+	}
+}

@@ -1,0 +1,99 @@
+package benchreg
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"rvpsim/internal/simerr"
+)
+
+// Bench is the aggregated result of one benchmark across -count
+// repetitions: for every reported unit, the mean of the per-repetition
+// values (ns/op, sim_insts/s, allocs/op, custom metrics, ...).
+type Bench struct {
+	Name    string
+	Samples int
+	Metrics map[string]float64
+}
+
+// Metric returns the mean value for unit (0 when absent).
+func (b *Bench) Metric(unit string) float64 { return b.Metrics[unit] }
+
+// Parsed is the distilled output of one `go test -bench` invocation.
+type Parsed struct {
+	Benchmarks map[string]*Bench
+}
+
+// ParseBenchOutput parses standard `go test -bench` text output.
+// Benchmark lines have the shape
+//
+//	BenchmarkSimulator-8   3   26446282 ns/op   11343948 sim_insts/s   74 allocs/op
+//
+// i.e. name, iteration count, then value/unit pairs. Repetitions of the
+// same benchmark (-count > 1) are averaged. Non-benchmark lines (goos,
+// pkg, PASS, ok) are ignored. Zero benchmark lines in a stream that
+// claims a failure ("FAIL") is an error wrapping simerr.ErrCorrupt.
+func ParseBenchOutput(r io.Reader) (*Parsed, error) {
+	p := &Parsed{Benchmarks: map[string]*Bench{}}
+	sums := map[string]map[string]float64{}
+	counts := map[string]int{}
+	failed := false
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "FAIL") || strings.Contains(line, "--- FAIL") {
+			failed = true
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 || len(fields)%2 != 0 {
+			continue
+		}
+		// Strip the -GOMAXPROCS suffix so repetitions aggregate by name.
+		name := fields[0]
+		if i := strings.LastIndexByte(name, '-'); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		if _, err := strconv.ParseUint(fields[1], 10, 64); err != nil {
+			continue
+		}
+		if sums[name] == nil {
+			sums[name] = map[string]float64{}
+		}
+		ok := true
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				ok = false
+				break
+			}
+			sums[name][fields[i+1]] += v
+		}
+		if ok {
+			counts[name]++
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("benchreg: %w", err)
+	}
+	if failed {
+		return nil, fmt.Errorf("benchreg: benchmark run failed: %w", simerr.ErrCorrupt)
+	}
+	for name, n := range counts {
+		b := &Bench{Name: name, Samples: n, Metrics: map[string]float64{}}
+		for unit, sum := range sums[name] {
+			b.Metrics[unit] = sum / float64(n)
+		}
+		p.Benchmarks[name] = b
+	}
+	return p, nil
+}

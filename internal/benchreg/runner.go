@@ -1,0 +1,67 @@
+package benchreg
+
+import (
+	"bytes"
+	"fmt"
+	"os/exec"
+	"runtime"
+	"strings"
+	"time"
+
+	"rvpsim/internal/obs"
+)
+
+// Options configures one harness invocation.
+type Options struct {
+	Dir       string // repository root (package with bench_test.go); "" = cwd
+	Pattern   string // -bench regexp; "" = "."
+	Benchtime string // -benchtime; "" = "1x"
+	Count     int    // -count repetitions; <= 0 = 1
+	Label     string // recorded on the Run entry
+	SimInsts  uint64 // bench_test.go's per-iteration instruction budget
+}
+
+// Execute runs `go test -run ^$ -bench ... -benchmem` in opts.Dir,
+// parses the output, and distills it into a trajectory Run stamped with
+// the current git SHA and UTC time. The benchmark process's combined
+// output is returned for logging either way.
+func Execute(opts Options) (Run, string, error) {
+	if opts.Pattern == "" {
+		opts.Pattern = "."
+	}
+	if opts.Benchtime == "" {
+		opts.Benchtime = "1x"
+	}
+	if opts.Count <= 0 {
+		opts.Count = 1
+	}
+	args := []string{
+		"test", "-run", "^$",
+		"-bench", opts.Pattern,
+		"-benchtime", opts.Benchtime,
+		"-count", fmt.Sprint(opts.Count),
+		"-benchmem",
+		".",
+	}
+	cmd := exec.Command("go", args...)
+	cmd.Dir = opts.Dir
+	var out bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &out
+	runErr := cmd.Run()
+	text := out.String()
+	if runErr != nil {
+		return Run{}, text, fmt.Errorf("benchreg: go test: %w", runErr)
+	}
+	parsed, err := ParseBenchOutput(strings.NewReader(text))
+	if err != nil {
+		return Run{}, text, err
+	}
+	run := BuildRun(parsed, opts.SimInsts,
+		obs.GitDescribe(opts.Dir),
+		time.Now().UTC().Format(time.RFC3339),
+		runtime.Version(),
+		opts.Label,
+		opts.Count)
+	return run, text, nil
+}

@@ -31,7 +31,7 @@ var magic = [8]byte{'R', 'V', 'P', 'C', 'K', 'P', 'T', '\n'}
 // Version is the current checkpoint format version. Bump it whenever
 // the Snapshot schema changes incompatibly; old files then fail loudly
 // as corrupt/unsupported rather than misrestoring.
-const Version uint32 = 1
+const Version uint32 = 2
 
 var crcTable = crc64.MakeTable(crc64.ECMA)
 

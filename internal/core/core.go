@@ -92,6 +92,16 @@ type Predictor interface {
 	Reset()
 }
 
+// SizeHinter is implemented by predictors whose per-static-instruction
+// state can be pre-sized. The pipeline calls SizeHint(len(prog.Insts))
+// before simulation so the commit path never grows a slice; predictors
+// remain correct (growing on demand) when the hint is never given.
+// SizeHint is idempotent and monotonic: calling it again with a smaller
+// n is a no-op.
+type SizeHinter interface {
+	SizeHint(n int)
+}
+
 // CounterConfig configures a table of 3-bit resetting confidence counters.
 type CounterConfig struct {
 	Entries   int   // table entries (power of two)

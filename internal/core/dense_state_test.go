@@ -1,0 +1,115 @@
+package core
+
+import (
+	"encoding/json"
+	"testing"
+
+	"rvpsim/internal/isa"
+)
+
+// The dense per-static-instruction state (lastOut slices, eligibility
+// memos) is an internal layout choice and must stay invisible to
+// checkpoints: a predictor pre-sized with SizeHint and one growing on
+// demand must serialize byte-identically after the same history, and a
+// snapshot must restore into either shape. These tests pin that down
+// for every SizeHinter predictor.
+
+// densePairs builds two identically configured instances per predictor;
+// callers hint one and leave the other to grow on demand.
+func densePairs() map[string][2]Predictor {
+	return map[string][2]Predictor{
+		"dynamic": {
+			MustDynamicRVP(DefaultCounterConfig()),
+			MustDynamicRVP(DefaultCounterConfig()),
+		},
+		"dynamic-loads": {
+			MustDynamicRVP(DefaultCounterConfig(), LoadsOnly()),
+			MustDynamicRVP(DefaultCounterConfig(), LoadsOnly()),
+		},
+		"static": {
+			NewStaticRVP("s", map[int]bool{1: true, 5: true, 40: true}, nil),
+			NewStaticRVP("s", map[int]bool{1: true, 5: true, 40: true}, nil),
+		},
+		"lvp": {
+			MustLVP(DefaultLVPConfig(), "lvp"),
+			MustLVP(DefaultLVPConfig(), "lvp"),
+		},
+		"gabbay": {
+			MustGabbayRVP(DefaultCounterConfig(), false),
+			MustGabbayRVP(DefaultCounterConfig(), false),
+		},
+	}
+}
+
+// driveLockstep feeds both predictors the same pseudo-random history,
+// failing on any Decide divergence along the way. Like a real program
+// (and like the pipeline that hosts these predictors), each static
+// index maps to one fixed instruction — the eligibility memo depends on
+// that invariant — while execution order and values are random.
+func driveLockstep(t *testing.T, name string, a, b Predictor, seed uint64, steps int) {
+	t.Helper()
+	ops := []isa.Op{isa.ADD, isa.LDQ, isa.STQ, isa.MUL, isa.LDT, isa.NOP}
+	rng := &propRNG{s: seed}
+	prog := make([]isa.Inst, 64)
+	for i := range prog {
+		prog[i] = isa.Inst{Op: ops[rng.intn(len(ops))], Rd: isa.Reg(rng.intn(30)), Ra: isa.Reg(rng.intn(30))}
+	}
+	for step := 0; step < steps; step++ {
+		idx := rng.intn(len(prog))
+		in := prog[idx]
+		da, db := a.Decide(idx, in), b.Decide(idx, in)
+		if da != db {
+			t.Fatalf("%s: step %d: Decide diverged: %+v vs %+v", name, step, da, db)
+		}
+		val := rng.next() % 8
+		a.Commit(idx, in, da.Value, val)
+		b.Commit(idx, in, db.Value, val)
+	}
+}
+
+func snapshotJSON(t *testing.T, p Predictor) []byte {
+	t.Helper()
+	data, err := json.Marshal(p.(Checkpointable).SnapshotState())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// TestSnapshotCanonicalAcrossSizeHint: pre-sizing dense state must not
+// leak into the serialized snapshot (trailing zeros are trimmed), so a
+// hinted and an unhinted predictor with the same history snapshot
+// identically.
+func TestSnapshotCanonicalAcrossSizeHint(t *testing.T) {
+	for name, pair := range densePairs() {
+		hinted, bare := pair[0], pair[1]
+		hinted.(SizeHinter).SizeHint(256)
+		driveLockstep(t, name, hinted, bare, 42, 4000)
+		sa, sb := snapshotJSON(t, hinted), snapshotJSON(t, bare)
+		if string(sa) != string(sb) {
+			t.Errorf("%s: snapshot depends on SizeHint:\nhinted: %s\nbare:   %s", name, sa, sb)
+		}
+	}
+}
+
+// TestRestoreAcrossSizeHint: a snapshot taken from an on-demand-grown
+// predictor must restore into a pre-sized one (and vice versa) with
+// identical subsequent behavior and identical re-snapshots.
+func TestRestoreAcrossSizeHint(t *testing.T) {
+	for name, pair := range densePairs() {
+		src, cold := pair[0], pair[1]
+		// Build history on the unhinted source.
+		driveLockstep(t, name, src, src, 7, 2000) // a==b: just drives it
+		snap := src.(Checkpointable).SnapshotState()
+		// Restore into a generously pre-sized twin.
+		cold.(SizeHinter).SizeHint(512)
+		if err := cold.(Checkpointable).RestoreState(snap); err != nil {
+			t.Fatalf("%s: restore into pre-sized predictor: %v", name, err)
+		}
+		if sa, sb := snapshotJSON(t, src), snapshotJSON(t, cold); string(sa) != string(sb) {
+			t.Fatalf("%s: re-snapshot differs after restore:\nsrc:      %s\nrestored: %s", name, sa, sb)
+		}
+		// Post-restore behavior must track the original exactly.
+		driveLockstep(t, name, src, cold, 99, 2000)
+	}
+}

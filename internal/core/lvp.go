@@ -45,6 +45,8 @@ type LVP struct {
 	tags   []int32
 	ctr    []uint8
 
+	elig []uint8 // per-static-instruction eligibility memo (SizeHint)
+
 	// Statistics (cleared by Reset).
 	Decides   uint64 // Decide consultations on eligible instructions
 	TagMisses uint64 // consultations that missed on the tag
@@ -87,7 +89,14 @@ func (p *LVP) Name() string { return p.name }
 
 func (p *LVP) index(pc int) int { return pc & (p.cfg.Entries - 1) }
 
-func (p *LVP) eligible(in isa.Inst) bool {
+// SizeHint implements SizeHinter: sizes the eligibility memo.
+func (p *LVP) SizeHint(n int) {
+	if n > 0 && len(p.elig) < n {
+		p.elig = make([]uint8, n)
+	}
+}
+
+func (p *LVP) eligibleSlow(in isa.Inst) bool {
 	if !in.WritesReg() {
 		return false
 	}
@@ -97,10 +106,29 @@ func (p *LVP) eligible(in isa.Inst) bool {
 	return isa.Classify(in.Op) != isa.ClassBranch
 }
 
+func (p *LVP) eligible(idx int, in isa.Inst) bool {
+	if idx < len(p.elig) {
+		switch p.elig[idx] {
+		case eligYes:
+			return true
+		case eligNo:
+			return false
+		}
+		ok := p.eligibleSlow(in)
+		if ok {
+			p.elig[idx] = eligYes
+		} else {
+			p.elig[idx] = eligNo
+		}
+		return ok
+	}
+	return p.eligibleSlow(in)
+}
+
 // Decide implements Predictor: predict the stored value when the entry
 // matches (tagged) and the counter is confident.
 func (p *LVP) Decide(idx int, in isa.Inst) Decision {
-	if !p.eligible(in) {
+	if !p.eligible(idx, in) {
 		return Decision{}
 	}
 	p.Decides++
@@ -125,7 +153,7 @@ func (p *LVP) PredictedValue(idx int) uint64 { return p.values[p.index(idx)] }
 // stored value, which may differ from the rename-time snapshot when an
 // intervening dynamic instance updated the entry.
 func (p *LVP) Commit(idx int, in isa.Inst, predicted, actual uint64) {
-	if !p.eligible(in) {
+	if !p.eligible(idx, in) {
 		return
 	}
 	i := p.index(idx)
@@ -155,6 +183,9 @@ func (p *LVP) Reset() {
 	}
 	for i := range p.tags {
 		p.tags[i] = -1
+	}
+	for i := range p.elig {
+		p.elig[i] = eligUnknown
 	}
 	p.Decides, p.TagMisses, p.TagSteals = 0, 0, 0
 }

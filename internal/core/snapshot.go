@@ -66,12 +66,32 @@ func (t *CounterTable) RestoreState(s CounterTableState) error {
 	return nil
 }
 
-func cloneIntMap(m map[int]uint64) map[int]uint64 {
-	c := make(map[int]uint64, len(m))
-	for k, v := range m {
-		c[k] = v
+// canonU64 returns a canonical copy of a dense last-output slice: trailing
+// zeros are trimmed so the serialized state is independent of how large a
+// SizeHint the source predictor received (a restored-then-resnapshotted
+// state is byte-identical to the original).
+func canonU64(s []uint64) []uint64 {
+	n := len(s)
+	for n > 0 && s[n-1] == 0 {
+		n--
 	}
-	return c
+	if n == 0 {
+		return nil
+	}
+	return append([]uint64(nil), s[:n]...)
+}
+
+// restoreU64 loads a canonical snapshot slice into dst, preserving dst's
+// pre-sized length when it is already large enough.
+func restoreU64(dst, src []uint64) []uint64 {
+	if len(src) > len(dst) {
+		return append([]uint64(nil), src...)
+	}
+	copy(dst, src)
+	for i := len(src); i < len(dst); i++ {
+		dst[i] = 0
+	}
+	return dst
 }
 
 // wrongState builds the standard type-mismatch error.
@@ -79,17 +99,19 @@ func wrongState(who string, got PredictorState) error {
 	return fmt.Errorf("core: %s: predictor state has wrong type %T: %w", who, got, simerr.ErrCorrupt)
 }
 
-// DynamicRVPState is the dynamic state of a DynamicRVP.
+// DynamicRVPState is the dynamic state of a DynamicRVP. LastOut is the
+// dense per-static-instruction last-output array with trailing zeros
+// trimmed (schema changed from a map at checkpoint Version 2).
 type DynamicRVPState struct {
 	Counters CounterTableState
-	LastOut  map[int]uint64
+	LastOut  []uint64
 }
 
 func (DynamicRVPState) predictorState() {}
 
 // SnapshotState implements Checkpointable.
 func (p *DynamicRVP) SnapshotState() PredictorState {
-	return DynamicRVPState{Counters: p.counters.SnapshotState(), LastOut: cloneIntMap(p.lastOut)}
+	return DynamicRVPState{Counters: p.counters.SnapshotState(), LastOut: canonU64(p.lastOut)}
 }
 
 // RestoreState implements Checkpointable.
@@ -101,20 +123,21 @@ func (p *DynamicRVP) RestoreState(s PredictorState) error {
 	if err := p.counters.RestoreState(st.Counters); err != nil {
 		return err
 	}
-	p.lastOut = cloneIntMap(st.LastOut)
+	p.lastOut = restoreU64(p.lastOut, st.LastOut)
 	return nil
 }
 
-// StaticRVPState is the dynamic state of a StaticRVP.
+// StaticRVPState is the dynamic state of a StaticRVP. LastOut follows the
+// same dense, trailing-zero-trimmed convention as DynamicRVPState.
 type StaticRVPState struct {
-	LastOut map[int]uint64
+	LastOut []uint64
 }
 
 func (StaticRVPState) predictorState() {}
 
 // SnapshotState implements Checkpointable.
 func (p *StaticRVP) SnapshotState() PredictorState {
-	return StaticRVPState{LastOut: cloneIntMap(p.lastOut)}
+	return StaticRVPState{LastOut: canonU64(p.lastOut)}
 }
 
 // RestoreState implements Checkpointable.
@@ -123,7 +146,7 @@ func (p *StaticRVP) RestoreState(s PredictorState) error {
 	if !ok {
 		return wrongState(p.name, s)
 	}
-	p.lastOut = cloneIntMap(st.LastOut)
+	p.lastOut = restoreU64(p.lastOut, st.LastOut)
 	return nil
 }
 

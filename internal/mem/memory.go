@@ -16,46 +16,143 @@ const pageBits = 16
 const pageSize = 1 << pageBits
 const pageWords = pageSize / 8
 
+// Two-level split of the 48-bit page number: the flat root directory is
+// indexed by the page number's high bits and each leaf directory covers
+// dirSize contiguous pages. The flat root spans the low
+// 1<<(pageBits+dirBits+rootBits) bytes (512 GiB) of the address space,
+// which covers every address the workloads, the default code/stack
+// layout, and any realistic program touch; the rare page beyond it (a
+// wrapped or garbage effective address) falls back to a sparse overflow
+// map keyed by root index, so semantics over the full 64-bit space are
+// unchanged.
+const dirBits = 10
+const dirSize = 1 << dirBits // pages per leaf; one leaf spans 64 MiB
+const rootBits = 13
+const rootSize = 1 << rootBits // flat root entries
+
+// pageDir is one leaf directory of the two-level page table.
+type pageDir [dirSize][]uint64
+
 // Memory is a sparse, paged, 64-bit-word-addressable flat memory. All
-// accesses used by the ISA are aligned 64-bit words.
+// accesses used by the ISA are aligned 64-bit words. Lookups go through
+// a one-entry last-page cache and then a two-level flat page table, so
+// the read/write hot path performs no map or hash operations.
 type Memory struct {
-	pages map[uint64][]uint64
+	root     []*pageDir          // flat root directory (low 512 GiB)
+	high     map[uint64]*pageDir // overflow leaves beyond the flat span
+	resident int                 // allocated pages
+
+	// Last-page cache: the page most recently touched. lastPage == nil
+	// means the cache is empty (page number 0 is valid, so the page
+	// pointer, not the number, is the validity flag).
+	lastPN   uint64
+	lastPage []uint64
 }
 
 // NewMemory returns an empty memory; unwritten locations read as zero.
 func NewMemory() *Memory {
-	return &Memory{pages: make(map[uint64][]uint64)}
+	return &Memory{root: make([]*pageDir, rootSize)}
+}
+
+// lookup returns the page for page number pn, nil when not resident.
+func (m *Memory) lookup(pn uint64) []uint64 {
+	di := pn >> dirBits
+	var d *pageDir
+	if di < rootSize {
+		d = m.root[di]
+	} else {
+		d = m.high[di]
+	}
+	if d == nil {
+		return nil
+	}
+	return d[pn&(dirSize-1)]
+}
+
+// ensure returns the page for page number pn, allocating the leaf
+// directory and the page as needed.
+func (m *Memory) ensure(pn uint64) []uint64 {
+	di := pn >> dirBits
+	var d *pageDir
+	if di < rootSize {
+		if d = m.root[di]; d == nil {
+			d = new(pageDir)
+			m.root[di] = d
+		}
+	} else {
+		if d = m.high[di]; d == nil {
+			if m.high == nil {
+				m.high = make(map[uint64]*pageDir)
+			}
+			d = new(pageDir)
+			m.high[di] = d
+		}
+	}
+	page := d[pn&(dirSize-1)]
+	if page == nil {
+		page = make([]uint64, pageWords)
+		d[pn&(dirSize-1)] = page
+		m.resident++
+	}
+	return page
+}
+
+// forEachPage visits every resident page (order unspecified).
+func (m *Memory) forEachPage(fn func(pn uint64, page []uint64)) {
+	for di, d := range m.root {
+		if d == nil {
+			continue
+		}
+		for i, page := range d {
+			if page != nil {
+				fn(uint64(di)<<dirBits|uint64(i), page)
+			}
+		}
+	}
+	for di, d := range m.high {
+		for i, page := range d {
+			if page != nil {
+				fn(di<<dirBits|uint64(i), page)
+			}
+		}
+	}
 }
 
 // ReadWord reads the aligned 64-bit word at addr (low 3 bits ignored).
 func (m *Memory) ReadWord(addr uint64) uint64 {
-	page, ok := m.pages[addr>>pageBits]
-	if !ok {
+	pn := addr >> pageBits
+	if pn == m.lastPN && m.lastPage != nil {
+		return m.lastPage[addr>>3&(pageWords-1)]
+	}
+	page := m.lookup(pn)
+	if page == nil {
 		return 0
 	}
+	m.lastPN, m.lastPage = pn, page
 	return page[addr>>3&(pageWords-1)]
 }
 
 // WriteWord writes the aligned 64-bit word at addr.
 func (m *Memory) WriteWord(addr uint64, v uint64) {
-	key := addr >> pageBits
-	page, ok := m.pages[key]
-	if !ok {
-		page = make([]uint64, pageWords)
-		m.pages[key] = page
+	pn := addr >> pageBits
+	if pn == m.lastPN && m.lastPage != nil {
+		m.lastPage[addr>>3&(pageWords-1)] = v
+		return
 	}
+	page := m.ensure(pn)
+	m.lastPN, m.lastPage = pn, page
 	page[addr>>3&(pageWords-1)] = v
 }
 
 // Footprint returns the number of resident simulated pages.
-func (m *Memory) Footprint() int { return len(m.pages) }
+func (m *Memory) Footprint() int { return m.resident }
 
 // Clone returns an independent copy of the memory image.
 func (m *Memory) Clone() *Memory {
 	c := NewMemory()
-	for k, p := range m.pages {
-		c.pages[k] = append([]uint64(nil), p...)
-	}
+	m.forEachPage(func(pn uint64, page []uint64) {
+		copy(c.ensure(pn), page)
+	})
 	return c
 }
 
@@ -93,6 +190,7 @@ type Cache struct {
 	cfg      CacheConfig
 	sets     int
 	lineBits uint
+	setBits  uint // log2(sets), precomputed off the probe path
 	setMask  uint64
 	tags     []uint64 // sets*assoc entries
 	valid    []bool
@@ -120,6 +218,7 @@ func NewCache(cfg CacheConfig) (*Cache, error) {
 		cfg:      cfg,
 		sets:     sets,
 		lineBits: lb,
+		setBits:  uint(log2(sets)),
 		setMask:  uint64(sets - 1),
 		tags:     make([]uint64, sets*cfg.Assoc),
 		valid:    make([]bool, sets*cfg.Assoc),
@@ -155,7 +254,7 @@ func (c *Cache) Access(addr uint64) bool {
 func (c *Cache) Probe(addr uint64, now int64) (bool, int64) {
 	line := addr >> c.lineBits
 	set := int(line & c.setMask)
-	tag := line >> uint(log2(c.sets))
+	tag := line >> c.setBits
 	base := set * c.cfg.Assoc
 	for w := 0; w < c.cfg.Assoc; w++ {
 		if c.valid[base+w] && c.tags[base+w] == tag {
@@ -177,7 +276,7 @@ func (c *Cache) Probe(addr uint64, now int64) (bool, int64) {
 func (c *Cache) Install(addr uint64, fillDone int64) {
 	line := addr >> c.lineBits
 	set := int(line & c.setMask)
-	tag := line >> uint(log2(c.sets))
+	tag := line >> c.setBits
 	base := set * c.cfg.Assoc
 	victim := 0
 	for w := 0; w < c.cfg.Assoc; w++ {
@@ -198,6 +297,12 @@ func (c *Cache) Install(addr uint64, fillDone int64) {
 // touch makes way w the most recently used in its set.
 func (c *Cache) touch(base, w int) {
 	old := c.lru[base+w]
+	if int(old) == c.cfg.Assoc-1 {
+		// Already MRU: the demotion loop below would find nothing above
+		// old, so skipping it is exact. Hits are overwhelmingly to the
+		// MRU way, so this removes the per-hit way scan.
+		return
+	}
 	for i := 0; i < c.cfg.Assoc; i++ {
 		if c.lru[base+i] > old {
 			c.lru[base+i]--
@@ -244,6 +349,7 @@ type TLB struct {
 	valid    []bool
 	stamp    []uint64
 	clock    uint64
+	lastHit  int // way of the most recent hit (fast path; -1 = none)
 
 	Hits   uint64
 	Misses uint64
@@ -275,6 +381,7 @@ func NewTLB(cfg TLBConfig) (*TLB, error) {
 		entries:  make([]uint64, cfg.Entries),
 		valid:    make([]bool, cfg.Entries),
 		stamp:    make([]uint64, cfg.Entries),
+		lastHit:  -1,
 	}, nil
 }
 
@@ -291,10 +398,19 @@ func MustNewTLB(cfg TLBConfig) *TLB {
 func (t *TLB) Access(addr uint64) bool {
 	page := addr >> t.pageBits
 	t.clock++
+	// Fast path: consecutive accesses overwhelmingly touch the page that
+	// hit last time. Identical replacement state to the scan below — the
+	// same entry gets the same LRU stamp — just without the scan.
+	if h := t.lastHit; h >= 0 && t.valid[h] && t.entries[h] == page {
+		t.stamp[h] = t.clock
+		t.Hits++
+		return true
+	}
 	for i := range t.entries {
 		if t.valid[i] && t.entries[i] == page {
 			t.stamp[i] = t.clock
 			t.Hits++
+			t.lastHit = i
 			return true
 		}
 	}

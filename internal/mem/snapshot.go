@@ -20,10 +20,10 @@ type MemoryState struct {
 
 // Snapshot returns a deep copy of the memory image.
 func (m *Memory) Snapshot() MemoryState {
-	s := MemoryState{Pages: make(map[uint64][]uint64, len(m.pages))}
-	for k, p := range m.pages {
-		s.Pages[k] = append([]uint64(nil), p...)
-	}
+	s := MemoryState{Pages: make(map[uint64][]uint64, m.resident)}
+	m.forEachPage(func(pn uint64, page []uint64) {
+		s.Pages[pn] = append([]uint64(nil), page...)
+	})
 	return s
 }
 
@@ -35,7 +35,7 @@ func RestoreMemory(s MemoryState) (*Memory, error) {
 			return nil, fmt.Errorf("mem: snapshot page %#x has %d words, want %d: %w",
 				k, len(p), pageWords, simerr.ErrCorrupt)
 		}
-		m.pages[k] = append([]uint64(nil), p...)
+		copy(m.ensure(k), p)
 	}
 	return m, nil
 }

@@ -147,6 +147,10 @@ func (c Config) Validate() error {
 		return fmt.Errorf("pipeline: nonpositive queue size: %w", simerr.ErrConfig)
 	case c.IntALUs <= 0 || c.FPUnits <= 0 || c.LoadStore <= 0:
 		return fmt.Errorf("pipeline: nonpositive unit count: %w", simerr.ErrConfig)
+	case c.DispatchWidth > 65535, c.IssueWidth > 65535, c.CommitWidth > 65535,
+		c.IntALUs > 65535, c.FPUnits > 65535, c.LoadStore > 65535, c.PredictPorts > 65535:
+		// Capacity bookkeeping packs per-cycle counts into 16 bits.
+		return fmt.Errorf("pipeline: width or unit count above 65535: %w", simerr.ErrConfig)
 	case c.LoadStore > c.IntALUs:
 		return fmt.Errorf("pipeline: more load/store ports than integer units: %w", simerr.ErrConfig)
 	case c.MaxFetchBlocks <= 0:

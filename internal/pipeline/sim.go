@@ -17,50 +17,108 @@ import (
 // capRing is a lazily-cleared, cycle-indexed bandwidth counter used for
 // issue/dispatch/commit slot booking. Slots alias modulo its size, which
 // is far larger than any in-flight time spread.
+// capRing entries pack the stamping cycle and the booked count into one
+// word: stamp<<capCountBits | count. One load serves the probe, and the
+// ring's footprint (zeroed on every run) is a third of the two-array
+// layout. Cycles are nonnegative and bounded far below 2^48 by any
+// realistic budget; Config.Validate bounds every limit below 2^16.
 type capRing struct {
-	stamp []int64
-	count []int32
-	limit int32
+	ent   []uint64
+	limit uint64
 }
 
 const capRingBits = 16
 const capRingSize = 1 << capRingBits
 
+const capCountBits = 16
+const capCountMask = 1<<capCountBits - 1
+
 func newCapRing(limit int) *capRing {
 	return &capRing{
-		stamp: make([]int64, capRingSize),
-		count: make([]int32, capRingSize),
-		limit: int32(limit),
+		ent:   make([]uint64, capRingSize),
+		limit: uint64(limit),
 	}
 }
 
 func (c *capRing) used(cycle int64) int32 {
-	i := cycle & (capRingSize - 1)
-	if c.stamp[i] != cycle {
+	e := c.ent[cycle&(capRingSize-1)]
+	if e>>capCountBits != uint64(cycle) {
 		return 0
 	}
-	return c.count[i]
+	return int32(e & capCountMask)
 }
 
-func (c *capRing) avail(cycle int64) bool { return c.used(cycle) < c.limit }
+func (c *capRing) avail(cycle int64) bool {
+	e := c.ent[cycle&(capRingSize-1)]
+	return e>>capCountBits != uint64(cycle) || e&capCountMask < c.limit
+}
+
+// bookFrom books the earliest cycle >= t with a free slot and returns it.
+// Equivalent to `for !avail(t) { t++ }; book(t)` with one index/load per
+// probed cycle instead of two.
+func (c *capRing) bookFrom(t int64) int64 {
+	for {
+		i := t & (capRingSize - 1)
+		e := c.ent[i]
+		if e>>capCountBits != uint64(t) {
+			c.ent[i] = uint64(t)<<capCountBits | 1
+			return t
+		}
+		if e&capCountMask < c.limit {
+			c.ent[i] = e + 1
+			return t
+		}
+		t++
+	}
+}
 
 func (c *capRing) book(cycle int64) {
 	i := cycle & (capRingSize - 1)
-	if c.stamp[i] != cycle {
-		c.stamp[i] = cycle
-		c.count[i] = 0
+	if e := c.ent[i]; e>>capCountBits != uint64(cycle) {
+		c.ent[i] = uint64(cycle)<<capCountBits | 1
+	} else {
+		c.ent[i] = e + 1
 	}
-	c.count[i]++
 }
 
 // pendingPred tracks one in-flight value prediction for recovery
-// bookkeeping.
+// bookkeeping. Instances are pooled per run: refs counts the live
+// references (a regPending slot and, under reissue, an activePreds
+// entry); when it drops to zero the record returns to the run's free
+// list instead of the garbage collector.
 type pendingPred struct {
 	verifyAt int64
 	doneAt   int64
 	wrong    bool
 	useSeen  bool
+	refs     int32
 }
+
+// instInfo is the per-static-instruction decode information the commit
+// loop needs every iteration. It is computed once per run (newRunState)
+// so the loop never re-derives classification, latency, or source
+// registers from the opcode.
+type instInfo struct {
+	srcs   [2]isa.Reg
+	lat    int64
+	cls    isa.Class
+	nsrc   uint8
+	useFPQ bool
+	isMem  bool
+}
+
+// Concrete predictor dispatch kinds (runState.predKind). The loop
+// type-switches once per run instead of making interface calls per
+// commit; predGeneric falls back to the interface for predictors outside
+// the built-in set.
+const (
+	predGeneric = iota
+	predNone
+	predDynamic
+	predStatic
+	predLVP
+	predGabbay
+)
 
 // TraceRecord is the per-committed-instruction record delivered to a
 // Tracer: when the instruction moved through each pipeline event, how
@@ -113,6 +171,21 @@ type runState struct {
 	pred core.Predictor
 	st   *emu.State
 
+	// Devirtualized predictor dispatch: predKind selects one of the
+	// concrete fields below (set once by newRunState) so the per-commit
+	// Decide/Commit calls are direct, not through the interface.
+	predKind int
+	drvp     *core.DynamicRVP
+	srvp     *core.StaticRVP
+	lvp      *core.LVP
+	grvp     *core.GabbayRVP
+
+	// Per-static-instruction decode table (see instInfo).
+	info []instInfo
+
+	// pendingPred free list (see pendingPred.refs).
+	predFree []*pendingPred
+
 	stats Stats
 
 	// Per-register timing state.
@@ -135,6 +208,12 @@ type runState struct {
 	intN   uint64
 	fpN    uint64
 	winN   uint64
+	// Ring cursors: intN % len(intIQ) etc., maintained incrementally so
+	// the commit loop never does a 64-bit modulo. Derived state — not
+	// serialized; restoreRunState recomputes them from the counters.
+	intIdx int
+	fpIdx  int
+	winIdx int
 
 	// Bandwidth books.
 	dispatchCap *capRing
@@ -248,7 +327,102 @@ func (s *Sim) newRunState(prog *program.Program, pred core.Predictor, st *emu.St
 	if cfg.PredictPorts > 0 {
 		r.portCap = newCapRing(cfg.PredictPorts)
 	}
+
+	// Decode every static instruction once; the loop indexes this table
+	// instead of re-deriving class/latency/sources per commit.
+	r.info = make([]instInfo, len(prog.Insts))
+	for i, in := range prog.Insts {
+		cls := isa.Classify(in.Op)
+		inf := instInfo{
+			cls:    cls,
+			lat:    int64(cls.Latency()),
+			useFPQ: cls == isa.ClassFPAdd || cls == isa.ClassFPMul || cls == isa.ClassFPDiv,
+			isMem:  cls == isa.ClassLoad || cls == isa.ClassStore,
+		}
+		srcs := in.Sources(inf.srcs[:0])
+		inf.nsrc = uint8(len(srcs))
+		r.info[i] = inf
+	}
+
+	// Devirtualize the four built-in predictors (and skip the baseline's
+	// no-op calls entirely); anything else stays on the interface path.
+	switch p := pred.(type) {
+	case core.NoPredictor:
+		r.predKind = predNone
+	case *core.DynamicRVP:
+		r.predKind, r.drvp = predDynamic, p
+	case *core.StaticRVP:
+		r.predKind, r.srvp = predStatic, p
+	case *core.LVP:
+		r.predKind, r.lvp = predLVP, p
+	case *core.GabbayRVP:
+		r.predKind, r.grvp = predGabbay, p
+	}
+
+	// Pre-size per-static-instruction predictor state so the commit path
+	// never grows a slice mid-run.
+	if sh, ok := pred.(core.SizeHinter); ok {
+		sh.SizeHint(len(prog.Insts))
+	}
 	return r
+}
+
+// decide dispatches Decide through the devirtualized fast path.
+func (r *runState) decide(idx int, in isa.Inst) core.Decision {
+	switch r.predKind {
+	case predNone:
+		return core.Decision{}
+	case predDynamic:
+		return r.drvp.Decide(idx, in)
+	case predStatic:
+		return r.srvp.Decide(idx, in)
+	case predLVP:
+		return r.lvp.Decide(idx, in)
+	case predGabbay:
+		return r.grvp.Decide(idx, in)
+	}
+	return r.pred.Decide(idx, in)
+}
+
+// commitPred dispatches Commit through the devirtualized fast path.
+func (r *runState) commitPred(idx int, in isa.Inst, predicted, actual uint64) {
+	switch r.predKind {
+	case predNone:
+	case predDynamic:
+		r.drvp.Commit(idx, in, predicted, actual)
+	case predStatic:
+		r.srvp.Commit(idx, in, predicted, actual)
+	case predLVP:
+		r.lvp.Commit(idx, in, predicted, actual)
+	case predGabbay:
+		r.grvp.Commit(idx, in, predicted, actual)
+	default:
+		r.pred.Commit(idx, in, predicted, actual)
+	}
+}
+
+// newPending takes a record from the free list (or allocates during
+// warm-up, before the pool has grown to the run's in-flight high-water
+// mark). The caller owns the first reference via retain.
+func (r *runState) newPending(verifyAt, doneAt int64, wrong bool) *pendingPred {
+	if n := len(r.predFree); n > 0 {
+		p := r.predFree[n-1]
+		r.predFree = r.predFree[:n-1]
+		*p = pendingPred{verifyAt: verifyAt, doneAt: doneAt, wrong: wrong}
+		return p
+	}
+	return &pendingPred{verifyAt: verifyAt, doneAt: doneAt, wrong: wrong}
+}
+
+func (r *runState) retain(p *pendingPred) { p.refs++ }
+
+// release drops one reference, returning the record to the pool when no
+// regPending slot or activePreds entry still points at it.
+func (r *runState) release(p *pendingPred) {
+	p.refs--
+	if p.refs == 0 {
+		r.predFree = append(r.predFree, p)
+	}
 }
 
 // Run simulates prog under value predictor pred for at most maxInsts
@@ -337,7 +511,7 @@ func RestoreSim(snap *Snapshot) (*Sim, error) {
 func (s *Sim) loop(ctx context.Context, r *runState, maxInsts uint64) (Stats, error) {
 	cfg := s.cfg
 	prog, pred, st := r.prog, r.pred, r.st
-	srcBuf := make([]isa.Reg, 0, 4)
+	var e emu.Exec // reused across iterations (StepInto)
 
 	// Observability: batched metrics and (when sinks are attached)
 	// per-instruction structured events.
@@ -416,7 +590,7 @@ func (s *Sim) loop(ctx context.Context, r *runState, maxInsts uint64) (Stats, er
 			}
 		}
 		r.coherent = false
-		e, ok := st.Step()
+		ok := st.StepInto(&e)
 		if !ok {
 			if st.Err() != nil {
 				finalize()
@@ -431,8 +605,9 @@ func (s *Sim) loop(ctx context.Context, r *runState, maxInsts uint64) (Stats, er
 		}
 		in := e.Inst
 		idx := e.Index
-		cls := isa.Classify(in.Op)
-		srcs := in.Sources(srcBuf[:0])
+		inf := &r.info[idx]
+		cls := inf.cls
+		srcs := inf.srcs[:inf.nsrc]
 
 		// ---- Refetch-recovery trigger: first use of a mispredicted value
 		// squashes from this instruction onward.
@@ -477,31 +652,28 @@ func (s *Sim) loop(ctx context.Context, r *runState, maxInsts uint64) (Stats, er
 			dispatch = r.lastDispatch
 		}
 		if r.winN >= uint64(cfg.Window) {
-			if t := r.window[r.winN%uint64(cfg.Window)]; t > dispatch {
+			if t := r.window[r.winIdx]; t > dispatch {
 				r.stats.StallWindow += t - dispatch
 				dispatch = t
 			}
 		}
-		useFPQ := cls == isa.ClassFPAdd || cls == isa.ClassFPMul || cls == isa.ClassFPDiv
+		useFPQ := inf.useFPQ
 		if useFPQ {
 			if r.fpN >= uint64(cfg.FPIQ) {
-				if t := r.fpIQ[r.fpN%uint64(cfg.FPIQ)]; t > dispatch {
+				if t := r.fpIQ[r.fpIdx]; t > dispatch {
 					r.stats.StallFPIQ += t - dispatch
 					dispatch = t
 				}
 			}
 		} else {
 			if r.intN >= uint64(cfg.IntIQ) {
-				if t := r.intIQ[r.intN%uint64(cfg.IntIQ)]; t > dispatch {
+				if t := r.intIQ[r.intIdx]; t > dispatch {
 					r.stats.StallIntIQ += t - dispatch
 					dispatch = t
 				}
 			}
 		}
-		for !r.dispatchCap.avail(dispatch) {
-			dispatch++
-		}
-		r.dispatchCap.book(dispatch)
+		dispatch = r.dispatchCap.bookFrom(dispatch)
 		r.lastDispatch = dispatch
 
 		// ---- Value prediction decision.
@@ -512,7 +684,7 @@ func (s *Sim) loop(ctx context.Context, r *runState, maxInsts uint64) (Stats, er
 		correct := false
 		if e.WroteRd {
 			r.stats.Eligible++
-			dec = pred.Decide(idx, in)
+			dec = r.decide(idx, in)
 			if s.faults != nil && dec.Kind != core.KindNone && s.faults.FlipPredict(idx) {
 				dec.Predict = !dec.Predict
 			}
@@ -590,6 +762,8 @@ func (s *Sim) loop(ctx context.Context, r *runState, maxInsts uint64) (Stats, er
 					if p.useSeen && p.verifyAt > holdUntil {
 						holdUntil = p.verifyAt
 					}
+				} else {
+					r.release(p)
 				}
 			}
 			r.activePreds = live
@@ -600,7 +774,7 @@ func (s *Sim) loop(ctx context.Context, r *runState, maxInsts uint64) (Stats, er
 		if t < dispatch+1 {
 			t = dispatch + 1
 		}
-		isMem := cls == isa.ClassLoad || cls == isa.ClassStore
+		isMem := inf.isMem
 		var unit *capRing
 		switch cls {
 		case isa.ClassFPAdd, isa.ClassFPMul, isa.ClassFPDiv:
@@ -622,8 +796,8 @@ func (s *Sim) loop(ctx context.Context, r *runState, maxInsts uint64) (Stats, er
 		issueAt := t
 
 		// ---- Completion.
-		doneAt := issueAt + int64(cls.Latency())
-		if cls == isa.ClassLoad || cls == isa.ClassStore {
+		doneAt := issueAt + inf.lat
+		if isMem {
 			lat := s.hier.AccessDataAt(e.EA, issueAt)
 			if s.faults != nil {
 				lat = s.faults.MemLatency(e.EA, issueAt, lat)
@@ -650,10 +824,15 @@ func (s *Sim) loop(ctx context.Context, r *runState, maxInsts uint64) (Stats, er
 				if predReady > verifyAt {
 					verifyAt = predReady
 				}
-				pp := &pendingPred{verifyAt: verifyAt, doneAt: doneAt, wrong: !correct}
+				pp := r.newPending(verifyAt, doneAt, !correct)
+				if old := r.regPending[in.Rd]; old != nil {
+					r.release(old)
+				}
 				r.regPending[in.Rd] = pp
+				r.retain(pp)
 				if cfg.Recovery == RecoverReissue {
 					r.activePreds = append(r.activePreds, pp)
+					r.retain(pp)
 				}
 				switch {
 				case correct:
@@ -674,7 +853,10 @@ func (s *Sim) loop(ctx context.Context, r *runState, maxInsts uint64) (Stats, er
 				}
 			} else {
 				r.regReady[in.Rd] = doneAt
-				r.regPending[in.Rd] = nil
+				if old := r.regPending[in.Rd]; old != nil {
+					r.release(old)
+					r.regPending[in.Rd] = nil
+				}
 			}
 			if cfg.Recovery == RecoverSelective {
 				r.specUntil[in.Rd] = taintOut
@@ -695,17 +877,23 @@ func (s *Sim) loop(ctx context.Context, r *runState, maxInsts uint64) (Stats, er
 			qFree = holdUntil
 		}
 		if useFPQ {
-			r.fpIQ[r.fpN%uint64(cfg.FPIQ)] = qFree
+			r.fpIQ[r.fpIdx] = qFree
 			r.fpN++
+			if r.fpIdx++; r.fpIdx == cfg.FPIQ {
+				r.fpIdx = 0
+			}
 		} else {
-			r.intIQ[r.intN%uint64(cfg.IntIQ)] = qFree
+			r.intIQ[r.intIdx] = qFree
 			r.intN++
+			if r.intIdx++; r.intIdx == cfg.IntIQ {
+				r.intIdx = 0
+			}
 		}
 
 		// ---- Control transfers: predictor consultation and redirects.
 		if e.IsCTI {
 			r.stats.Branches++
-			s.handleCTI(e, idx, myFetch, doneAt, &r.minFetch, &r.fetchBlocks)
+			s.handleCTI(&e, idx, myFetch, doneAt, &r.minFetch, &r.fetchBlocks)
 		}
 
 		// ---- Commit: in order, after completion and verification.
@@ -716,10 +904,7 @@ func (s *Sim) loop(ctx context.Context, r *runState, maxInsts uint64) (Stats, er
 		if commitAt < r.lastCommit {
 			commitAt = r.lastCommit
 		}
-		for !r.commitCap.avail(commitAt) {
-			commitAt++
-		}
-		r.commitCap.book(commitAt)
+		commitAt = r.commitCap.bookFrom(commitAt)
 		if wd > 0 && commitAt-r.lastCommit > wd {
 			finalize()
 			return r.stats, &simerr.SimError{
@@ -730,8 +915,11 @@ func (s *Sim) loop(ctx context.Context, r *runState, maxInsts uint64) (Stats, er
 			}
 		}
 		r.lastCommit = commitAt
-		r.window[r.winN%uint64(cfg.Window)] = commitAt
+		r.window[r.winIdx] = commitAt
 		r.winN++
+		if r.winIdx++; r.winIdx == cfg.Window {
+			r.winIdx = 0
+		}
 		if commitAt > r.lastCycle {
 			r.lastCycle = commitAt
 		}
@@ -745,7 +933,7 @@ func (s *Sim) loop(ctx context.Context, r *runState, maxInsts uint64) (Stats, er
 
 		// ---- Train the value predictor (in program order).
 		if e.WroteRd {
-			pred.Commit(idx, in, predVal, e.NewDest)
+			r.commitPred(idx, in, predVal, e.NewDest)
 		}
 
 		if s.tracer != nil {
@@ -791,7 +979,7 @@ func (s *Sim) loop(ctx context.Context, r *runState, maxInsts uint64) (Stats, er
 // handleCTI models the front end's interaction with one control transfer:
 // direction prediction, target prediction, taken-branch fetch breaks, and
 // redirect penalties for mispredictions.
-func (s *Sim) handleCTI(e emu.Exec, idx int, myFetch, doneAt int64, minFetch *int64, fetchBlocks *int) {
+func (s *Sim) handleCTI(e *emu.Exec, idx int, myFetch, doneAt int64, minFetch *int64, fetchBlocks *int) {
 	cfg := s.cfg
 	redirect := func(at int64) {
 		if at > *minFetch {

@@ -108,9 +108,10 @@ type RingSlot struct {
 // reachable cycle, so dropping them is exact, not approximate.
 func (c *capRing) snapshot(floor int64) []RingSlot {
 	var out []RingSlot
-	for i, st := range c.stamp {
-		if c.count[i] != 0 && st >= floor {
-			out = append(out, RingSlot{Slot: int32(i), Stamp: st, Count: c.count[i]})
+	for i, e := range c.ent {
+		st, cnt := int64(e>>capCountBits), int32(e&capCountMask)
+		if cnt != 0 && st >= floor {
+			out = append(out, RingSlot{Slot: int32(i), Stamp: st, Count: cnt})
 		}
 	}
 	return out
@@ -122,8 +123,10 @@ func (c *capRing) restore(slots []RingSlot) error {
 		if s.Slot < 0 || int(s.Slot) >= capRingSize {
 			return fmt.Errorf("pipeline: ring slot %d out of range: %w", s.Slot, simerr.ErrCorrupt)
 		}
-		c.stamp[s.Slot] = s.Stamp
-		c.count[s.Slot] = s.Count
+		if s.Stamp < 0 || s.Count < 0 || s.Count > capCountMask {
+			return fmt.Errorf("pipeline: ring slot %d stamp/count out of range: %w", s.Slot, simerr.ErrCorrupt)
+		}
+		c.ent[s.Slot] = uint64(s.Stamp)<<capCountBits | uint64(s.Count)
 	}
 	return nil
 }
@@ -274,6 +277,9 @@ func (s *Sim) restoreRunState(snap *Snapshot, prog *program.Program, pred core.P
 	copy(r.fpIQ, t.FPIQ)
 	copy(r.window, t.Window)
 	r.intN, r.fpN, r.winN = t.IntN, t.FPN, t.WinN
+	r.intIdx = int(t.IntN % uint64(cfg.IntIQ))
+	r.fpIdx = int(t.FPN % uint64(cfg.FPIQ))
+	r.winIdx = int(t.WinN % uint64(cfg.Window))
 
 	rings := []struct {
 		ring  *capRing
@@ -323,6 +329,9 @@ func (s *Sim) restoreRunState(snap *Snapshot, prog *program.Program, pred core.P
 			return nil, err
 		}
 		r.regPending[i] = p
+		if p != nil {
+			r.retain(p)
+		}
 	}
 	for _, pi := range t.ActivePreds {
 		p, err := lookup(pi)
@@ -333,6 +342,7 @@ func (s *Sim) restoreRunState(snap *Snapshot, prog *program.Program, pred core.P
 			return nil, simerr.New("checkpoint", fmt.Errorf("nil active prediction in snapshot: %w", simerr.ErrCorrupt))
 		}
 		r.activePreds = append(r.activePreds, p)
+		r.retain(p)
 	}
 
 	// Suppress an immediate re-checkpoint at the first batch boundary;

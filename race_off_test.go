@@ -1,0 +1,7 @@
+//go:build !race
+
+package rvpsim_test
+
+// raceEnabled reports whether the race detector is compiled in; the
+// alloc guard skips under -race because instrumentation allocates.
+const raceEnabled = false

@@ -1,0 +1,5 @@
+//go:build race
+
+package rvpsim_test
+
+const raceEnabled = true
