@@ -4,11 +4,11 @@
 
 GO ?= go
 
-.PHONY: all ci vet build test race determinism lockstep bench bench-smoke fmt-check fuzz-smoke faults
+.PHONY: all ci vet build test race determinism lockstep bench bench-smoke fmt-check fuzz-smoke faults staticcheck govulncheck serve-smoke
 
 all: ci
 
-ci: fmt-check vet build race determinism faults fuzz-smoke bench-smoke
+ci: fmt-check vet staticcheck govulncheck build race determinism faults fuzz-smoke bench-smoke serve-smoke
 
 vet:
 	$(GO) vet ./...
@@ -50,6 +50,40 @@ bench-smoke:
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzAssemble -fuzztime 30s ./internal/asm
 	$(GO) test -run '^$$' -fuzz FuzzEncodeDecode -fuzztime 30s ./internal/isa
+	$(GO) test -run '^$$' -fuzz FuzzJobRequest -fuzztime 30s ./internal/server
+
+# Static analysis and vulnerability scanning, gated on tool presence:
+# the build container ships only the go toolchain, so missing tools are
+# reported and skipped rather than failing ci.
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+	fi
+
+govulncheck:
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		echo "govulncheck not installed; skipping (go install golang.org/x/vuln/cmd/govulncheck@latest)"; \
+	fi
+
+# End-to-end smoke of the service binaries: boot rvpd on an ephemeral
+# port, probe health through rvpc, run one small job to completion, and
+# shut the daemon down with SIGTERM. No curl, no fixed ports.
+serve-smoke:
+	@set -e; tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
+	$(GO) build -o "$$tmp/rvpd" ./cmd/rvpd; \
+	$(GO) build -o "$$tmp/rvpc" ./cmd/rvpc; \
+	"$$tmp/rvpd" -addr 127.0.0.1:0 -addr-file "$$tmp/addr" -state "$$tmp/state" & pid=$$!; \
+	for i in $$(seq 1 100); do [ -s "$$tmp/addr" ] && break; sleep 0.1; done; \
+	[ -s "$$tmp/addr" ] || { echo "rvpd never wrote its address"; kill $$pid; exit 1; }; \
+	addr="http://$$(cat "$$tmp/addr")"; \
+	"$$tmp/rvpc" -server "$$addr" health; \
+	"$$tmp/rvpc" -server "$$addr" submit -wait -workload go -predictor rvp -n 200000; \
+	kill -TERM $$pid; wait $$pid; \
+	echo "serve-smoke OK"
 
 # Fault-injection invariant suite: recovery schemes must never commit a
 # wrong value and must terminate under injected latency/flip/panic faults.

@@ -43,16 +43,15 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"os/signal"
 	"path/filepath"
 	"runtime"
 	"strings"
-	"syscall"
 	"time"
 
 	"rvpsim/internal/benchreg"
 	"rvpsim/internal/exp"
 	"rvpsim/internal/obs"
+	"rvpsim/internal/server/shutdown"
 	"rvpsim/internal/stats"
 )
 
@@ -74,7 +73,7 @@ func run() int {
 	benchOut := flag.String("bench-out", "", "append per-figure wall-time/IPS sweep records to this BENCH JSON trajectory")
 	flag.Parse()
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	ctx, stop := shutdown.Context(context.Background())
 	defer stop()
 
 	opts := exp.DefaultOptions()

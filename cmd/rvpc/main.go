@@ -1,0 +1,172 @@
+// Command rvpc is the rvpd client: submit simulation jobs, poll their
+// status, and probe a daemon's health endpoints, with idempotency-keyed
+// retries and exponential backoff that honors the server's Retry-After.
+//
+// Usage:
+//
+//	rvpc -server http://host:port submit -workload hydro2d -predictor rvp
+//	     [-recovery selective] [-n insts] [-key K] [-wait] [-json]
+//	rvpc -server http://host:port submit -figure fig5 [-n insts] [-wait]
+//	rvpc -server http://host:port status <job-id> [-json]
+//	rvpc -server http://host:port health
+//
+// submit prints the job ID on acceptance; with -wait it polls until the
+// job is terminal and renders the result (exit 1 on a failed job).
+// health checks /healthz, /readyz and /metrics, failing on any non-200.
+// Rejections (429 queue shed, 503 drain/breaker) are retried with
+// backoff under one idempotency key, so re-running a timed-out submit
+// with the same -key can never double-run the job.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"rvpsim/internal/client"
+	"rvpsim/internal/exp"
+	"rvpsim/internal/server"
+	"rvpsim/internal/server/shutdown"
+)
+
+func main() { os.Exit(run()) }
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: rvpc -server URL {submit|status|health} [flags]")
+	flag.PrintDefaults()
+}
+
+func run() int {
+	serverURL := flag.String("server", "http://127.0.0.1:8080", "rvpd base URL")
+	attempts := flag.Int("attempts", 10, "maximum submission attempts")
+	flag.Usage = usage
+	flag.Parse()
+	if flag.NArg() < 1 {
+		usage()
+		return 2
+	}
+
+	ctx, stop := shutdown.Context(context.Background())
+	defer stop()
+	c := client.New(strings.TrimRight(*serverURL, "/"), client.WithMaxAttempts(*attempts))
+
+	switch flag.Arg(0) {
+	case "submit":
+		return submit(ctx, c, flag.Args()[1:])
+	case "status":
+		return status(ctx, c, flag.Args()[1:])
+	case "health":
+		return health(ctx, c)
+	default:
+		fmt.Fprintf(os.Stderr, "rvpc: unknown command %q\n", flag.Arg(0))
+		usage()
+		return 2
+	}
+}
+
+func submit(ctx context.Context, c *client.Client, args []string) int {
+	fs := flag.NewFlagSet("submit", flag.ExitOnError)
+	workload := fs.String("workload", "", "workload name for a run job")
+	predictor := fs.String("predictor", "rvp", "predictor for a run job: "+strings.Join(exp.JobPredictors(), ", "))
+	recovery := fs.String("recovery", "selective", "recovery scheme: refetch, reissue, selective")
+	figure := fs.String("figure", "", "figure sweep instead of a single run: "+strings.Join(exp.JobFigures(), ", "))
+	n := fs.Uint64("n", 0, "committed-instruction budget (0 = server default)")
+	key := fs.String("key", "", "idempotency key (generated when empty; reuse to retry safely)")
+	wait := fs.Bool("wait", false, "poll until the job is terminal and print the result")
+	poll := fs.Duration("poll", 200*time.Millisecond, "status poll interval with -wait")
+	asJSON := fs.Bool("json", false, "print the job status as JSON")
+	fs.Parse(args)
+
+	var spec exp.JobSpec
+	if *figure != "" {
+		spec = exp.JobSpec{Kind: "figure", Figure: *figure, Insts: *n}
+	} else {
+		spec = exp.JobSpec{Kind: "run", Workload: *workload, Predictor: *predictor, Recovery: *recovery, Insts: *n}
+	}
+
+	st, err := c.Submit(ctx, spec, *key)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rvpc: submit: %v\n", err)
+		return 1
+	}
+	if !*wait {
+		render(st, *asJSON)
+		return 0
+	}
+	st, err = c.Wait(ctx, st.ID, *poll)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rvpc: wait: %v\n", err)
+		return 1
+	}
+	render(st, *asJSON)
+	if st.State != server.StateSucceeded {
+		return 1
+	}
+	return 0
+}
+
+func status(ctx context.Context, c *client.Client, args []string) int {
+	fs := flag.NewFlagSet("status", flag.ExitOnError)
+	asJSON := fs.Bool("json", false, "print the job status as JSON")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: rvpc status <job-id>")
+		return 2
+	}
+	st, err := c.Status(ctx, fs.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rvpc: status: %v\n", err)
+		return 1
+	}
+	render(st, *asJSON)
+	return 0
+}
+
+func health(ctx context.Context, c *client.Client) int {
+	ok := true
+	for _, path := range []string{"/healthz", "/readyz", "/metrics"} {
+		body, err := c.CheckEndpoint(ctx, path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rvpc: %s: %v\n", path, err)
+			ok = false
+			continue
+		}
+		line := strings.SplitN(strings.TrimSpace(body), "\n", 2)[0]
+		fmt.Printf("%s: ok (%s)\n", path, line)
+	}
+	if !ok {
+		return 1
+	}
+	return 0
+}
+
+// render prints one job status for humans (or as JSON).
+func render(st server.JobStatus, asJSON bool) {
+	if asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(st)
+		return
+	}
+	fmt.Printf("job %s: %s", st.ID, st.State)
+	if st.Attempts > 0 {
+		fmt.Printf(" (attempt %d)", st.Attempts)
+	}
+	fmt.Println()
+	switch {
+	case st.Result != nil && st.Result.Text != "":
+		fmt.Println(st.Result.Text)
+	case st.Result != nil && st.Result.Stats != nil:
+		s := st.Result.Stats
+		fmt.Printf("  cycles %d, committed %d, IPC %.3f\n", s.Cycles, s.Committed, s.IPC())
+	case st.Error != nil:
+		fmt.Printf("  error: %s\n", st.Error.Message)
+		if st.Error.Timeout {
+			fmt.Println("  (per-job deadline exceeded)")
+		}
+	}
+}

@@ -1,0 +1,132 @@
+// Command rvpd is the simulation service daemon: an HTTP/JSON API in
+// front of a bounded job queue with admission control, a fixed worker
+// pool, per-workload circuit breakers, and crash-safe job state.
+//
+// Usage:
+//
+//	rvpd [-addr host:port] [-addr-file path] [-state dir] [-workers n]
+//	     [-queue depth] [-max-wait dur] [-job-timeout dur]
+//	     [-drain-timeout dur] [-breaker-threshold n] [-breaker-cooloff dur]
+//	     [-insts n] [-ckpt-every n] [-watchdog cycles] [-max-body bytes]
+//
+// Endpoints: POST /v1/jobs (submit; 429/503 + Retry-After under
+// overload), GET /v1/jobs/{id} (status/results), GET /healthz,
+// GET /readyz, GET /metrics (Prometheus).
+//
+// On SIGINT/SIGTERM the daemon drains gracefully: it stops accepting
+// (readyz flips to 503, submissions get 503 + Retry-After), lets
+// in-flight jobs finish within -drain-timeout, checkpoints anything
+// unfinished, and exits. Restarting with the same -state directory
+// re-enqueues unfinished jobs and resumes them from their journals and
+// checkpoints instead of recomputing. A second signal kills the process
+// immediately.
+//
+// -addr-file writes the actually bound address (useful with -addr
+// 127.0.0.1:0 in scripts and smoke tests).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"rvpsim/internal/server"
+	"rvpsim/internal/server/shutdown"
+)
+
+func main() { os.Exit(run()) }
+
+func run() int {
+	addr := flag.String("addr", "127.0.0.1:8080", "listen address (use :0 for an ephemeral port)")
+	addrFile := flag.String("addr-file", "", "write the bound address to this file once listening")
+	state := flag.String("state", "rvpd-state", "state directory: job store, journals, checkpoints")
+	workers := flag.Int("workers", 2, "worker-pool size")
+	queueDepth := flag.Int("queue", 64, "bounded queue depth (admission limit)")
+	maxWait := flag.Duration("max-wait", 30*time.Second, "shed submissions when recent p99 queue wait exceeds this")
+	jobTimeout := flag.Duration("job-timeout", 10*time.Minute, "per-job deadline")
+	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "graceful-drain deadline before in-flight jobs are checkpointed")
+	breakerThreshold := flag.Int("breaker-threshold", 3, "consecutive non-transient failures that trip a workload's circuit breaker (<0 disables)")
+	breakerCooloff := flag.Duration("breaker-cooloff", 30*time.Second, "how long a tripped breaker sheds before probing")
+	insts := flag.Uint64("insts", 2_000_000, "default committed-instruction budget for jobs that omit one")
+	ckptEvery := flag.Uint64("ckpt-every", 200_000, "in-flight checkpoint cadence in committed instructions (0 = off)")
+	watchdog := flag.Int("watchdog", 0, "abort a run if no instruction commits for N simulated cycles (0 = off)")
+	maxBody := flag.Int64("max-body", 1<<20, "maximum POST body size in bytes (larger gets 413)")
+	flag.Parse()
+
+	logf := log.New(os.Stderr, "rvpd: ", log.LstdFlags).Printf
+
+	srv, err := server.New(server.Config{
+		StateDir:         *state,
+		Workers:          *workers,
+		QueueDepth:       *queueDepth,
+		MaxWait:          *maxWait,
+		JobTimeout:       *jobTimeout,
+		DrainTimeout:     *drainTimeout,
+		BreakerThreshold: *breakerThreshold,
+		BreakerCooloff:   *breakerCooloff,
+		DefaultInsts:     *insts,
+		CheckpointEvery:  *ckptEvery,
+		WatchdogCycles:   *watchdog,
+		MaxBody:          *maxBody,
+		Logf:             logf,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rvpd: %v\n", err)
+		return 1
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rvpd: listen: %v\n", err)
+		srv.Close()
+		return 1
+	}
+	bound := ln.Addr().String()
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(bound), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "rvpd: addr-file: %v\n", err)
+			srv.Close()
+			return 1
+		}
+	}
+	logf("listening on %s (state %s, %d workers, queue %d)", bound, *state, *workers, *queueDepth)
+
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	ctx, stop := shutdown.Context(context.Background())
+	defer stop()
+	select {
+	case <-ctx.Done():
+		logf("signal received; draining")
+	case err := <-serveErr:
+		fmt.Fprintf(os.Stderr, "rvpd: serve: %v\n", err)
+		srv.Close()
+		return 1
+	}
+
+	// Drain order matters: the job layer first (stop accepting, finish
+	// or checkpoint work) while the HTTP listener keeps answering
+	// status polls, then the listener.
+	clean := srv.Drain()
+	shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		logf("http shutdown: %v", err)
+	}
+	<-serveErr // Serve has returned ErrServerClosed by now
+	if err := srv.Close(); err != nil {
+		logf("close: %v", err)
+	}
+	if !clean {
+		logf("drain deadline hit; unfinished jobs checkpointed for resume (restart with -state %s)", *state)
+	}
+	return 0
+}

@@ -1,0 +1,337 @@
+// Package client is the retrying rvpd client: idempotency-keyed job
+// submission with capped exponential backoff + jitter that honors the
+// server's Retry-After hints, plus status polling and a wait loop.
+//
+// The retry/idempotency contract: every logical submission carries one
+// idempotency key (caller-supplied or generated once per Submit call),
+// and every retry — whether provoked by a 429 shed, a 503 drain/breaker
+// rejection, a 5xx, or a transport error — resends the same key. The
+// server maps a known key onto the existing job, so "retry until
+// accepted" can never double-run a job, and a submission interrupted by
+// a daemon restart lands on the recovered job.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"rvpsim/internal/exp"
+	"rvpsim/internal/server"
+)
+
+// Backoff shapes the retry schedule: attempt n sleeps
+// min(Base*Factor^n, Max), then the "equal jitter" split keeps half and
+// randomizes the other half so synchronized clients de-correlate. A
+// server Retry-After always wins when it asks for longer.
+type Backoff struct {
+	Base   time.Duration
+	Max    time.Duration
+	Factor float64
+}
+
+// DefaultBackoff matches the service's shed cadence: quick first
+// retries, capped at the queue's own Retry-After ceiling.
+func DefaultBackoff() Backoff {
+	return Backoff{Base: 100 * time.Millisecond, Max: 30 * time.Second, Factor: 2}
+}
+
+// delay computes the jittered sleep before retry attempt n (0-based),
+// not yet considering Retry-After.
+func (b Backoff) delay(attempt int, rng func() float64) time.Duration {
+	d := float64(b.Base)
+	for i := 0; i < attempt && d < float64(b.Max); i++ {
+		d *= b.Factor
+	}
+	if d > float64(b.Max) {
+		d = float64(b.Max)
+	}
+	half := d / 2
+	return time.Duration(half + half*rng())
+}
+
+// Client talks to one rvpd instance.
+type Client struct {
+	base     string // e.g. "http://127.0.0.1:8080"
+	hc       *http.Client
+	backoff  Backoff
+	attempts int
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// Option customizes a Client.
+type Option func(*Client)
+
+// WithHTTPClient substitutes the transport (tests, timeouts).
+func WithHTTPClient(hc *http.Client) Option { return func(c *Client) { c.hc = hc } }
+
+// WithBackoff substitutes the retry schedule.
+func WithBackoff(b Backoff) Option { return func(c *Client) { c.backoff = b } }
+
+// WithMaxAttempts bounds submission attempts (default 10).
+func WithMaxAttempts(n int) Option { return func(c *Client) { c.attempts = n } }
+
+// WithSeed makes the jitter deterministic (tests).
+func WithSeed(seed int64) Option {
+	return func(c *Client) { c.rng = rand.New(rand.NewSource(seed)) }
+}
+
+// New builds a client for the server at base URL.
+func New(base string, opts ...Option) *Client {
+	c := &Client{
+		base:     base,
+		hc:       &http.Client{Timeout: 2 * time.Minute},
+		backoff:  DefaultBackoff(),
+		attempts: 10,
+		rng:      rand.New(rand.NewSource(time.Now().UnixNano())),
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+func (c *Client) rand() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.rng.Float64()
+}
+
+// RetryableError reports a submission that exhausted its attempts; it
+// carries the last HTTP status observed (0 for transport errors).
+type RetryableError struct {
+	Attempts   int
+	LastStatus int
+	Last       error
+}
+
+func (e *RetryableError) Error() string {
+	return fmt.Sprintf("submission not accepted after %d attempts (last status %d): %v",
+		e.Attempts, e.LastStatus, e.Last)
+}
+
+func (e *RetryableError) Unwrap() error { return e.Last }
+
+// NewIdempotencyKey returns a fresh random key.
+func NewIdempotencyKey() string {
+	return fmt.Sprintf("k%08x%08x", rand.Uint32(), rand.Uint32())
+}
+
+// Submit submits spec under the idempotency key (one is generated when
+// empty), retrying with backoff until the server accepts, dedupes, or a
+// non-retryable error occurs. 4xx responses other than 429 are
+// permanent failures surfaced immediately.
+func (c *Client) Submit(ctx context.Context, spec exp.JobSpec, key string) (server.JobStatus, error) {
+	if key == "" {
+		key = NewIdempotencyKey()
+	}
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return server.JobStatus{}, err
+	}
+	var lastErr error
+	lastStatus := 0
+	for attempt := 0; attempt < c.attempts; attempt++ {
+		if attempt > 0 {
+			if err := c.sleep(ctx, attempt-1, retryAfterHint(lastErr)); err != nil {
+				return server.JobStatus{}, err
+			}
+		}
+		st, status, err := c.trySubmit(ctx, body, key)
+		switch {
+		case err == nil:
+			return st, nil
+		case ctx.Err() != nil:
+			return server.JobStatus{}, ctx.Err()
+		case !retryable(status, err):
+			return server.JobStatus{}, err
+		}
+		lastErr, lastStatus = err, status
+	}
+	return server.JobStatus{}, &RetryableError{Attempts: c.attempts, LastStatus: lastStatus, Last: lastErr}
+}
+
+// httpError is a non-2xx response, keeping the server's Retry-After.
+type httpError struct {
+	status     int
+	msg        string
+	retryAfter time.Duration
+}
+
+func (e *httpError) Error() string {
+	return fmt.Sprintf("server returned %d: %s", e.status, e.msg)
+}
+
+// StatusCode exposes the HTTP status (for callers and tests).
+func (e *httpError) StatusCode() int { return e.status }
+
+// retryAfterHint extracts the Retry-After a previous attempt carried.
+func retryAfterHint(err error) time.Duration {
+	var he *httpError
+	if errors.As(err, &he) {
+		return he.retryAfter
+	}
+	return 0
+}
+
+// retryable classifies one failed attempt: shed responses (429),
+// unavailability (503), server errors (5xx) and transport errors are
+// retried; other 4xx are the caller's bug.
+func retryable(status int, err error) bool {
+	if status == 0 {
+		return true // transport error
+	}
+	return status == http.StatusTooManyRequests || status >= 500
+}
+
+// sleep waits the jittered backoff for attempt, stretched to at least
+// the server's Retry-After when one was given.
+func (c *Client) sleep(ctx context.Context, attempt int, retryAfter time.Duration) error {
+	d := c.backoff.delay(attempt, c.rand)
+	if retryAfter > d {
+		d = retryAfter
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+func (c *Client) trySubmit(ctx context.Context, body []byte, key string) (server.JobStatus, int, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/jobs", bytes.NewReader(body))
+	if err != nil {
+		return server.JobStatus{}, 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("Idempotency-Key", key)
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return server.JobStatus{}, 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusAccepted || resp.StatusCode == http.StatusOK {
+		var st server.JobStatus
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			return server.JobStatus{}, resp.StatusCode, fmt.Errorf("decoding response: %w", err)
+		}
+		return st, resp.StatusCode, nil
+	}
+	return server.JobStatus{}, resp.StatusCode, decodeError(resp)
+}
+
+// decodeError turns a non-2xx response into an *httpError.
+func decodeError(resp *http.Response) error {
+	he := &httpError{status: resp.StatusCode}
+	if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
+		he.retryAfter = time.Duration(secs) * time.Second
+	}
+	raw, _ := io.ReadAll(io.LimitReader(resp.Body, 64<<10))
+	var body struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(raw, &body) == nil && body.Error != "" {
+		he.msg = body.Error
+	} else {
+		he.msg = string(bytes.TrimSpace(raw))
+	}
+	return he
+}
+
+// Status fetches one job's current state.
+func (c *Client) Status(ctx context.Context, id string) (server.JobStatus, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/jobs/"+id, nil)
+	if err != nil {
+		return server.JobStatus{}, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return server.JobStatus{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return server.JobStatus{}, decodeError(resp)
+	}
+	var st server.JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return server.JobStatus{}, fmt.Errorf("decoding status: %w", err)
+	}
+	return st, nil
+}
+
+// Wait polls the job until it reaches a terminal state. Transport
+// errors and 5xx during polling are tolerated (the daemon may be
+// restarting mid-drain); poll sets the cadence (default 200ms).
+func (c *Client) Wait(ctx context.Context, id string, poll time.Duration) (server.JobStatus, error) {
+	if poll <= 0 {
+		poll = 200 * time.Millisecond
+	}
+	t := time.NewTicker(poll)
+	defer t.Stop()
+	for {
+		st, err := c.Status(ctx, id)
+		if err == nil && st.Terminal() {
+			return st, nil
+		}
+		if err != nil {
+			var he *httpError
+			if errors.As(err, &he) && he.status == http.StatusNotFound {
+				// A restarted daemon replays its store before serving, so
+				// a 404 here means the job truly never existed.
+				return server.JobStatus{}, err
+			}
+		}
+		select {
+		case <-ctx.Done():
+			return server.JobStatus{}, ctx.Err()
+		case <-t.C:
+		}
+	}
+}
+
+// SubmitAndWait submits with retries, then waits for the terminal state.
+func (c *Client) SubmitAndWait(ctx context.Context, spec exp.JobSpec, key string, poll time.Duration) (server.JobStatus, error) {
+	st, err := c.Submit(ctx, spec, key)
+	if err != nil {
+		return st, err
+	}
+	if st.Terminal() {
+		return st, nil
+	}
+	return c.Wait(ctx, st.ID, poll)
+}
+
+// CheckEndpoint GETs one of the daemon's plumbing endpoints (/healthz,
+// /readyz, /metrics) and returns its body, failing on non-200.
+func (c *Client) CheckEndpoint(ctx context.Context, path string) (string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+	if err != nil {
+		return "", err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return string(raw), fmt.Errorf("%s returned %d", path, resp.StatusCode)
+	}
+	return string(raw), nil
+}

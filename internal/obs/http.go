@@ -1,0 +1,15 @@
+package obs
+
+import "net/http"
+
+// Handler serves the registry in Prometheus text exposition format.
+// This is the /metrics endpoint of the simulation service: scrapes see
+// live values because instruments are read atomically at render time.
+func Handler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		// Errors past the header are write failures to a disconnected
+		// scraper; there is nothing useful to do with them.
+		_ = r.WritePrometheus(w)
+	})
+}

@@ -1,0 +1,48 @@
+package obs
+
+// Quantile estimates the q-quantile (0 < q <= 1) of the observations in
+// the snapshot from its cumulative buckets, interpolating linearly
+// inside the bucket the quantile falls into. The estimate is clamped to
+// the histogram's range: quantiles landing in the overflow bucket
+// return the largest finite bound (the histogram cannot see past it).
+// An empty snapshot returns 0. Queue admission and readiness reporting
+// use this to turn the service's wait histograms into a p99.
+func (s HistogramSnapshot) Quantile(q float64) int64 {
+	if s.Count == 0 || len(s.Bounds) == 0 {
+		return 0
+	}
+	if q <= 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	var cum int64
+	for i, b := range s.Bounds {
+		n := s.Counts[i]
+		if n == 0 {
+			cum += n
+			continue
+		}
+		if float64(cum+n) >= rank {
+			// Interpolate inside [lo, b]; lo is the previous bound (or 0).
+			var lo int64
+			if i > 0 {
+				lo = s.Bounds[i-1]
+			}
+			frac := (rank - float64(cum)) / float64(n)
+			v := float64(lo) + frac*float64(b-lo)
+			if v < float64(lo) {
+				v = float64(lo)
+			}
+			if v > float64(b) {
+				v = float64(b)
+			}
+			return int64(v)
+		}
+		cum += n
+	}
+	// The quantile lands in the +Inf overflow bucket.
+	return s.Bounds[len(s.Bounds)-1]
+}

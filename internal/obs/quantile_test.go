@@ -1,0 +1,65 @@
+package obs
+
+import "testing"
+
+func TestQuantileEmpty(t *testing.T) {
+	h := NewRegistry().Histogram("q_empty", "", []int64{1, 10, 100})
+	if got := h.Snapshot().Quantile(0.99); got != 0 {
+		t.Fatalf("empty Quantile = %d, want 0", got)
+	}
+}
+
+func TestQuantileSingleBucket(t *testing.T) {
+	h := NewRegistry().Histogram("q_single", "", []int64{10, 100})
+	for i := 0; i < 100; i++ {
+		h.Observe(5)
+	}
+	// All mass in [0,10]: the median interpolates to the bucket middle.
+	got := h.Snapshot().Quantile(0.5)
+	if got < 1 || got > 10 {
+		t.Fatalf("median of uniform-in-first-bucket = %d, want in [1,10]", got)
+	}
+}
+
+func TestQuantileInterpolation(t *testing.T) {
+	h := NewRegistry().Histogram("q_interp", "", []int64{10, 20, 30})
+	// 10 obs in (10,20], 10 in (20,30].
+	for i := 0; i < 10; i++ {
+		h.Observe(15)
+		h.Observe(25)
+	}
+	s := h.Snapshot()
+	// p50 falls exactly at the top of the second bucket's range.
+	if got := s.Quantile(0.5); got < 15 || got > 20 {
+		t.Fatalf("p50 = %d, want in [15,20]", got)
+	}
+	if got := s.Quantile(0.99); got < 25 || got > 30 {
+		t.Fatalf("p99 = %d, want in [25,30]", got)
+	}
+	// p50 must not exceed p99.
+	if s.Quantile(0.5) > s.Quantile(0.99) {
+		t.Fatalf("quantiles not monotone: p50 %d > p99 %d", s.Quantile(0.5), s.Quantile(0.99))
+	}
+}
+
+func TestQuantileOverflowClamps(t *testing.T) {
+	h := NewRegistry().Histogram("q_over", "", []int64{10, 20})
+	for i := 0; i < 100; i++ {
+		h.Observe(1000) // all land in the +Inf overflow bucket
+	}
+	if got := h.Snapshot().Quantile(0.99); got != 20 {
+		t.Fatalf("overflow Quantile = %d, want clamp to 20", got)
+	}
+}
+
+func TestQuantileBoundsClamped(t *testing.T) {
+	h := NewRegistry().Histogram("q_range", "", []int64{10})
+	h.Observe(5)
+	s := h.Snapshot()
+	if got := s.Quantile(-1); got < 0 || got > 10 {
+		t.Fatalf("Quantile(-1) = %d, want within histogram range", got)
+	}
+	if got := s.Quantile(2); got < 0 || got > 10 {
+		t.Fatalf("Quantile(2) = %d, want within histogram range", got)
+	}
+}

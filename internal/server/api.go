@@ -1,0 +1,127 @@
+// Package server is the hardened simulation service: an HTTP/JSON API
+// in front of a bounded job queue with admission control, a fixed
+// worker pool driving jobs through the crash-safe experiment runner, a
+// per-workload circuit breaker, and a graceful drain that checkpoints
+// unfinished work so a restarted daemon resumes instead of recomputing.
+//
+// The contract with clients:
+//
+//   - POST /v1/jobs submits a job (exp.JobSpec JSON). 202 + JobStatus on
+//     acceptance. 429 + Retry-After when the queue is full or its p99
+//     wait exceeds the admission limit; 503 + Retry-After while draining
+//     or while the workload's circuit breaker is open; 400 for invalid
+//     specs; 413 for oversized bodies (rejected before decoding); 409
+//     when an Idempotency-Key is reused with a different spec.
+//   - An Idempotency-Key header makes submission retry-safe: the same
+//     key always maps to the same job, so a client that times out and
+//     retries cannot double-submit.
+//   - GET /v1/jobs/{id} returns the job's JobStatus (404 unknown).
+//   - GET /healthz is liveness (200 while the process serves).
+//   - GET /readyz is readiness: 200 + queue stats while accepting, 503
+//     while draining.
+//   - GET /metrics is the obs registry in Prometheus text format.
+//
+// Every state transition of an accepted job is fsync'd to a CRC-checked
+// job store before it is acknowledged, so accepted jobs survive a
+// restart: on startup, queued and interrupted jobs are re-enqueued and
+// their simulation state (write-ahead journal + checkpoints, keyed by
+// the normalized spec digest) lets them resume mid-stream.
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+
+	"rvpsim/internal/exp"
+	"rvpsim/internal/simerr"
+)
+
+// Job states. The lifecycle is queued -> running -> succeeded|failed,
+// with running -> queued on a drain or crash (the job is requeued and
+// resumed by the next daemon).
+const (
+	StateQueued    = "queued"
+	StateRunning   = "running"
+	StateSucceeded = "succeeded"
+	StateFailed    = "failed"
+)
+
+// JobStatus is the wire representation of one job. It is also the job
+// store's on-disk record: the latest record per ID wins on replay.
+type JobStatus struct {
+	ID string `json:"id"`
+	// Key is the client's idempotency key, when one was supplied.
+	Key   string      `json:"key,omitempty"`
+	State string      `json:"state"`
+	Spec  exp.JobSpec `json:"spec"`
+	// Attempts counts how many times the job entered a worker, across
+	// daemon restarts.
+	Attempts int            `json:"attempts,omitempty"`
+	Result   *exp.JobResult `json:"result,omitempty"`
+	Error    *ErrorInfo     `json:"error,omitempty"`
+}
+
+// Terminal reports whether the state is final.
+func (j JobStatus) Terminal() bool {
+	return j.State == StateSucceeded || j.State == StateFailed
+}
+
+// ErrorInfo is the typed failure payload of a failed job, flattened
+// from the simulator's error taxonomy so clients classify failures
+// without parsing message strings.
+type ErrorInfo struct {
+	Message  string `json:"message"`
+	Stage    string `json:"stage,omitempty"`
+	Workload string `json:"workload,omitempty"`
+	// Transient marks failures the simulator classified as transient
+	// (the run was already retried once and still failed).
+	Transient bool `json:"transient,omitempty"`
+	// Timeout marks per-job deadline expiries.
+	Timeout bool `json:"timeout,omitempty"`
+}
+
+// errorInfo flattens err into the wire payload.
+func errorInfo(err error, timeout bool) *ErrorInfo {
+	info := &ErrorInfo{
+		Message:   err.Error(),
+		Transient: simerr.IsTransient(err),
+		Timeout:   timeout,
+	}
+	var se *simerr.SimError
+	if errors.As(err, &se) {
+		info.Stage = se.Stage
+		info.Workload = se.Workload
+	}
+	return info
+}
+
+// apiError is the JSON error body for every non-2xx response.
+type apiError struct {
+	Error string `json:"error"`
+	// RetryAfterSeconds mirrors the Retry-After header on 429/503.
+	RetryAfterSeconds int `json:"retry_after_seconds,omitempty"`
+}
+
+// DecodeJobRequest parses and validates one POST /v1/jobs body. The
+// decoder is strict — unknown fields and trailing data are rejected —
+// so malformed automation fails loudly instead of silently running a
+// default job. The returned spec is already normalized against
+// defaultInsts. It never panics on any input (see FuzzJobRequest).
+func DecodeJobRequest(body []byte, defaultInsts uint64) (exp.JobSpec, error) {
+	var spec exp.JobSpec
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		return exp.JobSpec{}, fmt.Errorf("invalid job request: %w", err)
+	}
+	if dec.More() {
+		return exp.JobSpec{}, errors.New("invalid job request: trailing data after JSON object")
+	}
+	spec.Normalize(defaultInsts)
+	if err := spec.Validate(); err != nil {
+		return exp.JobSpec{}, err
+	}
+	return spec, nil
+}

@@ -1,0 +1,151 @@
+package server
+
+import (
+	"sync"
+	"time"
+)
+
+// breaker is a per-key (workload or figure) circuit breaker. It trips
+// open after `threshold` consecutive non-transient failures of the same
+// key, sheds that key's submissions for `cooloff`, then half-opens: one
+// trial job is admitted, and its outcome decides between closing the
+// breaker and re-opening it for another cooloff. Transient failures
+// neither trip nor reset the breaker — they are the retry path's
+// problem, not a health signal.
+//
+// The breaker is deliberately in-memory only: after a restart every
+// key starts closed, because the restart itself is the operator's reset.
+type breaker struct {
+	mu        sync.Mutex
+	threshold int
+	cooloff   time.Duration
+	now       func() time.Time // injectable for tests
+	entries   map[string]*breakerEntry
+	trips     int64
+}
+
+type breakerEntry struct {
+	consecutive int
+	open        bool
+	openUntil   time.Time
+	// trial marks a half-open probe in flight; further submissions are
+	// shed until the probe reports.
+	trial bool
+}
+
+func newBreaker(threshold int, cooloff time.Duration) *breaker {
+	return &breaker{
+		threshold: threshold,
+		cooloff:   cooloff,
+		now:       time.Now,
+		entries:   map[string]*breakerEntry{},
+	}
+}
+
+// Allow reports whether a submission for key may be admitted. When it
+// may not, retryAfter says how long the client should back off.
+func (b *breaker) Allow(key string) (ok bool, retryAfter time.Duration) {
+	if b.threshold <= 0 {
+		return true, 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	e := b.entries[key]
+	if e == nil || !e.open {
+		return true, 0
+	}
+	if e.trial {
+		return false, b.cooloff
+	}
+	if now := b.now(); !now.Before(e.openUntil) {
+		// Cooloff elapsed: admit exactly one trial probe.
+		e.trial = true
+		return true, 0
+	}
+	left := e.openUntil.Sub(b.now())
+	if left < time.Second {
+		left = time.Second
+	}
+	return false, left
+}
+
+// Success reports a completed job for key; it fully closes the breaker.
+func (b *breaker) Success(key string) {
+	if b.threshold <= 0 {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if e := b.entries[key]; e != nil {
+		e.consecutive = 0
+		e.open = false
+		e.trial = false
+	}
+}
+
+// Failure reports a non-transient job failure for key (callers filter
+// out transient ones) and reports whether this failure tripped the
+// breaker open.
+func (b *breaker) Failure(key string) bool {
+	if b.threshold <= 0 {
+		return false
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	e := b.entries[key]
+	if e == nil {
+		e = &breakerEntry{}
+		b.entries[key] = e
+	}
+	e.consecutive++
+	if e.open && e.trial {
+		// Failed probe: re-open for another cooloff.
+		e.trial = false
+		e.openUntil = b.now().Add(b.cooloff)
+		b.trips++
+		return true
+	}
+	if !e.open && e.consecutive >= b.threshold {
+		e.open = true
+		e.trial = false
+		e.openUntil = b.now().Add(b.cooloff)
+		b.trips++
+		return true
+	}
+	return false
+}
+
+// Requeued reports that key's job was requeued without completing (the
+// daemon drained mid-run). A half-open probe must release its trial
+// slot, or the breaker would shed that key until the next restart.
+func (b *breaker) Requeued(key string) {
+	if b.threshold <= 0 {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if e := b.entries[key]; e != nil {
+		e.trial = false
+	}
+}
+
+// OpenCount returns how many keys are currently open (for the gauge).
+func (b *breaker) OpenCount() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	n := 0
+	now := b.now()
+	for _, e := range b.entries {
+		if e.open && (e.trial || now.Before(e.openUntil)) {
+			n++
+		}
+	}
+	return n
+}
+
+// Trips returns the total number of open transitions (for the counter).
+func (b *breaker) Trips() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.trips
+}

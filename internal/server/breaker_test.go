@@ -1,0 +1,145 @@
+package server
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock drives the breaker's injectable now.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+func newFakeBreaker(threshold int, cooloff time.Duration) (*breaker, *fakeClock) {
+	b := newBreaker(threshold, cooloff)
+	c := &fakeClock{t: time.Unix(1_000_000, 0)}
+	b.now = c.now
+	return b, c
+}
+
+func TestBreakerTripsAfterThreshold(t *testing.T) {
+	b, _ := newFakeBreaker(3, time.Minute)
+	for i := 0; i < 2; i++ {
+		if tripped := b.Failure("go"); tripped {
+			t.Fatalf("tripped after %d failures, threshold 3", i+1)
+		}
+		if ok, _ := b.Allow("go"); !ok {
+			t.Fatalf("breaker open before threshold")
+		}
+	}
+	if tripped := b.Failure("go"); !tripped {
+		t.Fatalf("third failure did not trip")
+	}
+	ok, retryAfter := b.Allow("go")
+	if ok {
+		t.Fatalf("open breaker admitted a submission")
+	}
+	if retryAfter <= 0 {
+		t.Fatalf("open breaker gave no Retry-After")
+	}
+	if b.Trips() != 1 {
+		t.Fatalf("Trips = %d, want 1", b.Trips())
+	}
+	// Other keys are unaffected.
+	if ok, _ := b.Allow("perl"); !ok {
+		t.Fatalf("unrelated key shed")
+	}
+}
+
+func TestBreakerSuccessResetsCount(t *testing.T) {
+	b, _ := newFakeBreaker(3, time.Minute)
+	b.Failure("go")
+	b.Failure("go")
+	b.Success("go")
+	b.Failure("go")
+	b.Failure("go")
+	if ok, _ := b.Allow("go"); !ok {
+		t.Fatalf("breaker open though success reset the streak")
+	}
+}
+
+func TestBreakerHalfOpenProbe(t *testing.T) {
+	b, clk := newFakeBreaker(1, time.Minute)
+	b.Failure("go")
+	if ok, _ := b.Allow("go"); ok {
+		t.Fatalf("open breaker admitted before cooloff")
+	}
+	clk.advance(time.Minute)
+	// Cooloff elapsed: exactly one trial is admitted.
+	if ok, _ := b.Allow("go"); !ok {
+		t.Fatalf("half-open breaker refused the trial probe")
+	}
+	if ok, _ := b.Allow("go"); ok {
+		t.Fatalf("second submission admitted while the probe is in flight")
+	}
+	// A successful probe closes the breaker fully.
+	b.Success("go")
+	if ok, _ := b.Allow("go"); !ok {
+		t.Fatalf("breaker still open after successful probe")
+	}
+}
+
+func TestBreakerFailedProbeReopens(t *testing.T) {
+	b, clk := newFakeBreaker(1, time.Minute)
+	b.Failure("go")
+	clk.advance(time.Minute)
+	if ok, _ := b.Allow("go"); !ok {
+		t.Fatalf("trial probe refused")
+	}
+	if tripped := b.Failure("go"); !tripped {
+		t.Fatalf("failed probe did not re-trip")
+	}
+	if ok, _ := b.Allow("go"); ok {
+		t.Fatalf("breaker admitted right after a failed probe")
+	}
+	if b.Trips() != 2 {
+		t.Fatalf("Trips = %d, want 2 (initial + failed probe)", b.Trips())
+	}
+	// The next cooloff admits another probe.
+	clk.advance(time.Minute)
+	if ok, _ := b.Allow("go"); !ok {
+		t.Fatalf("no probe after second cooloff")
+	}
+}
+
+func TestBreakerRequeuedReleasesTrial(t *testing.T) {
+	b, clk := newFakeBreaker(1, time.Minute)
+	b.Failure("go")
+	clk.advance(time.Minute)
+	if ok, _ := b.Allow("go"); !ok {
+		t.Fatalf("trial probe refused")
+	}
+	// The daemon drained mid-probe: the job is requeued, not judged.
+	b.Requeued("go")
+	if ok, _ := b.Allow("go"); !ok {
+		t.Fatalf("trial slot not released after requeue")
+	}
+}
+
+func TestBreakerDisabled(t *testing.T) {
+	b, _ := newFakeBreaker(0, time.Minute)
+	for i := 0; i < 10; i++ {
+		if tripped := b.Failure("go"); tripped {
+			t.Fatalf("disabled breaker tripped")
+		}
+	}
+	if ok, _ := b.Allow("go"); !ok {
+		t.Fatalf("disabled breaker shed")
+	}
+	if b.OpenCount() != 0 {
+		t.Fatalf("disabled breaker reports open keys")
+	}
+}
+
+func TestBreakerOpenCount(t *testing.T) {
+	b, _ := newFakeBreaker(1, time.Minute)
+	b.Failure("go")
+	b.Failure("perl")
+	if got := b.OpenCount(); got != 2 {
+		t.Fatalf("OpenCount = %d, want 2", got)
+	}
+	b.Success("go")
+	if got := b.OpenCount(); got != 1 {
+		t.Fatalf("OpenCount after success = %d, want 1", got)
+	}
+}

@@ -1,0 +1,48 @@
+package server
+
+import (
+	"testing"
+
+	"rvpsim/internal/exp"
+)
+
+// FuzzJobRequest drives the HTTP decoder with arbitrary bodies. The
+// contract under fuzz: DecodeJobRequest never panics, and any spec it
+// accepts is valid and normalized (budgets bounded, digest computable).
+func FuzzJobRequest(f *testing.F) {
+	f.Add([]byte(`{"kind":"run","workload":"go","predictor":"rvp"}`))
+	f.Add([]byte(`{"kind":"run","workload":"hydro2d","predictor":"stride","recovery":"refetch","insts":100000}`))
+	f.Add([]byte(`{"kind":"figure","figure":"fig5","insts":30000,"profile_insts":15000,"threshold":0.8}`))
+	f.Add([]byte(`{"kind":"figure","figure":"fig1"}`))
+	f.Add([]byte(``))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(`[]`))
+	f.Add([]byte(`{"kind":`))
+	f.Add([]byte(`{"kind":"run"} {"kind":"run"}`))
+	f.Add([]byte(`{"kind":"run","unknown_field":true}`))
+	f.Add([]byte(`{"kind":"run","insts":-1}`))
+	f.Add([]byte(`{"kind":"run","threshold":1e308}`))
+	f.Add([]byte("{\"kind\":\"\x00\",\"workload\":\"\xff\"}"))
+
+	f.Fuzz(func(t *testing.T, body []byte) {
+		spec, err := DecodeJobRequest(body, 2_000_000)
+		if err != nil {
+			return
+		}
+		// Accepted specs must satisfy the validated invariants the queue
+		// and runner rely on.
+		if verr := spec.Validate(); verr != nil {
+			t.Fatalf("decoder accepted an invalid spec %+v: %v", spec, verr)
+		}
+		if spec.Insts == 0 || spec.Insts > exp.MaxJobInsts {
+			t.Fatalf("accepted spec has out-of-range insts %d", spec.Insts)
+		}
+		if spec.Threshold < 0 || spec.Threshold > 1 {
+			t.Fatalf("accepted spec has out-of-range threshold %v", spec.Threshold)
+		}
+		if spec.Digest() == "" {
+			t.Fatalf("accepted spec has empty digest")
+		}
+	})
+}

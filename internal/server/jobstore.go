@@ -1,0 +1,192 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"rvpsim/internal/simerr"
+)
+
+// Store is the daemon's write-ahead job log: every job state transition
+// (accepted, started, finished, requeued) is appended — and fsync'd —
+// as a CRC-32-enveloped JSON line before the transition is acknowledged
+// anywhere else. Replaying the log (latest record per job ID wins)
+// reconstructs every job after a restart, which is what makes "no
+// accepted job is ever silently dropped" hold across process deaths: a
+// job either reaches a terminal record or is re-enqueued by the next
+// daemon. A torn or corrupt tail — the signature of a crash mid-append —
+// is truncated away on open, never fatal.
+type Store struct {
+	mu    sync.Mutex
+	f     *os.File
+	jobs  map[string]JobStatus
+	order []string          // first-seen order, for deterministic recovery
+	byKey map[string]string // idempotency key -> job ID
+
+	// Truncated reports how many damaged tail records were dropped on
+	// open.
+	Truncated int
+}
+
+// storeEnvelope wraps one record: Rec's exact bytes are CRC-protected.
+type storeEnvelope struct {
+	CRC uint32          `json:"crc"`
+	Rec json.RawMessage `json:"rec"`
+}
+
+// StorePath is the job log's location inside a state directory.
+func StorePath(dir string) string { return filepath.Join(dir, "jobs.jsonl") }
+
+// OpenStore opens (creating if absent) the job log at path and replays
+// every valid record.
+func OpenStore(path string) (*Store, error) {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return nil, simerr.New("jobstore", err)
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, simerr.New("jobstore", err)
+	}
+	s := &Store{f: f, jobs: map[string]JobStatus{}, byKey: map[string]string{}}
+
+	data, err := io.ReadAll(f)
+	if err != nil {
+		f.Close()
+		return nil, simerr.New("jobstore", err)
+	}
+	valid := 0
+	for valid < len(data) {
+		nl := bytes.IndexByte(data[valid:], '\n')
+		if nl < 0 {
+			break
+		}
+		rec, ok := parseStoreLine(data[valid : valid+nl])
+		if !ok {
+			break
+		}
+		s.apply(rec)
+		valid += nl + 1
+	}
+	if valid < len(data) {
+		s.Truncated = 1 + bytes.Count(data[valid:], []byte{'\n'})
+		if data[len(data)-1] == '\n' {
+			s.Truncated--
+		}
+	}
+	if err := f.Truncate(int64(valid)); err != nil {
+		f.Close()
+		return nil, simerr.New("jobstore", err)
+	}
+	if _, err := f.Seek(int64(valid), io.SeekStart); err != nil {
+		f.Close()
+		return nil, simerr.New("jobstore", err)
+	}
+	return s, nil
+}
+
+// parseStoreLine validates one envelope line.
+func parseStoreLine(line []byte) (JobStatus, bool) {
+	var rec JobStatus
+	if len(bytes.TrimSpace(line)) == 0 {
+		return rec, false
+	}
+	var env storeEnvelope
+	if err := json.Unmarshal(line, &env); err != nil {
+		return rec, false
+	}
+	if crc32.ChecksumIEEE(env.Rec) != env.CRC {
+		return rec, false
+	}
+	if err := json.Unmarshal(env.Rec, &rec); err != nil || rec.ID == "" {
+		return rec, false
+	}
+	return rec, true
+}
+
+// apply folds one replayed record into the in-memory view. Caller holds
+// the lock (or is still single-threaded in OpenStore).
+func (s *Store) apply(rec JobStatus) {
+	if _, seen := s.jobs[rec.ID]; !seen {
+		s.order = append(s.order, rec.ID)
+	}
+	s.jobs[rec.ID] = rec
+	if rec.Key != "" {
+		s.byKey[rec.Key] = rec.ID
+	}
+}
+
+// Append records one job state transition, fsyncing before it returns.
+func (s *Store) Append(rec JobStatus) error {
+	raw, err := json.Marshal(rec)
+	if err != nil {
+		return simerr.New("jobstore", err)
+	}
+	line, err := json.Marshal(storeEnvelope{CRC: crc32.ChecksumIEEE(raw), Rec: raw})
+	if err != nil {
+		return simerr.New("jobstore", err)
+	}
+	line = append(line, '\n')
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, err := s.f.Write(line); err != nil {
+		return simerr.New("jobstore", err)
+	}
+	if err := s.f.Sync(); err != nil {
+		return simerr.New("jobstore", err)
+	}
+	s.apply(rec)
+	return nil
+}
+
+// Get returns the latest record for id.
+func (s *Store) Get(id string) (JobStatus, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rec, ok := s.jobs[id]
+	return rec, ok
+}
+
+// ByKey returns the latest record for the job an idempotency key maps to.
+func (s *Store) ByKey(key string) (JobStatus, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	id, ok := s.byKey[key]
+	if !ok {
+		return JobStatus{}, false
+	}
+	rec, ok := s.jobs[id]
+	return rec, ok
+}
+
+// Pending returns every non-terminal job in first-seen order: the work
+// a restarted daemon must re-enqueue.
+func (s *Store) Pending() []JobStatus {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []JobStatus
+	for _, id := range s.order {
+		if rec := s.jobs[id]; !rec.Terminal() {
+			out = append(out, rec)
+		}
+	}
+	return out
+}
+
+// Len returns how many distinct jobs the store knows.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.jobs)
+}
+
+// Close closes the underlying file.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.f.Close()
+}

@@ -1,0 +1,172 @@
+package server
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"rvpsim/internal/exp"
+)
+
+func testSpec() exp.JobSpec {
+	s := exp.JobSpec{Kind: "run", Workload: "go", Predictor: "rvp"}
+	s.Normalize(10_000)
+	return s
+}
+
+func TestStoreReplayLatestWins(t *testing.T) {
+	path := StorePath(t.TempDir())
+	s, err := OpenStore(path)
+	if err != nil {
+		t.Fatalf("OpenStore: %v", err)
+	}
+	spec := testSpec()
+	recs := []JobStatus{
+		{ID: "j1", Key: "k1", State: StateQueued, Spec: spec},
+		{ID: "j2", Key: "k2", State: StateQueued, Spec: spec},
+		{ID: "j1", Key: "k1", State: StateRunning, Spec: spec, Attempts: 1},
+		{ID: "j1", Key: "k1", State: StateSucceeded, Spec: spec, Attempts: 1},
+	}
+	for _, r := range recs {
+		if err := s.Append(r); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	s2, err := OpenStore(path)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer s2.Close()
+	if s2.Truncated != 0 {
+		t.Fatalf("Truncated = %d on a clean log", s2.Truncated)
+	}
+	if got, ok := s2.Get("j1"); !ok || got.State != StateSucceeded {
+		t.Fatalf("j1 after replay = %+v, want succeeded", got)
+	}
+	if got, ok := s2.ByKey("k2"); !ok || got.ID != "j2" {
+		t.Fatalf("ByKey(k2) = %+v, want j2", got)
+	}
+	pending := s2.Pending()
+	if len(pending) != 1 || pending[0].ID != "j2" {
+		t.Fatalf("Pending = %+v, want just j2", pending)
+	}
+	if s2.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", s2.Len())
+	}
+}
+
+func TestStoreRunningRecoversAsPending(t *testing.T) {
+	path := StorePath(t.TempDir())
+	s, err := OpenStore(path)
+	if err != nil {
+		t.Fatalf("OpenStore: %v", err)
+	}
+	spec := testSpec()
+	s.Append(JobStatus{ID: "j1", Key: "k1", State: StateQueued, Spec: spec})
+	s.Append(JobStatus{ID: "j1", Key: "k1", State: StateRunning, Spec: spec, Attempts: 1})
+	s.Close()
+
+	s2, err := OpenStore(path)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer s2.Close()
+	// A job that died mid-run is non-terminal: it must come back.
+	pending := s2.Pending()
+	if len(pending) != 1 || pending[0].ID != "j1" {
+		t.Fatalf("Pending = %+v, want the running job", pending)
+	}
+}
+
+func TestStoreTornTailTruncated(t *testing.T) {
+	path := StorePath(t.TempDir())
+	s, err := OpenStore(path)
+	if err != nil {
+		t.Fatalf("OpenStore: %v", err)
+	}
+	spec := testSpec()
+	s.Append(JobStatus{ID: "j1", Key: "k1", State: StateQueued, Spec: spec})
+	s.Append(JobStatus{ID: "j2", Key: "k2", State: StateQueued, Spec: spec})
+	s.Close()
+
+	// Simulate a crash mid-append: chop bytes off the last line.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read log: %v", err)
+	}
+	if err := os.WriteFile(path, data[:len(data)-7], 0o644); err != nil {
+		t.Fatalf("tear log: %v", err)
+	}
+
+	s2, err := OpenStore(path)
+	if err != nil {
+		t.Fatalf("reopen torn log: %v", err)
+	}
+	defer s2.Close()
+	if s2.Truncated == 0 {
+		t.Fatalf("torn tail not reported")
+	}
+	if _, ok := s2.Get("j1"); !ok {
+		t.Fatalf("intact record lost with the torn tail")
+	}
+	if _, ok := s2.Get("j2"); ok {
+		t.Fatalf("torn record replayed")
+	}
+
+	// Appending after truncation keeps the log healthy.
+	if err := s2.Append(JobStatus{ID: "j3", Key: "k3", State: StateQueued, Spec: spec}); err != nil {
+		t.Fatalf("Append after truncation: %v", err)
+	}
+	s2.Close()
+	s3, err := OpenStore(path)
+	if err != nil {
+		t.Fatalf("third open: %v", err)
+	}
+	defer s3.Close()
+	if s3.Truncated != 0 {
+		t.Fatalf("log still damaged after repair: Truncated = %d", s3.Truncated)
+	}
+	if _, ok := s3.Get("j3"); !ok {
+		t.Fatalf("post-repair record lost")
+	}
+}
+
+func TestStoreCorruptPayloadRejected(t *testing.T) {
+	dir := t.TempDir()
+	path := StorePath(dir)
+	s, err := OpenStore(path)
+	if err != nil {
+		t.Fatalf("OpenStore: %v", err)
+	}
+	s.Append(JobStatus{ID: "j1", Key: "k1", State: StateQueued, Spec: testSpec()})
+	s.Close()
+
+	// Flip a byte inside the record (not the envelope framing): the CRC
+	// must catch it and the replay must stop there.
+	data, _ := os.ReadFile(path)
+	mid := len(data) / 2
+	data[mid] ^= 0x20
+	os.WriteFile(path, data, 0o644)
+
+	s2, err := OpenStore(path)
+	if err != nil {
+		t.Fatalf("reopen corrupt log: %v", err)
+	}
+	defer s2.Close()
+	if s2.Len() != 0 {
+		t.Fatalf("corrupt record replayed: Len = %d", s2.Len())
+	}
+	if s2.Truncated == 0 {
+		t.Fatalf("corruption not reported")
+	}
+}
+
+func TestStorePathShape(t *testing.T) {
+	if got := StorePath("/x/y"); got != filepath.Join("/x/y", "jobs.jsonl") {
+		t.Fatalf("StorePath = %q", got)
+	}
+}

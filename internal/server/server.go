@@ -1,0 +1,548 @@
+package server
+
+import (
+	"context"
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rvpsim/internal/exp"
+	"rvpsim/internal/faultinject"
+	"rvpsim/internal/obs"
+	"rvpsim/internal/server/shutdown"
+	"rvpsim/internal/simerr"
+)
+
+// Config sizes the service. Zero values take the documented defaults.
+type Config struct {
+	// StateDir holds the job store and per-job simulation state
+	// (required: it is what makes accepted jobs survive restarts).
+	StateDir string
+	// Workers is the fixed worker-pool size (default 2).
+	Workers int
+	// QueueDepth is the admission limit on queued jobs (default 64).
+	QueueDepth int
+	// MaxWait sheds submissions when the p99 of recent queue waits
+	// exceeds it (default 30s; 0 disables the wait-based signal).
+	MaxWait time.Duration
+	// JobTimeout bounds each job attempt (default 10m).
+	JobTimeout time.Duration
+	// DrainTimeout is how long a graceful drain lets in-flight jobs
+	// finish before force-cancelling them into checkpoints (default 10s).
+	DrainTimeout time.Duration
+	// BreakerThreshold trips a workload's circuit breaker after this
+	// many consecutive non-transient failures (default 3; <0 disables).
+	BreakerThreshold int
+	// BreakerCooloff is how long a tripped breaker sheds before its
+	// half-open probe (default 30s).
+	BreakerCooloff time.Duration
+	// DefaultInsts is the per-run budget for specs that omit one
+	// (default 2M).
+	DefaultInsts uint64
+	// CheckpointEvery is the in-flight checkpoint cadence in committed
+	// instructions (default 200k; 0 disables mid-run checkpoints).
+	CheckpointEvery uint64
+	// WatchdogCycles arms the pipeline watchdog for every run (0 off).
+	WatchdogCycles int
+	// MaxBody bounds POST bodies; larger requests get 413 before any
+	// decoding (default 1 MiB).
+	MaxBody int64
+	// Registry receives service and simulation metrics (fresh if nil).
+	Registry *obs.Registry
+	// Faults injects deterministic faults into jobs' simulation runs,
+	// keyed by workload (chaos/soak testing).
+	Faults map[string]faultinject.Config
+	// Logf, when non-nil, receives one line per lifecycle event.
+	Logf func(format string, args ...any)
+}
+
+func (c *Config) setDefaults() error {
+	if c.StateDir == "" {
+		return simerr.Newf("server", "Config.StateDir is required: %v", simerr.ErrConfig)
+	}
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.MaxWait == 0 {
+		c.MaxWait = 30 * time.Second
+	}
+	if c.JobTimeout <= 0 {
+		c.JobTimeout = 10 * time.Minute
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = 10 * time.Second
+	}
+	if c.BreakerThreshold == 0 {
+		c.BreakerThreshold = 3
+	}
+	if c.BreakerCooloff <= 0 {
+		c.BreakerCooloff = 30 * time.Second
+	}
+	if c.DefaultInsts == 0 {
+		c.DefaultInsts = 2_000_000
+	}
+	if c.MaxBody <= 0 {
+		c.MaxBody = 1 << 20
+	}
+	if c.Registry == nil {
+		c.Registry = obs.NewRegistry()
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return nil
+}
+
+// Server is the simulation service: HTTP API, bounded queue, worker
+// pool, circuit breakers, and crash-safe job state.
+type Server struct {
+	cfg     Config
+	reg     *obs.Registry
+	store   *Store
+	queue   *queue
+	breaker *breaker
+
+	// baseCtx parents every job run; cancelling it is the drain
+	// deadline's hammer that turns in-flight runs into checkpoints.
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+
+	// stopPick tells workers to stop picking up new jobs.
+	stopPick  chan struct{}
+	stopOnce  sync.Once
+	wg        sync.WaitGroup
+	draining  atomic.Bool
+	drainOnce sync.Once
+	drainedOK bool
+
+	// submitMu serializes admission so concurrent idempotent retries
+	// cannot double-enqueue one logical job.
+	submitMu sync.Mutex
+
+	inflight atomic.Int64
+
+	mSubmitted, mDeduped           *obs.Counter
+	mShedQueue, mShedBreaker       *obs.Counter
+	mShedDraining                  *obs.Counter
+	mSucceeded, mFailed, mRequeued *obs.Counter
+	mBreakerTrips                  *obs.Counter
+	gDepth, gInflight              *obs.Gauge
+	gBreakerOpen, gDraining        *obs.Gauge
+	hWaitMS, hRunMS                *obs.Histogram
+}
+
+// New opens the state directory, replays the job store, re-enqueues
+// every non-terminal job, and starts the worker pool.
+func New(cfg Config) (*Server, error) {
+	if err := cfg.setDefaults(); err != nil {
+		return nil, err
+	}
+	store, err := OpenStore(StorePath(cfg.StateDir))
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:      cfg,
+		reg:      cfg.Registry,
+		store:    store,
+		breaker:  newBreaker(cfg.BreakerThreshold, cfg.BreakerCooloff),
+		stopPick: make(chan struct{}),
+	}
+	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
+	s.initMetrics()
+	if store.Truncated > 0 {
+		cfg.Logf("jobstore: dropped %d damaged tail record(s)", store.Truncated)
+	}
+
+	// Recovery: everything non-terminal re-enters the queue, past
+	// admission — these jobs were accepted by a previous daemon and the
+	// acceptance contract survives the restart. Queue capacity is sized
+	// so force() cannot block.
+	pending := store.Pending()
+	s.queue = newQueue(cfg.QueueDepth, cfg.QueueDepth+len(pending), cfg.MaxWait)
+	for _, rec := range pending {
+		if rec.State == StateRunning {
+			// The previous daemon died mid-run; normalize the record so
+			// status reads don't claim a dead daemon is running it.
+			rec.State = StateQueued
+			if err := store.Append(rec); err != nil {
+				store.Close()
+				return nil, err
+			}
+		}
+		s.queue.force(&job{id: rec.ID, spec: rec.Spec, breakerKey: breakerKey(rec.Spec), enqueued: time.Now()})
+		cfg.Logf("recovered job %s (%s)", rec.ID, rec.Spec.Kind)
+	}
+	s.gDepth.Set(int64(s.queue.depthNow()))
+
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s, nil
+}
+
+func (s *Server) initMetrics() {
+	s.mSubmitted = s.reg.Counter("srv_jobs_submitted_total", "jobs accepted into the queue")
+	s.mDeduped = s.reg.Counter("srv_jobs_deduped_total", "submissions answered from an existing idempotency key")
+	s.mShedQueue = s.reg.Counter("srv_shed_queue_total", "submissions shed by queue admission control (429)")
+	s.mShedBreaker = s.reg.Counter("srv_shed_breaker_total", "submissions shed by an open circuit breaker (503)")
+	s.mShedDraining = s.reg.Counter("srv_shed_draining_total", "submissions shed while draining (503)")
+	s.mSucceeded = s.reg.Counter("srv_jobs_succeeded_total", "jobs that reached a successful terminal state")
+	s.mFailed = s.reg.Counter("srv_jobs_failed_total", "jobs that reached a failed terminal state")
+	s.mRequeued = s.reg.Counter("srv_jobs_requeued_total", "in-flight jobs checkpointed and requeued by a drain")
+	s.mBreakerTrips = s.reg.Counter("srv_breaker_trips_total", "circuit-breaker open transitions")
+	s.gDepth = s.reg.Gauge("srv_queue_depth", "jobs currently queued")
+	s.gInflight = s.reg.Gauge("srv_inflight_jobs", "jobs currently running on workers")
+	s.gBreakerOpen = s.reg.Gauge("srv_breaker_open", "circuit breakers currently open")
+	s.gDraining = s.reg.Gauge("srv_draining", "1 while the daemon is draining")
+	s.hWaitMS = s.reg.Histogram("srv_queue_wait_ms", "queue wait per job, milliseconds", obs.ExpBuckets(2, 2, 14))
+	s.hRunMS = s.reg.Histogram("srv_job_run_ms", "run time per job attempt, milliseconds", obs.ExpBuckets(2, 2, 16))
+}
+
+// breakerKey buckets a job for the circuit breaker: per workload for
+// run jobs, per figure for sweeps.
+func breakerKey(spec exp.JobSpec) string {
+	if spec.Kind == "figure" {
+		return "figure:" + spec.Figure
+	}
+	return spec.Workload
+}
+
+// jobDir is where one job's crash-safe simulation state lives. It is
+// keyed by the job ID, which is stable across restarts, and the
+// journal/checkpoint keys inside are derived from the normalized spec,
+// so a resumed job finds its own work.
+func (s *Server) jobDir(id string) string {
+	return filepath.Join(s.cfg.StateDir, "jobs", id)
+}
+
+// Handler returns the service's HTTP API.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
+	mux.Handle("GET /metrics", obs.Handler(s.reg))
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// reject writes a JSON error; a positive retryAfter also sets the
+// Retry-After header (whole seconds, rounded up, at least 1).
+func reject(w http.ResponseWriter, code int, msg string, retryAfter time.Duration) {
+	body := apiError{Error: msg}
+	if retryAfter > 0 {
+		secs := int((retryAfter + time.Second - 1) / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+		body.RetryAfterSeconds = secs
+	}
+	writeJSON(w, code, body)
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	// Oversized bodies are refused before any read or decode.
+	if r.ContentLength > s.cfg.MaxBody {
+		reject(w, http.StatusRequestEntityTooLarge,
+			fmt.Sprintf("request body %d exceeds limit %d", r.ContentLength, s.cfg.MaxBody), 0)
+		return
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBody)
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			reject(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("request body exceeds limit %d", s.cfg.MaxBody), 0)
+			return
+		}
+		reject(w, http.StatusBadRequest, "reading body: "+err.Error(), 0)
+		return
+	}
+
+	spec, err := DecodeJobRequest(body, s.cfg.DefaultInsts)
+	if err != nil {
+		reject(w, http.StatusBadRequest, err.Error(), 0)
+		return
+	}
+	key := r.Header.Get("Idempotency-Key")
+
+	s.submitMu.Lock()
+	defer s.submitMu.Unlock()
+
+	// Idempotency: a known key is answered from the store, so client
+	// retries can never double-submit. A key reused with a different
+	// spec is a client bug worth a loud 409.
+	if key != "" {
+		if rec, ok := s.store.ByKey(key); ok {
+			if rec.Spec.Digest() != spec.Digest() {
+				reject(w, http.StatusConflict,
+					fmt.Sprintf("idempotency key %q already used with a different spec", key), 0)
+				return
+			}
+			s.mDeduped.Inc()
+			writeJSON(w, http.StatusOK, rec)
+			return
+		}
+	}
+
+	if s.draining.Load() {
+		s.mShedDraining.Inc()
+		reject(w, http.StatusServiceUnavailable, "draining: not accepting new jobs", 10*time.Second)
+		return
+	}
+	bkey := breakerKey(spec)
+	if ok, retryAfter := s.breaker.Allow(bkey); !ok {
+		s.mShedBreaker.Inc()
+		s.gBreakerOpen.Set(int64(s.breaker.OpenCount()))
+		reject(w, http.StatusServiceUnavailable,
+			fmt.Sprintf("circuit breaker open for %q", bkey), retryAfter)
+		return
+	}
+
+	id := newJobID(key)
+	rec := JobStatus{ID: id, Key: key, State: StateQueued, Spec: spec}
+	j := &job{id: id, spec: spec, breakerKey: bkey, enqueued: time.Now()}
+	if err := s.queue.admit(j); err != nil {
+		var adm *admissionError
+		if errors.As(err, &adm) {
+			s.mShedQueue.Inc()
+			reject(w, http.StatusTooManyRequests, adm.Error(), adm.retryAfter)
+			return
+		}
+		reject(w, http.StatusInternalServerError, err.Error(), 0)
+		return
+	}
+	// Write-ahead: the acceptance is durable before it is acknowledged.
+	// (A crash between fsync and response just means the client retries
+	// its key and finds the job already there.)
+	if err := s.store.Append(rec); err != nil {
+		reject(w, http.StatusInternalServerError, "persisting job: "+err.Error(), 0)
+		return
+	}
+	s.mSubmitted.Inc()
+	s.gDepth.Set(int64(s.queue.depthNow()))
+	writeJSON(w, http.StatusAccepted, rec)
+}
+
+// newJobID derives a stable ID from the idempotency key, or a random
+// one without. Key-derived IDs are what let a restarted daemon map a
+// retried submission onto the recovered job.
+func newJobID(key string) string {
+	if key != "" {
+		sum := sha256.Sum256([]byte("idem:" + key))
+		return "j" + hex.EncodeToString(sum[:8])
+	}
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand cannot fail on supported platforms.
+		panic("server: crypto/rand: " + err.Error())
+	}
+	return "j" + hex.EncodeToString(b[:])
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	rec, ok := s.store.Get(id)
+	if !ok {
+		reject(w, http.StatusNotFound, "unknown job "+id, 0)
+		return
+	}
+	writeJSON(w, http.StatusOK, rec)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+// readyStatus is the /readyz payload.
+type readyStatus struct {
+	Ready      bool  `json:"ready"`
+	Draining   bool  `json:"draining"`
+	QueueDepth int   `json:"queue_depth"`
+	Inflight   int64 `json:"inflight"`
+	// P99WaitMS is the 99th-percentile queue wait from the service's
+	// wait histogram (obs quantile estimate).
+	P99WaitMS   int64 `json:"p99_wait_ms"`
+	BreakerOpen int   `json:"breakers_open"`
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	st := readyStatus{
+		Ready:       !s.draining.Load(),
+		Draining:    s.draining.Load(),
+		QueueDepth:  s.queue.depthNow(),
+		Inflight:    s.inflight.Load(),
+		P99WaitMS:   s.hWaitMS.Snapshot().Quantile(0.99),
+		BreakerOpen: s.breaker.OpenCount(),
+	}
+	code := http.StatusOK
+	if !st.Ready {
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, st)
+}
+
+// worker runs jobs until told to stop picking new ones.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.stopPick:
+			return
+		default:
+		}
+		select {
+		case <-s.stopPick:
+			return
+		case j := <-s.queue.ch:
+			s.runJob(j)
+		}
+	}
+}
+
+// runJob drives one job attempt end to end and records its outcome.
+func (s *Server) runJob(j *job) {
+	wait := time.Since(j.enqueued)
+	s.queue.noteDequeue(j, wait)
+	s.gDepth.Set(int64(s.queue.depthNow()))
+	s.hWaitMS.Observe(wait.Milliseconds())
+
+	rec, _ := s.store.Get(j.id)
+	rec.ID, rec.Spec = j.id, j.spec // first record may be the store miss of a test
+	rec.State = StateRunning
+	rec.Attempts++
+	rec.Result, rec.Error = nil, nil
+	if err := s.store.Append(rec); err != nil {
+		s.cfg.Logf("job %s: recording start: %v", j.id, err)
+	}
+	s.inflight.Add(1)
+	s.gInflight.Set(s.inflight.Load())
+	defer func() {
+		s.inflight.Add(-1)
+		s.gInflight.Set(s.inflight.Load())
+	}()
+
+	ctx, cancel := context.WithTimeout(s.baseCtx, s.cfg.JobTimeout)
+	defer cancel()
+	opts := exp.Options{
+		Parallel:        true,
+		StateDir:        s.jobDir(j.id),
+		CheckpointEvery: s.cfg.CheckpointEvery,
+		Registry:        s.reg,
+		Faults:          s.cfg.Faults,
+		WatchdogCycles:  s.cfg.WatchdogCycles,
+	}
+	start := time.Now()
+	res, err := exp.RunJob(ctx, j.spec, opts)
+	s.hRunMS.Observe(time.Since(start).Milliseconds())
+
+	switch {
+	case err == nil:
+		rec.State = StateSucceeded
+		rec.Result = res
+		s.breaker.Success(j.breakerKey)
+		s.mSucceeded.Inc()
+		if serr := s.store.Append(rec); serr != nil {
+			s.cfg.Logf("job %s: recording success: %v", j.id, serr)
+			return // keep the state dir: the result is not durable
+		}
+		// The result is durable; the simulation scratch state is now
+		// redundant.
+		os.RemoveAll(s.jobDir(j.id))
+		s.cfg.Logf("job %s succeeded (attempt %d)", j.id, rec.Attempts)
+
+	case s.baseCtx.Err() != nil:
+		// Drain hammer: the run checkpointed on its way out. Requeue so
+		// the next daemon resumes it.
+		rec.State = StateQueued
+		s.breaker.Requeued(j.breakerKey)
+		s.mRequeued.Inc()
+		if serr := s.store.Append(rec); serr != nil {
+			s.cfg.Logf("job %s: recording requeue: %v", j.id, serr)
+		}
+		s.cfg.Logf("job %s checkpointed and requeued by drain", j.id)
+
+	default:
+		timeout := errors.Is(err, context.DeadlineExceeded)
+		rec.State = StateFailed
+		rec.Error = errorInfo(err, timeout)
+		if !simerr.IsTransient(err) {
+			if tripped := s.breaker.Failure(j.breakerKey); tripped {
+				s.mBreakerTrips.Inc()
+				s.cfg.Logf("circuit breaker tripped for %q", j.breakerKey)
+			}
+		}
+		s.mFailed.Inc()
+		s.gBreakerOpen.Set(int64(s.breaker.OpenCount()))
+		if serr := s.store.Append(rec); serr != nil {
+			s.cfg.Logf("job %s: recording failure: %v", j.id, serr)
+			return
+		}
+		os.RemoveAll(s.jobDir(j.id))
+		s.cfg.Logf("job %s failed (attempt %d): %v", j.id, rec.Attempts, err)
+	}
+}
+
+// Drain gracefully shuts the service down: stop accepting, stop picking
+// new jobs, give in-flight jobs DrainTimeout to finish, then cancel the
+// stragglers — which checkpoints them and requeues their records — and
+// wait for the workers to exit. It reports whether every in-flight job
+// finished inside the deadline. Queued jobs that never started keep
+// their queued records and are re-enqueued by the next daemon. Safe to
+// call more than once.
+func (s *Server) Drain() bool {
+	s.drainOnce.Do(func() {
+		s.draining.Store(true)
+		s.gDraining.Set(1)
+		s.cfg.Logf("draining: %d queued, %d in flight", s.queue.depthNow(), s.inflight.Load())
+		s.stopOnce.Do(func() { close(s.stopPick) })
+		s.drainedOK = shutdown.WaitGroup(s.wg.Wait, s.cfg.DrainTimeout)
+		if !s.drainedOK {
+			s.cfg.Logf("drain deadline elapsed; cancelling %d in-flight job(s) into checkpoints", s.inflight.Load())
+			s.baseCancel()
+			// Cancellation propagates within one commit batch; workers
+			// then exit promptly.
+			s.wg.Wait()
+		}
+		s.baseCancel()
+		s.cfg.Logf("drained (clean=%v)", s.drainedOK)
+	})
+	return s.drainedOK
+}
+
+// Close drains (if not already drained) and releases the job store.
+func (s *Server) Close() error {
+	s.Drain()
+	return s.store.Close()
+}
+
+// Store exposes the job store for tests and the status API.
+func (s *Server) Store() *Store { return s.store }
+
+// Registry returns the server's metrics registry.
+func (s *Server) Registry() *obs.Registry { return s.reg }

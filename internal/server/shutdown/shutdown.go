@@ -1,0 +1,54 @@
+// Package shutdown centralises the process-lifecycle plumbing the
+// binaries share: a signal-bound context and a drain-deadline wait.
+// cmd/rvpd and cmd/experiments both install SIGINT/SIGTERM handlers and
+// both need "give in-flight work this long to finish, then force it" —
+// this package is the single implementation.
+package shutdown
+
+import (
+	"context"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+)
+
+// Context returns a copy of parent canceled on the first SIGINT or
+// SIGTERM. The returned stop function releases the signal registration;
+// a second signal after the first therefore kills the process with the
+// default disposition, so a stuck drain can always be escalated.
+func Context(parent context.Context) (context.Context, context.CancelFunc) {
+	return signal.NotifyContext(parent, os.Interrupt, syscall.SIGTERM)
+}
+
+// Wait blocks until done is closed or timeout elapses, reporting
+// whether done closed in time. A non-positive timeout waits forever.
+// This is the drain deadline: pass the channel your workers close when
+// the last in-flight job finishes.
+func Wait(done <-chan struct{}, timeout time.Duration) bool {
+	if timeout <= 0 {
+		<-done
+		return true
+	}
+	t := time.NewTimer(timeout)
+	defer t.Stop()
+	select {
+	case <-done:
+		return true
+	case <-t.C:
+		return false
+	}
+}
+
+// WaitGroup adapts a sync.WaitGroup-style Wait method to Wait's channel
+// contract: it runs wait in a goroutine and returns true if it finished
+// within the timeout. The goroutine is not reaped on timeout — the
+// caller is about to force-cancel whatever wait was stuck on.
+func WaitGroup(wait func(), timeout time.Duration) bool {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		wait()
+	}()
+	return Wait(done, timeout)
+}

@@ -1,0 +1,83 @@
+package shutdown
+
+import (
+	"context"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+)
+
+func TestContextCancelsOnSignal(t *testing.T) {
+	ctx, stop := Context(context.Background())
+	defer stop()
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatalf("self-signal: %v", err)
+	}
+	select {
+	case <-ctx.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatalf("context not canceled after SIGTERM")
+	}
+}
+
+func TestContextInheritsParentCancel(t *testing.T) {
+	parent, cancel := context.WithCancel(context.Background())
+	ctx, stop := Context(parent)
+	defer stop()
+	cancel()
+	select {
+	case <-ctx.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatalf("context not canceled with parent")
+	}
+}
+
+func TestWaitClosedInTime(t *testing.T) {
+	done := make(chan struct{})
+	close(done)
+	if !Wait(done, 10*time.Millisecond) {
+		t.Fatalf("Wait(closed) = false, want true")
+	}
+}
+
+func TestWaitTimesOut(t *testing.T) {
+	done := make(chan struct{})
+	start := time.Now()
+	if Wait(done, 20*time.Millisecond) {
+		t.Fatalf("Wait(never-closed) = true, want false")
+	}
+	if time.Since(start) < 20*time.Millisecond {
+		t.Fatalf("Wait returned before the deadline")
+	}
+}
+
+func TestWaitNoTimeoutBlocksUntilDone(t *testing.T) {
+	done := make(chan struct{})
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		close(done)
+	}()
+	if !Wait(done, 0) {
+		t.Fatalf("Wait(done, 0) = false, want true")
+	}
+}
+
+func TestWaitGroup(t *testing.T) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		time.Sleep(5 * time.Millisecond)
+		wg.Done()
+	}()
+	if !WaitGroup(wg.Wait, time.Second) {
+		t.Fatalf("WaitGroup did not observe completion in time")
+	}
+
+	var stuck sync.WaitGroup
+	stuck.Add(1)
+	defer stuck.Done() // reap the leaked waiter's reason to block
+	if WaitGroup(stuck.Wait, 10*time.Millisecond) {
+		t.Fatalf("WaitGroup reported completion for a stuck wait")
+	}
+}
