@@ -4,11 +4,11 @@
 
 GO ?= go
 
-.PHONY: all ci vet build test race determinism lockstep bench bench-smoke fmt-check fuzz-smoke faults staticcheck govulncheck serve-smoke
+.PHONY: all ci vet build test race determinism lockstep bench bench-smoke fmt-check fuzz-smoke faults staticcheck govulncheck serve-smoke obs-smoke
 
 all: ci
 
-ci: fmt-check vet staticcheck govulncheck build race determinism faults fuzz-smoke bench-smoke serve-smoke
+ci: fmt-check vet staticcheck govulncheck build race determinism faults fuzz-smoke bench-smoke serve-smoke obs-smoke
 
 vet:
 	$(GO) vet ./...
@@ -84,6 +84,30 @@ serve-smoke:
 	"$$tmp/rvpc" -server "$$addr" submit -wait -workload go -predictor rvp -n 200000; \
 	kill -TERM $$pid; wait $$pid; \
 	echo "serve-smoke OK"
+
+# Observability smoke against a live daemon: watch a job's live event
+# stream end to end (queued -> started -> progress heartbeats -> done)
+# and pull the merged client+server trace, asserting the cross-process
+# spans (client submit, daemon admission and simulation) all landed in
+# one Chrome trace file.
+obs-smoke:
+	@set -e; tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
+	$(GO) build -o "$$tmp/rvpd" ./cmd/rvpd; \
+	$(GO) build -o "$$tmp/rvpc" ./cmd/rvpc; \
+	"$$tmp/rvpd" -addr 127.0.0.1:0 -addr-file "$$tmp/addr" -state "$$tmp/state" -progress-every 50000 & pid=$$!; \
+	for i in $$(seq 1 100); do [ -s "$$tmp/addr" ] && break; sleep 0.1; done; \
+	[ -s "$$tmp/addr" ] || { echo "rvpd never wrote its address"; kill $$pid; exit 1; }; \
+	addr="http://$$(cat "$$tmp/addr")"; \
+	"$$tmp/rvpc" -server "$$addr" submit -watch -workload go -predictor rvp -n 200000 \
+		-trace-out "$$tmp/trace.json" | tee "$$tmp/watch.log"; \
+	for ev in queued started progress done; do \
+		grep -q "$$ev" "$$tmp/watch.log" || { echo "watch stream missing $$ev event"; kill $$pid; exit 1; }; \
+	done; \
+	for span in submit admission queue_wait worker "sim:go/"; do \
+		grep -q "$$span" "$$tmp/trace.json" || { echo "merged trace missing $$span span"; kill $$pid; exit 1; }; \
+	done; \
+	kill -TERM $$pid; wait $$pid; \
+	echo "obs-smoke OK"
 
 # Fault-injection invariant suite: recovery schemes must never commit a
 # wrong value and must terminate under injected latency/flip/panic faults.

@@ -18,9 +18,16 @@ package rvpsim_test
 // unit tests in internal/exp.
 
 import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
 	"testing"
+	"time"
 
 	"rvpsim"
+	"rvpsim/internal/server"
 	"rvpsim/internal/stats"
 )
 
@@ -169,6 +176,68 @@ func BenchmarkSimulator(b *testing.B) {
 		insts += st.Committed
 	}
 	b.ReportMetric(float64(insts)/b.Elapsed().Seconds(), "sim_insts/s")
+}
+
+// BenchmarkServeObserved guards the service-layer observability cost:
+// the same job pushed end to end through a full in-process daemon with
+// telemetry disabled (bare) and with the always-on production shape
+// enabled (observed: tracer, per-job event feed, progress and
+// checkpoint hooks, flight recorder, slog). Both report jobs/s; the
+// benchreg harness gates the observed-vs-bare gap at 5%.
+func BenchmarkServeObserved(b *testing.B) {
+	const serveInsts = 20_000
+	serve := func(b *testing.B, disable bool) {
+		srv, err := server.New(server.Config{
+			StateDir:         b.TempDir(),
+			Workers:          2,
+			QueueDepth:       64,
+			DefaultInsts:     serveInsts,
+			JobTimeout:       time.Minute,
+			DrainTimeout:     5 * time.Second,
+			ProgressEvery:    5_000,
+			DisableTelemetry: disable,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer srv.Close()
+		ts := httptest.NewServer(srv.Handler())
+		defer ts.Close()
+		body := []byte(fmt.Sprintf(`{"kind":"run","workload":"go","predictor":"rvp","insts":%d}`, serveInsts))
+
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			resp, err := ts.Client().Post(ts.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
+			if err != nil {
+				b.Fatal(err)
+			}
+			var st server.JobStatus
+			if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+				b.Fatal(err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusAccepted {
+				b.Fatalf("submit: HTTP %d", resp.StatusCode)
+			}
+			for st.State != server.StateSucceeded {
+				if st.State == server.StateFailed {
+					b.Fatalf("job failed: %+v", st.Error)
+				}
+				time.Sleep(time.Millisecond)
+				r, err := ts.Client().Get(ts.URL + "/v1/jobs/" + st.ID)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := json.NewDecoder(r.Body).Decode(&st); err != nil {
+					b.Fatal(err)
+				}
+				r.Body.Close()
+			}
+		}
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "jobs/s")
+	}
+	b.Run("bare", func(b *testing.B) { serve(b, true) })
+	b.Run("observed", func(b *testing.B) { serve(b, false) })
 }
 
 // BenchmarkObserverOverhead guards the observability layer's hot-path

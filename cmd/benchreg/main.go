@@ -87,6 +87,10 @@ func main() {
 				prev.GitSHA, prev.Sim.IPS, (run.Sim.IPS/prev.Sim.IPS-1)*100)
 		}
 	}
+	if run.Serve != nil {
+		fmt.Printf("benchreg: serve path: %.1f bare vs %.1f observed jobs/s (%.1f%% observability overhead, limit %.0f%%)\n",
+			run.Serve.BareJPS, run.Serve.ObservedJPS, run.Serve.OverheadFrac*100, benchreg.ServeOverheadLimit*100)
+	}
 	fmt.Printf("benchreg: recorded run %d in %s\n", len(f.Runs), *out)
 
 	if *compare {

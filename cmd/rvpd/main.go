@@ -8,10 +8,18 @@
 //	     [-queue depth] [-max-wait dur] [-job-timeout dur]
 //	     [-drain-timeout dur] [-breaker-threshold n] [-breaker-cooloff dur]
 //	     [-insts n] [-ckpt-every n] [-watchdog cycles] [-max-body bytes]
+//	     [-log-level level] [-log-json] [-progress-every n] [-no-telemetry]
 //
 // Endpoints: POST /v1/jobs (submit; 429/503 + Retry-After under
-// overload), GET /v1/jobs/{id} (status/results), GET /healthz,
-// GET /readyz, GET /metrics (Prometheus).
+// overload), GET /v1/jobs/{id} (status/results), GET /v1/jobs/{id}/events
+// (live Server-Sent Events stream: progress heartbeats, checkpoints,
+// terminal state; resumable via Last-Event-ID), GET /v1/jobs/{id}/trace
+// (the job's daemon-side spans; ?format=chrome for chrome://tracing),
+// GET /healthz, GET /readyz, GET /metrics (Prometheus).
+//
+// Logs are structured (log/slog) on stderr with job and trace IDs;
+// -log-level debug adds per-request lines, -log-json switches to JSON
+// for log shippers.
 //
 // On SIGINT/SIGTERM the daemon drains gracefully: it stops accepting
 // (readyz flips to 503, submissions get 503 + Retry-After), lets
@@ -30,10 +38,11 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
+	"strings"
 	"time"
 
 	"rvpsim/internal/server"
@@ -57,9 +66,23 @@ func run() int {
 	ckptEvery := flag.Uint64("ckpt-every", 200_000, "in-flight checkpoint cadence in committed instructions (0 = off)")
 	watchdog := flag.Int("watchdog", 0, "abort a run if no instruction commits for N simulated cycles (0 = off)")
 	maxBody := flag.Int64("max-body", 1<<20, "maximum POST body size in bytes (larger gets 413)")
+	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, error")
+	logJSON := flag.Bool("log-json", false, "emit logs as JSON instead of text")
+	progressEvery := flag.Uint64("progress-every", 100_000, "live-progress heartbeat cadence in committed instructions")
+	noTelemetry := flag.Bool("no-telemetry", false, "disable job tracing, event streams and the flight recorder (benchmarking)")
 	flag.Parse()
 
-	logf := log.New(os.Stderr, "rvpd: ", log.LstdFlags).Printf
+	var level slog.Level
+	if err := level.UnmarshalText([]byte(strings.TrimSpace(*logLevel))); err != nil {
+		fmt.Fprintf(os.Stderr, "rvpd: -log-level %q: %v\n", *logLevel, err)
+		return 2
+	}
+	hopts := &slog.HandlerOptions{Level: level}
+	var handler slog.Handler = slog.NewTextHandler(os.Stderr, hopts)
+	if *logJSON {
+		handler = slog.NewJSONHandler(os.Stderr, hopts)
+	}
+	logger := slog.New(handler).With("service", "rvpd")
 
 	srv, err := server.New(server.Config{
 		StateDir:         *state,
@@ -74,7 +97,9 @@ func run() int {
 		CheckpointEvery:  *ckptEvery,
 		WatchdogCycles:   *watchdog,
 		MaxBody:          *maxBody,
-		Logf:             logf,
+		Logger:           logger,
+		ProgressEvery:    *progressEvery,
+		DisableTelemetry: *noTelemetry,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "rvpd: %v\n", err)
@@ -95,7 +120,7 @@ func run() int {
 			return 1
 		}
 	}
-	logf("listening on %s (state %s, %d workers, queue %d)", bound, *state, *workers, *queueDepth)
+	logger.Info("listening", "addr", bound, "state", *state, "workers", *workers, "queue", *queueDepth)
 
 	httpSrv := &http.Server{Handler: srv.Handler()}
 	serveErr := make(chan error, 1)
@@ -105,7 +130,7 @@ func run() int {
 	defer stop()
 	select {
 	case <-ctx.Done():
-		logf("signal received; draining")
+		logger.Info("signal received; draining")
 	case err := <-serveErr:
 		fmt.Fprintf(os.Stderr, "rvpd: serve: %v\n", err)
 		srv.Close()
@@ -119,14 +144,14 @@ func run() int {
 	shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
 	if err := httpSrv.Shutdown(shutCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
-		logf("http shutdown: %v", err)
+		logger.Warn("http shutdown", "error", err)
 	}
 	<-serveErr // Serve has returned ErrServerClosed by now
 	if err := srv.Close(); err != nil {
-		logf("close: %v", err)
+		logger.Error("close", "error", err)
 	}
 	if !clean {
-		logf("drain deadline hit; unfinished jobs checkpointed for resume (restart with -state %s)", *state)
+		logger.Warn("drain deadline hit; unfinished jobs checkpointed for resume", "state", *state)
 	}
 	return 0
 }

@@ -30,6 +30,19 @@ type SimMetrics struct {
 	AllocsPerCommit float64 `json:"allocs_per_commit"` // heap allocations per committed instruction
 }
 
+// ServeOverheadLimit is the gate on the service observability tax:
+// the observed serve path (tracer, event feeds, progress hooks, flight
+// recorder) may cost at most this fraction of bare jobs/s throughput.
+const ServeOverheadLimit = 0.05
+
+// ServeMetrics is the serve-path observability measurement, taken from
+// BenchmarkServeObserved's bare/observed sub-benchmarks.
+type ServeMetrics struct {
+	BareJPS      float64 `json:"bare_jobs_per_s"`     // telemetry disabled
+	ObservedJPS  float64 `json:"observed_jobs_per_s"` // production shape
+	OverheadFrac float64 `json:"overhead_frac"`       // 1 - observed/bare
+}
+
 // FigureTime is the wall time of one figure/table benchmark.
 type FigureTime struct {
 	Name        string  `json:"name"`
@@ -54,6 +67,7 @@ type Run struct {
 	Label      string        `json:"label,omitempty"`
 	Iterations int           `json:"iterations,omitempty"`
 	Sim        *SimMetrics   `json:"sim,omitempty"`
+	Serve      *ServeMetrics `json:"serve,omitempty"`
 	Figures    []FigureTime  `json:"figures,omitempty"`
 	Sweeps     []SweepRecord `json:"sweeps,omitempty"`
 }
@@ -113,8 +127,14 @@ func (f *File) LastWithSim() *Run {
 
 // Compare checks cur against prev: an IPS drop larger than threshold
 // (fractional, e.g. 0.10 = 10%) is a regression error. Either run
-// lacking sim metrics compares clean.
+// lacking sim metrics compares clean. When cur carries serve metrics,
+// the observability overhead is additionally gated (absolutely, not
+// against prev) at ServeOverheadLimit.
 func Compare(prev, cur *Run, threshold float64) error {
+	if cur != nil && cur.Serve != nil && cur.Serve.OverheadFrac > ServeOverheadLimit {
+		return fmt.Errorf("benchreg: serve observability overhead %.1f%% (%.1f -> %.1f jobs/s, limit %.0f%%)",
+			cur.Serve.OverheadFrac*100, cur.Serve.BareJPS, cur.Serve.ObservedJPS, ServeOverheadLimit*100)
+	}
 	if prev == nil || cur == nil || prev.Sim == nil || cur.Sim == nil || prev.Sim.IPS <= 0 {
 		return nil
 	}
@@ -143,8 +163,17 @@ func BuildRun(p *Parsed, simInsts uint64, gitSHA, timestamp, goVersion, label st
 		names = append(names, name)
 	}
 	sort.Strings(names)
+	var serve ServeMetrics
 	for _, name := range names {
 		b := p.Benchmarks[name]
+		switch name {
+		case "BenchmarkServeObserved/bare":
+			serve.BareJPS = b.Metric("jobs/s")
+			continue
+		case "BenchmarkServeObserved/observed":
+			serve.ObservedJPS = b.Metric("jobs/s")
+			continue
+		}
 		if name == "BenchmarkSimulator" {
 			sim := &SimMetrics{
 				IPS:       b.Metric("sim_insts/s"),
@@ -160,6 +189,10 @@ func BuildRun(p *Parsed, simInsts uint64, gitSHA, timestamp, goVersion, label st
 			Name:        name,
 			WallSeconds: b.Metric("ns/op") / 1e9,
 		})
+	}
+	if serve.BareJPS > 0 && serve.ObservedJPS > 0 {
+		serve.OverheadFrac = 1 - serve.ObservedJPS/serve.BareJPS
+		run.Serve = &serve
 	}
 	return run
 }

@@ -122,3 +122,53 @@ func TestLoadSaveRoundTrip(t *testing.T) {
 		t.Fatal("LastWithSim lost the run")
 	}
 }
+
+const serveOutput = `goos: linux
+BenchmarkServeObserved/bare-8     	      20	  51234567 ns/op	        40.00 jobs/s
+BenchmarkServeObserved/observed-8 	      20	  52345678 ns/op	        39.20 jobs/s
+PASS
+ok  	rvpsim	2.345s
+`
+
+func TestBuildRunServeMetrics(t *testing.T) {
+	p, err := ParseBenchOutput(strings.NewReader(serveOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := BuildRun(p, 300_000, "abc123", "2026-08-08T00:00:00Z", "go1.x", "", 1)
+	if run.Serve == nil {
+		t.Fatal("no serve metrics distilled from BenchmarkServeObserved")
+	}
+	if run.Serve.BareJPS != 40 || run.Serve.ObservedJPS != 39.2 {
+		t.Fatalf("serve jobs/s = %+v", run.Serve)
+	}
+	if want := 1 - 39.2/40.0; math.Abs(run.Serve.OverheadFrac-want) > 1e-9 {
+		t.Fatalf("overhead frac = %v, want %v", run.Serve.OverheadFrac, want)
+	}
+	// The sub-benchmarks must not leak into the figure wall-time list.
+	for _, fig := range run.Figures {
+		if strings.Contains(fig.Name, "ServeObserved") {
+			t.Fatalf("serve sub-benchmark leaked into figures: %+v", run.Figures)
+		}
+	}
+}
+
+func TestCompareServeOverheadGate(t *testing.T) {
+	ok := &Run{Serve: &ServeMetrics{BareJPS: 40, ObservedJPS: 39, OverheadFrac: 0.025}}
+	bad := &Run{Serve: &ServeMetrics{BareJPS: 40, ObservedJPS: 35, OverheadFrac: 0.125}}
+	if err := Compare(nil, ok, 0.10); err != nil {
+		t.Errorf("2.5%% serve overhead flagged: %v", err)
+	}
+	err := Compare(nil, bad, 0.10)
+	if err == nil {
+		t.Fatal("12.5% serve overhead not flagged")
+	}
+	if !strings.Contains(err.Error(), "observability overhead") {
+		t.Errorf("unhelpful gate error: %v", err)
+	}
+	// Negative overhead (observed faster than bare — noise) is clean.
+	fast := &Run{Serve: &ServeMetrics{BareJPS: 40, ObservedJPS: 41, OverheadFrac: -0.025}}
+	if err := Compare(nil, fast, 0.10); err != nil {
+		t.Errorf("negative overhead flagged: %v", err)
+	}
+}

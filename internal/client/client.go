@@ -18,6 +18,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"math/rand"
 	"net/http"
 	"strconv"
@@ -25,6 +26,7 @@ import (
 	"time"
 
 	"rvpsim/internal/exp"
+	"rvpsim/internal/obs"
 	"rvpsim/internal/server"
 )
 
@@ -64,6 +66,8 @@ type Client struct {
 	hc       *http.Client
 	backoff  Backoff
 	attempts int
+	log      *slog.Logger
+	tracer   *obs.Tracer
 
 	mu  sync.Mutex
 	rng *rand.Rand
@@ -86,6 +90,16 @@ func WithSeed(seed int64) Option {
 	return func(c *Client) { c.rng = rand.New(rand.NewSource(seed)) }
 }
 
+// WithLogger logs every request, retry and backoff decision (with the
+// submission's trace ID) through l.
+func WithLogger(l *slog.Logger) Option { return func(c *Client) { c.log = l } }
+
+// WithTracer collects client-side spans (one per submission, one per
+// attempt) and propagates trace identity to the server via
+// X-Rvp-Trace-Id/X-Rvp-Parent-Span, so client and daemon spans form
+// one connected trace.
+func WithTracer(t *obs.Tracer) Option { return func(c *Client) { c.tracer = t } }
+
 // New builds a client for the server at base URL.
 func New(base string, opts ...Option) *Client {
 	c := &Client{
@@ -93,6 +107,7 @@ func New(base string, opts ...Option) *Client {
 		hc:       &http.Client{Timeout: 2 * time.Minute},
 		backoff:  DefaultBackoff(),
 		attempts: 10,
+		log:      slog.New(slog.NewTextHandler(io.Discard, nil)),
 		rng:      rand.New(rand.NewSource(time.Now().UnixNano())),
 	}
 	for _, o := range opts {
@@ -139,26 +154,47 @@ func (c *Client) Submit(ctx context.Context, spec exp.JobSpec, key string) (serv
 	if err != nil {
 		return server.JobStatus{}, err
 	}
+	// The submit span roots the trace (all attempts, and — via header
+	// propagation — everything the daemon does for this job, too).
+	ssp := c.tracer.Start(obs.SpanContext{}, "submit")
+	ssp.SetAttr("kind", spec.Kind)
+	trace := ssp.Context().Trace
 	var lastErr error
 	lastStatus := 0
 	for attempt := 0; attempt < c.attempts; attempt++ {
 		if attempt > 0 {
 			if err := c.sleep(ctx, attempt-1, retryAfterHint(lastErr)); err != nil {
+				ssp.EndErr(err)
 				return server.JobStatus{}, err
 			}
 		}
-		st, status, err := c.trySubmit(ctx, body, key)
+		asp := c.tracer.Start(ssp.Context(), "submit_attempt")
+		st, status, err := c.trySubmit(ctx, body, key, asp.Context())
+		asp.SetAttr("status", strconv.Itoa(status))
+		asp.EndErr(err)
 		switch {
 		case err == nil:
+			c.log.Info("submitted", "job", st.ID, "state", st.State, "trace", trace,
+				"attempt", attempt+1)
+			ssp.SetAttr("job", st.ID)
+			ssp.End()
 			return st, nil
 		case ctx.Err() != nil:
+			ssp.EndErr(ctx.Err())
 			return server.JobStatus{}, ctx.Err()
 		case !retryable(status, err):
+			c.log.Warn("submit rejected permanently", "status", status, "trace", trace, "error", err)
+			ssp.EndErr(err)
 			return server.JobStatus{}, err
 		}
+		c.log.Debug("submit attempt failed; backing off", "attempt", attempt+1,
+			"status", status, "trace", trace, "error", err)
 		lastErr, lastStatus = err, status
 	}
-	return server.JobStatus{}, &RetryableError{Attempts: c.attempts, LastStatus: lastStatus, Last: lastErr}
+	err = &RetryableError{Attempts: c.attempts, LastStatus: lastStatus, Last: lastErr}
+	c.log.Warn("submission exhausted attempts", "trace", trace, "error", err)
+	ssp.EndErr(err)
+	return server.JobStatus{}, err
 }
 
 // httpError is a non-2xx response, keeping the server's Retry-After.
@@ -211,13 +247,17 @@ func (c *Client) sleep(ctx context.Context, attempt int, retryAfter time.Duratio
 	}
 }
 
-func (c *Client) trySubmit(ctx context.Context, body []byte, key string) (server.JobStatus, int, error) {
+func (c *Client) trySubmit(ctx context.Context, body []byte, key string, tctx obs.SpanContext) (server.JobStatus, int, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/jobs", bytes.NewReader(body))
 	if err != nil {
 		return server.JobStatus{}, 0, err
 	}
 	req.Header.Set("Content-Type", "application/json")
 	req.Header.Set("Idempotency-Key", key)
+	if tctx.Trace != "" {
+		req.Header.Set(server.TraceIDHeader, tctx.Trace)
+		req.Header.Set(server.ParentSpanHeader, tctx.Span)
+	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return server.JobStatus{}, 0, err

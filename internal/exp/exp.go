@@ -82,6 +82,27 @@ type Options struct {
 	// instructions, for in-flight runs when StateDir is active. Zero
 	// disables checkpointing (the journal still works).
 	CheckpointEvery uint64
+	// Tracer, when non-nil, collects a span per profiling pass and per
+	// simulation run so a job's wall-clock time decomposes into its
+	// pipeline stages. Spans parent under TraceParent.
+	Tracer *obs.Tracer
+	// TraceParent is the span context new spans parent under (zero
+	// starts fresh traces).
+	TraceParent obs.SpanContext
+	// OnProgress, when non-nil, is a live heartbeat: it is called from
+	// inside running simulations with a "workload/predictor" label, the
+	// run's committed-instruction count and current cycle, every
+	// ProgressEvery committed instructions. It must be safe for
+	// concurrent calls (parallel workloads run simultaneously) and must
+	// not block: it executes on simulation goroutines.
+	OnProgress func(label string, committed uint64, cycles int64)
+	// ProgressEvery is the OnProgress cadence in committed instructions
+	// (default 100_000 when OnProgress is set).
+	ProgressEvery uint64
+	// OnCheckpoint, when non-nil, is called with a "workload/predictor"
+	// label after each periodic checkpoint is durably saved. Same
+	// concurrency contract as OnProgress.
+	OnCheckpoint func(label string)
 }
 
 // DefaultOptions returns a laptop-scale configuration: large enough for
@@ -114,6 +135,9 @@ func NewRunner(opts Options) *Runner {
 	}
 	if opts.Threshold == 0 {
 		opts.Threshold = 0.80
+	}
+	if opts.OnProgress != nil && opts.ProgressEvery == 0 {
+		opts.ProgressEvery = 100_000
 	}
 	return &Runner{
 		opts:      opts,
@@ -168,7 +192,9 @@ func (r *Runner) Profile(name string) (*profile.Profile, error) {
 		return pr, nil
 	}
 	r.mu.Unlock()
+	psp := r.opts.Tracer.Start(r.opts.TraceParent, "profile:"+name)
 	pr, err := profile.Run(p, profile.Options{MaxInsts: r.opts.ProfileInsts})
+	psp.EndErr(err)
 	if err != nil {
 		return nil, err
 	}
@@ -254,14 +280,18 @@ func (r *Runner) runOn(scope string, p *program.Program, cfg pipeline.Config, pr
 		cfg.WatchdogCycles = r.opts.WatchdogCycles
 	}
 	key := runKey(scope, p.Name, pred.Name(), cfg)
+	label := p.Name + "/" + pred.Name()
 	r.mu.Lock()
 	journal := r.journal
 	r.mu.Unlock()
 	if journal != nil {
 		if st, ok := journal.Lookup(key); ok {
 			r.count("exp_journal_replayed", "sweep cells served from the journal instead of re-simulated")
+			rsp := r.opts.Tracer.Start(r.opts.TraceParent, "sim:"+label)
+			rsp.SetAttr("journal", "replayed")
+			rsp.End()
 			if r.opts.OnRunDone != nil {
-				r.opts.OnRunDone(p.Name + "/" + pred.Name())
+				r.opts.OnRunDone(label)
 			}
 			return st, nil
 		}
@@ -288,6 +318,11 @@ func (r *Runner) runOn(scope string, p *program.Program, cfg pipeline.Config, pr
 		if inj != nil {
 			sim.SetFaults(inj)
 		}
+		if r.opts.OnProgress != nil && r.opts.ProgressEvery > 0 {
+			sim.SetProgress(r.opts.ProgressEvery, func(committed uint64, cycles int64) {
+				r.opts.OnProgress(label, committed, cycles)
+			})
+		}
 		return sim, nil
 	}
 
@@ -311,6 +346,9 @@ func (r *Runner) runOn(scope string, p *program.Program, cfg pipeline.Config, pr
 				return err
 			}
 			r.count("exp_ckpt_saves", "periodic run checkpoints written")
+			if r.opts.OnCheckpoint != nil {
+				r.opts.OnCheckpoint(label)
+			}
 			return nil
 		})
 	}
@@ -318,6 +356,10 @@ func (r *Runner) runOn(scope string, p *program.Program, cfg pipeline.Config, pr
 	var sim *pipeline.Sim
 	var st pipeline.Stats
 	var err error
+	sp := r.opts.Tracer.Start(r.opts.TraceParent, "sim:"+label)
+	sp.SetAttr("workload", p.Name)
+	sp.SetAttr("predictor", pred.Name())
+	defer func() { sp.EndErr(err) }()
 	ran := false
 	if canCkpt {
 		snap, lerr := checkpoint.Load(ckptPath)
@@ -372,8 +414,8 @@ func (r *Runner) runOn(scope string, p *program.Program, cfg pipeline.Config, pr
 	// Write-ahead: the finished cell is durable in the journal before the
 	// caller can aggregate it; its checkpoint is then redundant.
 	if journal != nil {
-		if jerr := journal.Record(key, st); jerr != nil {
-			return st, jerr
+		if err = journal.Record(key, st); err != nil {
+			return st, err
 		}
 		r.count("exp_journal_appends", "sweep cells appended to the journal")
 	}
@@ -381,7 +423,7 @@ func (r *Runner) runOn(scope string, p *program.Program, cfg pipeline.Config, pr
 		os.Remove(ckptPath)
 	}
 	if r.opts.OnRunDone != nil {
-		r.opts.OnRunDone(p.Name + "/" + pred.Name())
+		r.opts.OnRunDone(label)
 	}
 	return st, nil
 }

@@ -211,9 +211,23 @@ func RunJob(ctx context.Context, spec JobSpec, opts Options) (*JobResult, error)
 	if ctx != nil {
 		opts.Context = ctx
 	}
+	// A job-level span groups the profiling passes and simulation runs
+	// below it; the runner parents its spans under this one.
+	jsp := opts.Tracer.Start(opts.TraceParent, "job:"+spec.Kind)
+	jsp.SetAttr("digest", spec.Digest())
+	if spec.Kind == "figure" {
+		jsp.SetAttr("figure", spec.Figure)
+	} else {
+		jsp.SetAttr("workload", spec.Workload)
+		jsp.SetAttr("predictor", spec.Predictor)
+	}
+	if jsp != nil {
+		opts.TraceParent = jsp.Context()
+	}
 	r := NewRunner(opts)
 	defer r.Close()
 	if err := r.EnableResume(); err != nil {
+		jsp.EndErr(err)
 		return nil, err
 	}
 
@@ -239,16 +253,22 @@ func RunJob(ctx context.Context, spec JobSpec, opts Options) (*JobResult, error)
 			r.count("exp_transient_retries", "job runs retried after a transient failure")
 		}
 		if err != nil {
-			return nil, simerr.WithWorkload(spec.Workload, err)
+			err = simerr.WithWorkload(spec.Workload, err)
+			jsp.EndErr(err)
+			return nil, err
 		}
+		jsp.End()
 		return &JobResult{Stats: &st}, nil
 	case "figure":
 		t, err := jobFigures[spec.Figure](r)
 		if err != nil {
+			jsp.EndErr(err)
 			return nil, err
 		}
+		jsp.End()
 		return &JobResult{Table: t, Text: t.String()}, nil
 	}
 	// Unreachable: Validate accepted the kind.
+	jsp.End()
 	return nil, simerr.Newf("job", "unhandled kind %q", spec.Kind)
 }

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"path/filepath"
+	"sync"
 	"testing"
 
 	"rvpsim/internal/faultinject"
@@ -147,5 +148,82 @@ func TestRunJobResumesFromStateDir(t *testing.T) {
 	}
 	if *res.Stats != *ref.Stats {
 		t.Fatalf("resumed stats differ from uninterrupted run:\n got %+v\nwant %+v", *res.Stats, *ref.Stats)
+	}
+}
+
+// TestRunJobTracedWithProgress proves the observability plumbing end to
+// end at the exp layer: a traced run job emits a connected span tree
+// (job root -> sim run) parented under the caller's span, fires the
+// progress heartbeat on the requested cadence with monotonically
+// increasing committed counts, and reports a checkpoint callback for
+// each periodic checkpoint.
+func TestRunJobTracedWithProgress(t *testing.T) {
+	tr := obs.NewTracer("test", 64)
+	root := tr.Start(obs.SpanContext{}, "root")
+
+	var mu sync.Mutex
+	var progress []uint64
+	var ckpts, progLabels []string
+	opts := Options{
+		Tracer:        tr,
+		TraceParent:   root.Context(),
+		ProgressEvery: 5_000,
+		OnProgress: func(label string, committed uint64, cycles int64) {
+			mu.Lock()
+			progress = append(progress, committed)
+			progLabels = append(progLabels, label)
+			mu.Unlock()
+			if cycles <= 0 {
+				t.Errorf("progress cycles = %d, want > 0", cycles)
+			}
+		},
+		OnCheckpoint: func(label string) {
+			mu.Lock()
+			ckpts = append(ckpts, label)
+			mu.Unlock()
+		},
+		StateDir:        filepath.Join(t.TempDir(), "state"),
+		CheckpointEvery: 10_000,
+	}
+	spec := JobSpec{Kind: "run", Workload: "go", Predictor: "rvp", Insts: 30_000}
+	if _, err := RunJob(context.Background(), spec, opts); err != nil {
+		t.Fatalf("RunJob: %v", err)
+	}
+	root.End()
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(progress) < 3 {
+		t.Fatalf("progress fired %d times over 30k insts at 5k cadence, want >= 3", len(progress))
+	}
+	for i := 1; i < len(progress); i++ {
+		if progress[i] <= progress[i-1] {
+			t.Fatalf("progress not monotonic: %v", progress)
+		}
+	}
+	for _, l := range progLabels {
+		if l != "go/drvp" {
+			t.Fatalf("progress label = %q, want go/drvp", l)
+		}
+	}
+	if len(ckpts) == 0 {
+		t.Fatalf("no checkpoint callbacks over 30k insts at 10k cadence")
+	}
+
+	spans := tr.Spans()
+	if !obs.ConnectedTrace(spans) {
+		t.Fatalf("trace not connected: %+v", spans)
+	}
+	names := map[string]bool{}
+	for _, s := range spans {
+		names[s.Name] = true
+		if s.Trace != root.Context().Trace {
+			t.Fatalf("span %q on trace %q, want %q", s.Name, s.Trace, root.Context().Trace)
+		}
+	}
+	for _, want := range []string{"root", "job:run", "sim:go/drvp"} {
+		if !names[want] {
+			t.Fatalf("missing span %q in %v", want, names)
+		}
 	}
 }

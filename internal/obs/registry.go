@@ -67,6 +67,46 @@ func (g *Gauge) Add(n int64) { g.v.Add(n) }
 // Value returns the current value.
 func (g *Gauge) Value() int64 { return g.v.Load() }
 
+// GaugeVec is a family of gauges distinguished by one label ("which
+// workload's breaker", "which worker"). Member gauges register lazily on
+// first With and render as `name{label="value"} v` lines in Prometheus
+// exposition. Safe for concurrent use.
+type GaugeVec struct {
+	name  string
+	help  string
+	label string
+
+	mu     sync.Mutex
+	gauges map[string]*Gauge
+}
+
+// Name returns the family name.
+func (v *GaugeVec) Name() string { return v.name }
+
+// With returns (registering if needed) the member gauge for the label
+// value.
+func (v *GaugeVec) With(value string) *Gauge {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	g, ok := v.gauges[value]
+	if !ok {
+		g = &Gauge{name: v.name, help: v.help}
+		v.gauges[value] = g
+	}
+	return g
+}
+
+// Values returns a copy of the current per-label values.
+func (v *GaugeVec) Values() map[string]int64 {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	out := make(map[string]int64, len(v.gauges))
+	for label, g := range v.gauges {
+		out[label] = g.Value()
+	}
+	return out
+}
+
 // Histogram is a fixed-bucket cumulative histogram. Bounds are inclusive
 // upper bounds in ascending order; one extra overflow bucket (+Inf) is
 // implicit. Buckets never change after registration, so observations are
@@ -270,9 +310,10 @@ func LinearBuckets(start, width int64, n int) []int64 {
 type Registry struct {
 	mu    sync.Mutex
 	order []string
-	kinds map[string]string // name -> counter|gauge|histogram
+	kinds map[string]string // name -> counter|gauge|gaugevec|histogram
 	ctrs  map[string]*Counter
 	gaus  map[string]*Gauge
+	gvecs map[string]*GaugeVec
 	hists map[string]*Histogram
 }
 
@@ -282,6 +323,7 @@ func NewRegistry() *Registry {
 		kinds: map[string]string{},
 		ctrs:  map[string]*Counter{},
 		gaus:  map[string]*Gauge{},
+		gvecs: map[string]*GaugeVec{},
 		hists: map[string]*Histogram{},
 	}
 }
@@ -323,6 +365,24 @@ func (r *Registry) Gauge(name, help string) *Gauge {
 	return g
 }
 
+// GaugeVec returns (registering if needed) the named labeled gauge
+// family. A second registration must use the same label name.
+func (r *Registry) GaugeVec(name, help, label string) *GaugeVec {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.claim(name, "gaugevec")
+	v, ok := r.gvecs[name]
+	if !ok {
+		v = &GaugeVec{name: name, help: help, label: label, gauges: map[string]*Gauge{}}
+		r.gvecs[name] = v
+		return v
+	}
+	if v.label != label {
+		panic(fmt.Sprintf("obs: gauge vec %q registered with labels %q and %q", name, v.label, label))
+	}
+	return v
+}
+
 // Histogram returns (registering if needed) the named histogram. A
 // second registration must use the same bounds.
 func (r *Registry) Histogram(name, help string, bounds []int64) *Histogram {
@@ -362,6 +422,7 @@ func (r *Registry) Histogram(name, help string, bounds []int64) *Histogram {
 type Snapshot struct {
 	Counters   map[string]int64             `json:"counters,omitempty"`
 	Gauges     map[string]int64             `json:"gauges,omitempty"`
+	GaugeVecs  map[string]map[string]int64  `json:"gauge_vecs,omitempty"`
 	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
 }
 
@@ -379,6 +440,12 @@ func (r *Registry) Snapshot() Snapshot {
 	}
 	for n, g := range r.gaus {
 		s.Gauges[n] = g.Value()
+	}
+	if len(r.gvecs) > 0 {
+		s.GaugeVecs = make(map[string]map[string]int64, len(r.gvecs))
+		for n, v := range r.gvecs {
+			s.GaugeVecs[n] = v.Values()
+		}
 	}
 	for n, h := range r.hists {
 		s.Histograms[n] = h.Snapshot()
@@ -411,6 +478,14 @@ func (r *Registry) Merge(o *Registry) error {
 			help := o.gaus[name].help
 			o.mu.Unlock()
 			r.Gauge(name, help).Set(v)
+		case "gaugevec":
+			o.mu.Lock()
+			ov := o.gvecs[name]
+			o.mu.Unlock()
+			v := r.GaugeVec(name, ov.help, ov.label)
+			for label, val := range ov.Values() {
+				v.With(label).Set(val)
+			}
 		case "histogram":
 			o.mu.Lock()
 			oh := o.hists[name]
@@ -459,6 +534,29 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			}
 			if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", name, name, g.Value()); err != nil {
 				return err
+			}
+		case "gaugevec":
+			r.mu.Lock()
+			v := r.gvecs[name]
+			r.mu.Unlock()
+			if v.help != "" {
+				if _, err := fmt.Fprintf(w, "# HELP %s %s\n", name, v.help); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n", name); err != nil {
+				return err
+			}
+			vals := v.Values()
+			labels := make([]string, 0, len(vals))
+			for label := range vals {
+				labels = append(labels, label)
+			}
+			sort.Strings(labels)
+			for _, label := range labels {
+				if _, err := fmt.Fprintf(w, "%s{%s=%q} %d\n", name, v.label, label, vals[label]); err != nil {
+					return err
+				}
 			}
 		case "histogram":
 			r.mu.Lock()

@@ -1,0 +1,215 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSpanParentageAndTiming(t *testing.T) {
+	tr := NewTracer("test", 16)
+	root := tr.Start(SpanContext{}, "root")
+	if root.Context().Trace == "" {
+		t.Fatalf("root span has no trace ID")
+	}
+	child := tr.Start(root.Context(), "child")
+	child.SetAttr("k", "v")
+	child.End()
+	child.End() // idempotent
+	root.EndErr(nil)
+
+	spans := tr.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans, want 2", len(spans))
+	}
+	// Completion order: child ended first.
+	if spans[0].Name != "child" || spans[1].Name != "root" {
+		t.Fatalf("span order = %q, %q", spans[0].Name, spans[1].Name)
+	}
+	if spans[0].Parent != spans[1].ID {
+		t.Fatalf("child parent = %q, want %q", spans[0].Parent, spans[1].ID)
+	}
+	if spans[0].Trace != spans[1].Trace {
+		t.Fatalf("trace IDs differ: %q vs %q", spans[0].Trace, spans[1].Trace)
+	}
+	if spans[0].Attrs["k"] != "v" {
+		t.Fatalf("child attrs = %v", spans[0].Attrs)
+	}
+	if !ConnectedTrace(spans) {
+		t.Fatalf("two-span parent/child trace not connected")
+	}
+}
+
+func TestTracerNilSafety(t *testing.T) {
+	var tr *Tracer
+	sp := tr.Start(SpanContext{}, "x")
+	sp.SetAttr("a", "b")
+	sp.End()
+	sp.EndErr(fmt.Errorf("boom"))
+	if got := tr.Spans(); got != nil {
+		t.Fatalf("nil tracer returned spans: %v", got)
+	}
+	if tr.Len() != 0 || tr.Dropped() != 0 || tr.Service() != "" {
+		t.Fatalf("nil tracer not inert")
+	}
+}
+
+func TestTracerCapacityBound(t *testing.T) {
+	tr := NewTracer("svc", 4)
+	parent := SpanContext{Trace: NewTraceID()}
+	for i := 0; i < 10; i++ {
+		tr.Start(parent, fmt.Sprintf("s%d", i)).End()
+	}
+	if tr.Len() != 4 {
+		t.Fatalf("retained %d spans, want cap 4", tr.Len())
+	}
+	if tr.Dropped() != 6 {
+		t.Fatalf("dropped = %d, want 6", tr.Dropped())
+	}
+}
+
+// TestTracerConcurrentEmit hammers one tracer from many goroutines (the
+// worker pool + HTTP handler shape) under -race: emission, attribute
+// writes, and concurrent snapshot reads must all be safe.
+func TestTracerConcurrentEmit(t *testing.T) {
+	const goroutines, perG = 16, 200
+	tr := NewTracer("race", goroutines*perG)
+	root := tr.Start(SpanContext{}, "root")
+	ctx := root.Context()
+
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG-1; i++ {
+				sp := tr.Start(ctx, fmt.Sprintf("g%d-%d", g, i))
+				sp.SetAttr("g", fmt.Sprint(g))
+				if i%2 == 0 {
+					sp.EndErr(fmt.Errorf("e%d", i))
+				} else {
+					sp.End()
+				}
+			}
+		}(g)
+	}
+	// Concurrent readers while writers run.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			_ = tr.Spans()
+			_ = tr.Len()
+			_ = tr.Dropped()
+		}
+	}()
+	wg.Wait()
+	<-done
+	root.End()
+
+	spans := tr.Spans()
+	want := goroutines*(perG-1) + 1
+	if len(spans)+tr.Dropped() != want {
+		t.Fatalf("spans %d + dropped %d != emitted %d", len(spans), tr.Dropped(), want)
+	}
+	ids := map[string]bool{}
+	for _, s := range spans {
+		if ids[s.ID] {
+			t.Fatalf("duplicate span ID %q", s.ID)
+		}
+		ids[s.ID] = true
+		if s.Trace != ctx.Trace {
+			t.Fatalf("span %q on trace %q, want %q", s.ID, s.Trace, ctx.Trace)
+		}
+	}
+}
+
+func TestConnectedTrace(t *testing.T) {
+	mk := func(id, parent string) Span { return Span{Trace: "t1", ID: id, Parent: parent} }
+	cases := []struct {
+		name  string
+		spans []Span
+		want  bool
+	}{
+		{"empty", nil, false},
+		{"single root", []Span{mk("a", "")}, true},
+		{"chain", []Span{mk("a", ""), mk("b", "a"), mk("c", "b")}, true},
+		{"two roots", []Span{mk("a", ""), mk("b", "")}, false},
+		{"dangling parent", []Span{mk("a", ""), mk("b", "zz")}, false},
+	}
+	for _, c := range cases {
+		if got := ConnectedTrace(c.spans); got != c.want {
+			t.Errorf("%s: ConnectedTrace = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestWriteChromeSpansLoadable(t *testing.T) {
+	tr := NewTracer("rvpc", 64)
+	root := tr.Start(SpanContext{}, "submit")
+	time.Sleep(time.Millisecond)
+	root.End()
+	srv := NewTracer("rvpd", 64)
+	// Two overlapping daemon spans force a second lane.
+	now := time.Now()
+	srv.Record(root.Context(), "worker", now, 10*time.Millisecond, map[string]string{"job": "j1"})
+	srv.Record(root.Context(), "worker", now.Add(time.Millisecond), 10*time.Millisecond, nil)
+
+	all := append(tr.Spans(), srv.Spans()...)
+	var buf bytes.Buffer
+	if err := WriteChromeSpans(&buf, all); err != nil {
+		t.Fatalf("WriteChromeSpans: %v", err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("chrome output is not a JSON array: %v\n%s", err, buf.String())
+	}
+	var metas, xs int
+	tids := map[string]bool{}
+	for _, e := range events {
+		switch e["ph"] {
+		case "M":
+			metas++
+		case "X":
+			xs++
+			tids[fmt.Sprint(e["pid"], "/", e["tid"])] = true
+		}
+	}
+	if metas != 2 { // one process_name per service
+		t.Fatalf("meta events = %d, want 2", metas)
+	}
+	if xs != 3 {
+		t.Fatalf("span events = %d, want 3", xs)
+	}
+	// The two overlapping rvpd spans must land on distinct lanes.
+	if len(tids) != 3 {
+		t.Fatalf("lanes used = %d, want 3 (%v)", len(tids), tids)
+	}
+}
+
+func TestWriteSpansJSONL(t *testing.T) {
+	tr := NewTracer("svc", 8)
+	tr.Start(SpanContext{Trace: "t42"}, "a").End()
+	tr.Start(SpanContext{Trace: "t42"}, "b").End()
+	var buf bytes.Buffer
+	if err := WriteSpansJSONL(&buf, tr.Spans()); err != nil {
+		t.Fatalf("WriteSpansJSONL: %v", err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want 2", len(lines))
+	}
+	for _, line := range lines {
+		var sp Span
+		if err := json.Unmarshal([]byte(line), &sp); err != nil {
+			t.Fatalf("line %q: %v", line, err)
+		}
+		if sp.Trace != "t42" {
+			t.Fatalf("line %q trace = %q", line, sp.Trace)
+		}
+	}
+}

@@ -237,6 +237,7 @@ type runState struct {
 	activePreds  []*pendingPred
 
 	lastCkpt uint64 // stats.Committed at the last periodic checkpoint
+	lastProg uint64 // stats.Committed at the last progress callback
 	coherent bool   // state is at an instruction boundary (snapshot-safe)
 }
 
@@ -253,6 +254,8 @@ type Sim struct {
 	cur       *runState // state of the current / most recent run
 	ckptEvery uint64
 	ckptFn    func(*Snapshot) error
+	progEvery uint64
+	progFn    func(committed uint64, cycles int64)
 }
 
 // SetTracer installs a per-instruction trace callback (nil disables).
@@ -279,6 +282,18 @@ func (s *Sim) SetObserver(o *obs.Observer) { s.obs = o }
 // committed instruction/value stream.
 func (s *Sim) SetCheckpoint(every uint64, fn func(*Snapshot) error) {
 	s.ckptEvery, s.ckptFn = every, fn
+}
+
+// SetProgress arms a periodic progress callback: fn receives the run's
+// committed-instruction count and current cycle at the first
+// commit-batch boundary after each further `every` committed
+// instructions. fn runs on the simulation goroutine between committed
+// instructions; it only reads the two values handed to it, so arming
+// progress cannot change the committed instruction/value stream. It is
+// the live-heartbeat hook the service's SSE job streams are fed from.
+// every == 0 or fn == nil disables.
+func (s *Sim) SetProgress(every uint64, fn func(committed uint64, cycles int64)) {
+	s.progEvery, s.progFn = every, fn
 }
 
 // New builds a simulator for the configuration.
@@ -573,6 +588,10 @@ func (s *Sim) loop(ctx context.Context, r *runState, maxInsts uint64) (Stats, er
 						Cycle: r.lastCycle, HasCycle: true, Err: err,
 					}
 				}
+			}
+			if s.progFn != nil && s.progEvery > 0 && r.stats.Committed >= r.lastProg+s.progEvery {
+				r.lastProg = r.stats.Committed
+				s.progFn(r.stats.Committed, r.lastCycle)
 			}
 			if s.ckptFn != nil && s.ckptEvery > 0 && r.stats.Committed >= r.lastCkpt+s.ckptEvery {
 				r.lastCkpt = r.stats.Committed

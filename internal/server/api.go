@@ -16,6 +16,13 @@
 //     key always maps to the same job, so a client that times out and
 //     retries cannot double-submit.
 //   - GET /v1/jobs/{id} returns the job's JobStatus (404 unknown).
+//   - GET /v1/jobs/{id}/events streams the job's lifecycle as
+//     Server-Sent Events (queued, started, progress heartbeats with
+//     committed/IPC, checkpointed, requeued, done/failed); Last-Event-ID
+//     resumes a dropped stream from the job's bounded event ring.
+//   - GET /v1/jobs/{id}/trace returns the daemon-side spans of the
+//     job's trace (?format=chrome for a chrome://tracing file). Clients
+//     propagate trace identity via X-Rvp-Trace-Id/X-Rvp-Parent-Span.
 //   - GET /healthz is liveness (200 while the process serves).
 //   - GET /readyz is readiness: 200 + queue stats while accepting, 503
 //     while draining.
@@ -61,6 +68,20 @@ type JobStatus struct {
 	Attempts int            `json:"attempts,omitempty"`
 	Result   *exp.JobResult `json:"result,omitempty"`
 	Error    *ErrorInfo     `json:"error,omitempty"`
+	// TraceID identifies the job's distributed trace (client-supplied
+	// via X-Rvp-Trace-Id, or daemon-assigned).
+	TraceID string `json:"trace_id,omitempty"`
+	// Flight is the flight recorder's dump, present only on failed jobs:
+	// the most recent events leading up to the failure.
+	Flight *FlightRecord `json:"flight,omitempty"`
+}
+
+// FlightRecord is the bounded pre-failure event history embedded in a
+// failed job's record. It identifies the spec only by digest — the
+// events themselves carry no spec fields.
+type FlightRecord struct {
+	SpecDigest string     `json:"spec_digest"`
+	Events     []JobEvent `json:"events"`
 }
 
 // Terminal reports whether the state is final.

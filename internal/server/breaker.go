@@ -129,6 +129,34 @@ func (b *breaker) Requeued(key string) {
 	}
 }
 
+// Breaker states as gauge values: closed admits freely, half-open is
+// waiting on (or running) its trial probe, open sheds.
+const (
+	BreakerClosed   = 0
+	BreakerHalfOpen = 1
+	BreakerOpen     = 2
+)
+
+// States returns every known key's current state (for the per-key
+// gauge family).
+func (b *breaker) States() map[string]int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make(map[string]int64, len(b.entries))
+	now := b.now()
+	for key, e := range b.entries {
+		switch {
+		case !e.open:
+			out[key] = BreakerClosed
+		case e.trial || !now.Before(e.openUntil):
+			out[key] = BreakerHalfOpen
+		default:
+			out[key] = BreakerOpen
+		}
+	}
+	return out
+}
+
 // OpenCount returns how many keys are currently open (for the gauge).
 func (b *breaker) OpenCount() int {
 	b.mu.Lock()

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"rvpsim/internal/exp"
+	"rvpsim/internal/obs"
 )
 
 // job is one queued unit of work.
@@ -15,6 +16,10 @@ type job struct {
 	spec       exp.JobSpec
 	breakerKey string
 	enqueued   time.Time
+	// tctx is the span context the job's server-side spans parent
+	// under: the admission span for fresh submissions, a bare trace ID
+	// for jobs recovered from the store.
+	tctx obs.SpanContext
 }
 
 // admissionError is the typed rejection a full or slow queue returns;

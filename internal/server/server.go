@@ -9,6 +9,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"os"
 	"path/filepath"
@@ -63,8 +64,21 @@ type Config struct {
 	// Faults injects deterministic faults into jobs' simulation runs,
 	// keyed by workload (chaos/soak testing).
 	Faults map[string]faultinject.Config
-	// Logf, when non-nil, receives one line per lifecycle event.
-	Logf func(format string, args ...any)
+	// Logger receives structured lifecycle logs (with job and trace
+	// IDs); nil discards them.
+	Logger *slog.Logger
+	// DisableTelemetry turns off job tracing, event feeds and the flight
+	// recorder. It exists for the serve-path overhead benchmark — the
+	// baseline it measures against — not for production use.
+	DisableTelemetry bool
+	// ProgressEvery is the live-heartbeat cadence in committed
+	// instructions (default 100k).
+	ProgressEvery uint64
+	// FlightRecorderSize is how many recent events each job's feed
+	// retains for SSE replay and the failure dump (default 256).
+	FlightRecorderSize int
+	// TracerCapacity bounds the daemon's retained spans (default 4096).
+	TracerCapacity int
 }
 
 func (c *Config) setDefaults() error {
@@ -101,11 +115,24 @@ func (c *Config) setDefaults() error {
 	if c.Registry == nil {
 		c.Registry = obs.NewRegistry()
 	}
-	if c.Logf == nil {
-		c.Logf = func(string, ...any) {}
+	if c.Logger == nil {
+		c.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	if c.ProgressEvery == 0 {
+		c.ProgressEvery = 100_000
+	}
+	if c.FlightRecorderSize <= 0 {
+		c.FlightRecorderSize = 256
+	}
+	if c.TracerCapacity <= 0 {
+		c.TracerCapacity = 4096
 	}
 	return nil
 }
+
+// maxFeeds bounds how many per-job event feeds the telemetry hub
+// retains (terminal feeds are evicted oldest-first past this).
+const maxFeeds = 1024
 
 // Server is the simulation service: HTTP API, bounded queue, worker
 // pool, circuit breakers, and crash-safe job state.
@@ -115,6 +142,13 @@ type Server struct {
 	store   *Store
 	queue   *queue
 	breaker *breaker
+	log     *slog.Logger
+
+	// tel and tracer are the observability layer: per-job event feeds
+	// (SSE + flight recorder) and the daemon's span collector. Both are
+	// nil with Config.DisableTelemetry, and every use is nil-safe.
+	tel    *telemetry
+	tracer *obs.Tracer
 
 	// baseCtx parents every job run; cancelling it is the drain
 	// deadline's hammer that turns in-flight runs into checkpoints.
@@ -140,8 +174,9 @@ type Server struct {
 	mShedDraining                  *obs.Counter
 	mSucceeded, mFailed, mRequeued *obs.Counter
 	mBreakerTrips                  *obs.Counter
-	gDepth, gInflight              *obs.Gauge
+	gDepth, gInflight, gWorkers    *obs.Gauge
 	gBreakerOpen, gDraining        *obs.Gauge
+	gvBreaker                      *obs.GaugeVec
 	hWaitMS, hRunMS                *obs.Histogram
 }
 
@@ -160,12 +195,17 @@ func New(cfg Config) (*Server, error) {
 		reg:      cfg.Registry,
 		store:    store,
 		breaker:  newBreaker(cfg.BreakerThreshold, cfg.BreakerCooloff),
+		log:      cfg.Logger,
 		stopPick: make(chan struct{}),
+	}
+	if !cfg.DisableTelemetry {
+		s.tel = newTelemetry(cfg.FlightRecorderSize, maxFeeds)
+		s.tracer = obs.NewTracer("rvpd", cfg.TracerCapacity)
 	}
 	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
 	s.initMetrics()
 	if store.Truncated > 0 {
-		cfg.Logf("jobstore: dropped %d damaged tail record(s)", store.Truncated)
+		s.log.Warn("jobstore: dropped damaged tail records", "count", store.Truncated)
 	}
 
 	// Recovery: everything non-terminal re-enters the queue, past
@@ -184,10 +224,15 @@ func New(cfg Config) (*Server, error) {
 				return nil, err
 			}
 		}
-		s.queue.force(&job{id: rec.ID, spec: rec.Spec, breakerKey: breakerKey(rec.Spec), enqueued: time.Now()})
-		cfg.Logf("recovered job %s (%s)", rec.ID, rec.Spec.Kind)
+		s.queue.force(&job{
+			id: rec.ID, spec: rec.Spec, breakerKey: breakerKey(rec.Spec),
+			enqueued: time.Now(), tctx: obs.SpanContext{Trace: rec.TraceID},
+		})
+		s.tel.publish(rec.ID, JobEvent{Type: EvQueued, Attempt: rec.Attempts})
+		s.log.Info("recovered job", "job", rec.ID, "kind", rec.Spec.Kind, "trace", rec.TraceID)
 	}
 	s.gDepth.Set(int64(s.queue.depthNow()))
+	s.gWorkers.Set(int64(cfg.Workers))
 
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
@@ -208,7 +253,9 @@ func (s *Server) initMetrics() {
 	s.mBreakerTrips = s.reg.Counter("srv_breaker_trips_total", "circuit-breaker open transitions")
 	s.gDepth = s.reg.Gauge("srv_queue_depth", "jobs currently queued")
 	s.gInflight = s.reg.Gauge("srv_inflight_jobs", "jobs currently running on workers")
+	s.gWorkers = s.reg.Gauge("srv_workers_total", "size of the worker pool (utilization = srv_inflight_jobs / this)")
 	s.gBreakerOpen = s.reg.Gauge("srv_breaker_open", "circuit breakers currently open")
+	s.gvBreaker = s.reg.GaugeVec("srv_breaker_state", "per-workload breaker state (0 closed, 1 half-open, 2 open)", "key")
 	s.gDraining = s.reg.Gauge("srv_draining", "1 while the daemon is draining")
 	s.hWaitMS = s.reg.Histogram("srv_queue_wait_ms", "queue wait per job, milliseconds", obs.ExpBuckets(2, 2, 14))
 	s.hRunMS = s.reg.Histogram("srv_job_run_ms", "run time per job attempt, milliseconds", obs.ExpBuckets(2, 2, 16))
@@ -231,15 +278,52 @@ func (s *Server) jobDir(id string) string {
 	return filepath.Join(s.cfg.StateDir, "jobs", id)
 }
 
+// TraceIDHeader and ParentSpanHeader propagate trace identity from
+// clients: a submission carrying them joins the client's trace, so one
+// connected span tree covers both processes.
+const (
+	TraceIDHeader    = "X-Rvp-Trace-Id"
+	ParentSpanHeader = "X-Rvp-Parent-Span"
+)
+
 // Handler returns the service's HTTP API.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleTrace)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.Handle("GET /metrics", obs.Handler(s.reg))
-	return mux
+	return s.logRequests(mux)
+}
+
+// logRequests logs one debug line per request with its trace ID when
+// the client sent one. Debug level keeps the serve path's default-off
+// logging cost to one Enabled check.
+func (s *Server) logRequests(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if s.log.Enabled(r.Context(), slog.LevelDebug) {
+			start := time.Now()
+			next.ServeHTTP(w, r)
+			s.log.Debug("request",
+				"method", r.Method, "path", r.URL.Path,
+				"trace", r.Header.Get(TraceIDHeader),
+				"dur_ms", time.Since(start).Milliseconds())
+			return
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
+// clientSpanContext reads the caller's trace position from the request
+// headers (zero when absent — spans then root a fresh trace).
+func clientSpanContext(r *http.Request) obs.SpanContext {
+	return obs.SpanContext{
+		Trace: r.Header.Get(TraceIDHeader),
+		Span:  r.Header.Get(ParentSpanHeader),
+	}
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -264,6 +348,7 @@ func reject(w http.ResponseWriter, code int, msg string, retryAfter time.Duratio
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	admitStart := time.Now()
 	// Oversized bodies are refused before any read or decode.
 	if r.ContentLength > s.cfg.MaxBody {
 		reject(w, http.StatusRequestEntityTooLarge,
@@ -317,15 +402,24 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	bkey := breakerKey(spec)
 	if ok, retryAfter := s.breaker.Allow(bkey); !ok {
 		s.mShedBreaker.Inc()
-		s.gBreakerOpen.Set(int64(s.breaker.OpenCount()))
+		s.updateBreakerGauges()
 		reject(w, http.StatusServiceUnavailable,
 			fmt.Sprintf("circuit breaker open for %q", bkey), retryAfter)
 		return
 	}
 
 	id := newJobID(key)
-	rec := JobStatus{ID: id, Key: key, State: StateQueued, Spec: spec}
-	j := &job{id: id, spec: spec, breakerKey: bkey, enqueued: time.Now()}
+	// The admission span is retroactive: it covers decode + dedup +
+	// admission, measured from handler entry, and parents every later
+	// span of this job. With no client trace headers it roots a fresh
+	// trace, so daemon-side tracing works for plain curl too.
+	tctx := clientSpanContext(r)
+	if s.tracer != nil {
+		tctx = s.tracer.Record(tctx, "admission", admitStart, time.Since(admitStart),
+			map[string]string{"job": id, "kind": spec.Kind})
+	}
+	rec := JobStatus{ID: id, Key: key, State: StateQueued, Spec: spec, TraceID: tctx.Trace}
+	j := &job{id: id, spec: spec, breakerKey: bkey, enqueued: time.Now(), tctx: tctx}
 	if err := s.queue.admit(j); err != nil {
 		var adm *admissionError
 		if errors.As(err, &adm) {
@@ -345,7 +439,18 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mSubmitted.Inc()
 	s.gDepth.Set(int64(s.queue.depthNow()))
+	s.tel.publish(id, JobEvent{Type: EvQueued})
+	s.log.Info("job accepted", "job", id, "kind", spec.Kind, "trace", tctx.Trace)
 	writeJSON(w, http.StatusAccepted, rec)
+}
+
+// updateBreakerGauges refreshes the open-count gauge and the per-key
+// state family after any breaker transition.
+func (s *Server) updateBreakerGauges() {
+	s.gBreakerOpen.Set(int64(s.breaker.OpenCount()))
+	for key, st := range s.breaker.States() {
+		s.gvBreaker.With(key).Set(st)
+	}
 }
 
 // newJobID derives a stable ID from the idempotency key, or a random
@@ -432,13 +537,26 @@ func (s *Server) runJob(j *job) {
 	s.gDepth.Set(int64(s.queue.depthNow()))
 	s.hWaitMS.Observe(wait.Milliseconds())
 
+	// Queue wait is retroactive (measured from the enqueue timestamp);
+	// the worker span then covers the whole attempt, and everything the
+	// experiment runner does parents under it.
+	tctx := j.tctx
+	if s.tracer != nil {
+		s.tracer.Record(tctx, "queue_wait", j.enqueued, wait, map[string]string{"job": j.id})
+	}
+	wsp := s.tracer.Start(tctx, "worker")
+	wsp.SetAttr("job", j.id)
+
 	rec, _ := s.store.Get(j.id)
 	rec.ID, rec.Spec = j.id, j.spec // first record may be the store miss of a test
+	if rec.TraceID == "" {
+		rec.TraceID = tctx.Trace
+	}
 	rec.State = StateRunning
 	rec.Attempts++
 	rec.Result, rec.Error = nil, nil
 	if err := s.store.Append(rec); err != nil {
-		s.cfg.Logf("job %s: recording start: %v", j.id, err)
+		s.log.Error("recording job start failed", "job", j.id, "error", err)
 	}
 	s.inflight.Add(1)
 	s.gInflight.Set(s.inflight.Load())
@@ -446,6 +564,8 @@ func (s *Server) runJob(j *job) {
 		s.inflight.Add(-1)
 		s.gInflight.Set(s.inflight.Load())
 	}()
+	s.tel.publish(j.id, JobEvent{Type: EvStarted, Attempt: rec.Attempts})
+	s.log.Info("job started", "job", j.id, "attempt", rec.Attempts, "trace", rec.TraceID)
 
 	ctx, cancel := context.WithTimeout(s.baseCtx, s.cfg.JobTimeout)
 	defer cancel()
@@ -456,25 +576,47 @@ func (s *Server) runJob(j *job) {
 		Registry:        s.reg,
 		Faults:          s.cfg.Faults,
 		WatchdogCycles:  s.cfg.WatchdogCycles,
+		Tracer:          s.tracer,
+		TraceParent:     wsp.Context(),
+	}
+	if s.tel != nil {
+		// The heartbeat and checkpoint hooks run on simulation
+		// goroutines; publish is lock-bounded and never blocks, which is
+		// what makes them safe there.
+		id := j.id
+		opts.ProgressEvery = s.cfg.ProgressEvery
+		opts.OnProgress = func(label string, committed uint64, cycles int64) {
+			ev := JobEvent{Type: EvProgress, Label: label, Committed: committed, Cycles: cycles}
+			if cycles > 0 {
+				ev.IPC = float64(committed) / float64(cycles)
+			}
+			s.tel.publish(id, ev)
+		}
+		opts.OnCheckpoint = func(label string) {
+			s.tel.publish(id, JobEvent{Type: EvCheckpointed, Label: label})
+		}
 	}
 	start := time.Now()
 	res, err := exp.RunJob(ctx, j.spec, opts)
 	s.hRunMS.Observe(time.Since(start).Milliseconds())
+	wsp.EndErr(err)
 
 	switch {
 	case err == nil:
 		rec.State = StateSucceeded
 		rec.Result = res
 		s.breaker.Success(j.breakerKey)
+		s.updateBreakerGauges()
 		s.mSucceeded.Inc()
 		if serr := s.store.Append(rec); serr != nil {
-			s.cfg.Logf("job %s: recording success: %v", j.id, serr)
+			s.log.Error("recording job success failed", "job", j.id, "error", serr)
 			return // keep the state dir: the result is not durable
 		}
 		// The result is durable; the simulation scratch state is now
 		// redundant.
 		os.RemoveAll(s.jobDir(j.id))
-		s.cfg.Logf("job %s succeeded (attempt %d)", j.id, rec.Attempts)
+		s.tel.publish(j.id, JobEvent{Type: EvDone, Attempt: rec.Attempts})
+		s.log.Info("job succeeded", "job", j.id, "attempt", rec.Attempts, "trace", rec.TraceID)
 
 	case s.baseCtx.Err() != nil:
 		// Drain hammer: the run checkpointed on its way out. Requeue so
@@ -483,29 +625,75 @@ func (s *Server) runJob(j *job) {
 		s.breaker.Requeued(j.breakerKey)
 		s.mRequeued.Inc()
 		if serr := s.store.Append(rec); serr != nil {
-			s.cfg.Logf("job %s: recording requeue: %v", j.id, serr)
+			s.log.Error("recording job requeue failed", "job", j.id, "error", serr)
 		}
-		s.cfg.Logf("job %s checkpointed and requeued by drain", j.id)
+		s.tel.publish(j.id, JobEvent{Type: EvRequeued, Attempt: rec.Attempts})
+		s.log.Info("job checkpointed and requeued by drain", "job", j.id)
 
 	default:
 		timeout := errors.Is(err, context.DeadlineExceeded)
 		rec.State = StateFailed
 		rec.Error = errorInfo(err, timeout)
+		// Flight recorder: freeze the job's recent events into the
+		// durable record before the terminal event lands, so the dump is
+		// the pre-failure story. The events are redacted by construction
+		// — they reference the spec only through its digest.
+		if f, ok := s.tel.lookup(j.id); ok {
+			rec.Flight = &FlightRecord{SpecDigest: j.spec.Digest(), Events: f.events()}
+		}
 		if !simerr.IsTransient(err) {
 			if tripped := s.breaker.Failure(j.breakerKey); tripped {
 				s.mBreakerTrips.Inc()
-				s.cfg.Logf("circuit breaker tripped for %q", j.breakerKey)
+				s.log.Warn("circuit breaker tripped", "key", j.breakerKey)
 			}
 		}
 		s.mFailed.Inc()
-		s.gBreakerOpen.Set(int64(s.breaker.OpenCount()))
+		s.updateBreakerGauges()
 		if serr := s.store.Append(rec); serr != nil {
-			s.cfg.Logf("job %s: recording failure: %v", j.id, serr)
+			s.log.Error("recording job failure failed", "job", j.id, "error", serr)
 			return
 		}
 		os.RemoveAll(s.jobDir(j.id))
-		s.cfg.Logf("job %s failed (attempt %d): %v", j.id, rec.Attempts, err)
+		s.tel.publish(j.id, JobEvent{Type: EvFailed, Attempt: rec.Attempts, Error: err.Error()})
+		s.log.Warn("job failed", "job", j.id, "attempt", rec.Attempts,
+			"trace", rec.TraceID, "error", err)
 	}
+}
+
+// handleTrace returns the daemon-side spans of one job's trace as a
+// JSON array (?format=chrome renders a chrome://tracing-loadable
+// trace_event file instead). Clients merge these with their own spans
+// to assemble the full cross-process trace.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	rec, ok := s.store.Get(id)
+	if !ok {
+		reject(w, http.StatusNotFound, "unknown job "+id, 0)
+		return
+	}
+	if s.tracer == nil {
+		reject(w, http.StatusNotImplemented, "telemetry disabled on this daemon", 0)
+		return
+	}
+	if rec.TraceID == "" {
+		writeJSON(w, http.StatusOK, []obs.Span{})
+		return
+	}
+	var spans []obs.Span
+	for _, sp := range s.tracer.Spans() {
+		if sp.Trace == rec.TraceID {
+			spans = append(spans, sp)
+		}
+	}
+	if r.URL.Query().Get("format") == "chrome" {
+		w.Header().Set("Content-Type", "application/json")
+		_ = obs.WriteChromeSpans(w, spans)
+		return
+	}
+	if spans == nil {
+		spans = []obs.Span{}
+	}
+	writeJSON(w, http.StatusOK, spans)
 }
 
 // Drain gracefully shuts the service down: stop accepting, stop picking
@@ -519,18 +707,19 @@ func (s *Server) Drain() bool {
 	s.drainOnce.Do(func() {
 		s.draining.Store(true)
 		s.gDraining.Set(1)
-		s.cfg.Logf("draining: %d queued, %d in flight", s.queue.depthNow(), s.inflight.Load())
+		s.log.Info("draining", "queued", s.queue.depthNow(), "inflight", s.inflight.Load())
 		s.stopOnce.Do(func() { close(s.stopPick) })
 		s.drainedOK = shutdown.WaitGroup(s.wg.Wait, s.cfg.DrainTimeout)
 		if !s.drainedOK {
-			s.cfg.Logf("drain deadline elapsed; cancelling %d in-flight job(s) into checkpoints", s.inflight.Load())
+			s.log.Warn("drain deadline elapsed; cancelling in-flight jobs into checkpoints",
+				"inflight", s.inflight.Load())
 			s.baseCancel()
 			// Cancellation propagates within one commit batch; workers
 			// then exit promptly.
 			s.wg.Wait()
 		}
 		s.baseCancel()
-		s.cfg.Logf("drained (clean=%v)", s.drainedOK)
+		s.log.Info("drained", "clean", s.drainedOK)
 	})
 	return s.drainedOK
 }

@@ -1,0 +1,102 @@
+// Cross-process trace test. This file is an external test package on
+// purpose: internal/client imports internal/server, so an internal
+// test file (package server) importing the client would be an import
+// cycle. Out here we can hold both ends of the wire.
+package server_test
+
+import (
+	"context"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"rvpsim/internal/client"
+	"rvpsim/internal/exp"
+	"rvpsim/internal/obs"
+	"rvpsim/internal/server"
+)
+
+// TestConnectedClientServerTrace submits a job through the real client
+// and asserts the merged client+server span set forms one connected
+// trace: a single root (the client's submit span), every other span's
+// parent present, and the expected stages — submission, admission,
+// queue wait, worker, job, simulation — all on the same trace ID.
+func TestConnectedClientServerTrace(t *testing.T) {
+	srv, err := server.New(server.Config{
+		StateDir:     t.TempDir(),
+		Workers:      1,
+		QueueDepth:   4,
+		DefaultInsts: 5_000,
+		JobTimeout:   time.Minute,
+		DrainTimeout: 5 * time.Second,
+	})
+	if err != nil {
+		t.Fatalf("server.New: %v", err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+
+	tracer := obs.NewTracer("rvpc", 64)
+	c := client.New(ts.URL, client.WithTracer(tracer), client.WithHTTPClient(ts.Client()))
+
+	ctx := context.Background()
+	st, err := c.Submit(ctx, exp.JobSpec{Kind: "run", Workload: "go", Predictor: "rvp", Insts: 5_000}, "trace-e2e")
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	if st.TraceID == "" {
+		t.Fatalf("accepted job carries no trace ID")
+	}
+	if st, err = c.Wait(ctx, st.ID, 20*time.Millisecond); err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	if st.State != server.StateSucceeded {
+		t.Fatalf("state = %s, want succeeded", st.State)
+	}
+
+	srvSpans, err := c.Trace(ctx, st.ID)
+	if err != nil {
+		t.Fatalf("Trace: %v", err)
+	}
+	merged := append(c.Spans(), srvSpans...)
+	if !obs.ConnectedTrace(merged) {
+		for _, sp := range merged {
+			t.Logf("span %s trace=%s id=%s parent=%s", sp.Name, sp.Trace, sp.ID, sp.Parent)
+		}
+		t.Fatalf("merged client+server spans are not one connected trace")
+	}
+	names := make(map[string]bool)
+	for _, sp := range merged {
+		names[sp.Name] = true
+		if sp.Trace != st.TraceID {
+			t.Fatalf("span %s on trace %s, want %s", sp.Name, sp.Trace, st.TraceID)
+		}
+		if sp.DurUS < 0 {
+			t.Fatalf("span %s has negative duration %d", sp.Name, sp.DurUS)
+		}
+	}
+	for _, want := range []string{"submit", "submit_attempt", "admission", "queue_wait", "worker", "job:run"} {
+		if !names[want] {
+			t.Fatalf("merged trace missing span %q; have %v", want, keys(names))
+		}
+	}
+	sim := false
+	for n := range names {
+		if strings.HasPrefix(n, "sim:go/") {
+			sim = true
+		}
+	}
+	if !sim {
+		t.Fatalf("merged trace has no sim:go/* span; have %v", keys(names))
+	}
+}
+
+func keys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
