@@ -4,11 +4,11 @@
 
 GO ?= go
 
-.PHONY: all ci vet build test race determinism lockstep bench bench-smoke fmt-check fuzz-smoke faults staticcheck govulncheck serve-smoke obs-smoke
+.PHONY: all ci vet build test race determinism lockstep bench bench-smoke fmt-check fuzz-smoke faults staticcheck govulncheck serve-smoke obs-smoke fleet-smoke
 
 all: ci
 
-ci: fmt-check vet staticcheck govulncheck build race determinism faults fuzz-smoke bench-smoke serve-smoke obs-smoke
+ci: fmt-check vet staticcheck govulncheck build race determinism faults fuzz-smoke bench-smoke serve-smoke obs-smoke fleet-smoke
 
 vet:
 	$(GO) vet ./...
@@ -108,6 +108,44 @@ obs-smoke:
 	done; \
 	kill -TERM $$pid; wait $$pid; \
 	echo "obs-smoke OK"
+
+# Fleet smoke: coordinator + three workers on ephemeral ports, one
+# worker SIGKILLed mid-sweep, and the sweep must still finish with a
+# merged table. The real chaos proof (byte-identical merge, counters vs
+# ledger) lives in the fleet package's -race e2e; this target proves the
+# shipped binaries wire together.
+fleet-smoke:
+	@set -e; tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
+	$(GO) build -o "$$tmp/rvpd" ./cmd/rvpd; \
+	$(GO) build -o "$$tmp/rvpcoord" ./cmd/rvpcoord; \
+	$(GO) build -o "$$tmp/rvpc" ./cmd/rvpc; \
+	pids=""; urls=""; \
+	for w in a b c; do \
+		"$$tmp/rvpd" -addr 127.0.0.1:0 -addr-file "$$tmp/addr-$$w" -state "$$tmp/w-$$w" -workers 1 & pids="$$pids $$!"; \
+	done; \
+	for w in a b c; do \
+		for i in $$(seq 1 100); do [ -s "$$tmp/addr-$$w" ] && break; sleep 0.1; done; \
+		[ -s "$$tmp/addr-$$w" ] || { echo "worker $$w never wrote its address"; kill $$pids; exit 1; }; \
+		urls="$$urls,http://$$(cat "$$tmp/addr-$$w")"; \
+	done; \
+	urls=$${urls#,}; \
+	"$$tmp/rvpcoord" -addr 127.0.0.1:0 -addr-file "$$tmp/addr-coord" -state "$$tmp/coord" \
+		-workers "$$urls" -lease 3s -steal-age 1s & cpid=$$!; \
+	for i in $$(seq 1 100); do [ -s "$$tmp/addr-coord" ] && break; sleep 0.1; done; \
+	[ -s "$$tmp/addr-coord" ] || { echo "rvpcoord never wrote its address"; kill $$pids $$cpid; exit 1; }; \
+	coord="http://$$(cat "$$tmp/addr-coord")"; \
+	"$$tmp/rvpc" -server "$$coord" sweep -workloads go,li,perl -predictors none,rvp -n 200000 \
+		| tee "$$tmp/submit.log"; \
+	id=$$(sed -n 's/^sweep \([a-f0-9]*\):.*/\1/p' "$$tmp/submit.log" | head -1); \
+	[ -n "$$id" ] || { echo "no sweep id parsed"; kill $$pids $$cpid; exit 1; }; \
+	sleep 1; kill -9 $$(echo $$pids | awk '{print $$1}'); \
+	echo "killed worker a mid-sweep"; \
+	"$$tmp/rvpc" -server "$$coord" sweep -wait "$$id" | tee "$$tmp/final.log"; \
+	grep -q "average" "$$tmp/final.log" || { echo "no merged table in sweep output"; kill $$pids $$cpid; exit 1; }; \
+	grep -q ": done" "$$tmp/final.log" || { echo "sweep did not finish done"; kill $$pids $$cpid; exit 1; }; \
+	kill -TERM $$cpid; wait $$cpid; \
+	kill -TERM $$pids 2>/dev/null || true; \
+	echo "fleet-smoke OK"
 
 # Fault-injection invariant suite: recovery schemes must never commit a
 # wrong value and must terminate under injected latency/flip/panic faults.

@@ -62,12 +62,13 @@ func (b Backoff) delay(attempt int, rng func() float64) time.Duration {
 
 // Client talks to one rvpd instance.
 type Client struct {
-	base     string // e.g. "http://127.0.0.1:8080"
-	hc       *http.Client
-	backoff  Backoff
-	attempts int
-	log      *slog.Logger
-	tracer   *obs.Tracer
+	base       string // e.g. "http://127.0.0.1:8080"
+	hc         *http.Client
+	backoff    Backoff
+	attempts   int
+	maxElapsed time.Duration
+	log        *slog.Logger
+	tracer     *obs.Tracer
 
 	mu  sync.Mutex
 	rng *rand.Rand
@@ -84,6 +85,14 @@ func WithBackoff(b Backoff) Option { return func(c *Client) { c.backoff = b } }
 
 // WithMaxAttempts bounds submission attempts (default 10).
 func WithMaxAttempts(n int) Option { return func(c *Client) { c.attempts = n } }
+
+// WithMaxElapsed bounds the total wall-clock time one Submit call may
+// spend across all attempts and backoff sleeps. Attempt counts alone do
+// not bound time — a server sending large Retry-After hints can stretch
+// ten attempts over minutes — so callers that hold a time-bounded
+// resource (a fleet coordinator holding a cell lease, say) cap elapsed
+// time too. Zero leaves only the attempt cap and the caller's context.
+func WithMaxElapsed(d time.Duration) Option { return func(c *Client) { c.maxElapsed = d } }
 
 // WithSeed makes the jitter deterministic (tests).
 func WithSeed(seed int64) Option {
@@ -149,6 +158,15 @@ func NewIdempotencyKey() string {
 func (c *Client) Submit(ctx context.Context, spec exp.JobSpec, key string) (server.JobStatus, error) {
 	if key == "" {
 		key = NewIdempotencyKey()
+	}
+	// The elapsed cap is a context deadline, not bookkeeping: it bounds
+	// in-flight requests and backoff sleeps alike, so a submission can
+	// never outlive its budget waiting on a slow transport or a server
+	// whose Retry-After hints keep stretching the schedule.
+	if c.maxElapsed > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, c.maxElapsed)
+		defer cancel()
 	}
 	body, err := json.Marshal(spec)
 	if err != nil {

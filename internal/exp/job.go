@@ -77,6 +77,11 @@ func JobFigures() []string { return sortedKeys(jobFigures) }
 // JobPredictors lists the predictor names a "run" job accepts, sorted.
 func JobPredictors() []string { return sortedKeys(jobPredictors) }
 
+// JobRecoveries lists the recovery-scheme names a "run" job accepts,
+// sorted. Fleet sweeps use it to validate their recovery axis against
+// the same vocabulary the job API enforces.
+func JobRecoveries() []string { return sortedKeys(jobRecoveries) }
+
 func sortedKeys[V any](m map[string]V) []string {
 	out := make([]string, 0, len(m))
 	for k := range m {

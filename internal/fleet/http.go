@@ -1,0 +1,75 @@
+package fleet
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+
+	"rvpsim/internal/obs"
+	"rvpsim/internal/simerr"
+)
+
+// Handler exposes the coordinator's HTTP API:
+//
+//	POST /v1/sweeps        submit a SweepSpec (idempotent by sweep ID)
+//	GET  /v1/sweeps        list sweep IDs in admission order
+//	GET  /v1/sweeps/{id}   one sweep's status (+ merged table when done)
+//	POST /v1/workers       register a worker {"url": "http://..."}
+//	GET  /healthz          liveness
+//	GET  /metrics          fleet gauges and counters (Prometheus text)
+func Handler(c *Coordinator) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/sweeps", func(w http.ResponseWriter, r *http.Request) {
+		var spec SweepSpec
+		if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+			httpJSON(w, http.StatusBadRequest, map[string]string{"error": "bad JSON: " + err.Error()})
+			return
+		}
+		st, err := c.SubmitSweep(spec)
+		if err != nil {
+			code := http.StatusInternalServerError
+			if errors.Is(err, simerr.ErrConfig) {
+				code = http.StatusBadRequest
+			}
+			httpJSON(w, code, map[string]string{"error": err.Error()})
+			return
+		}
+		httpJSON(w, http.StatusAccepted, st)
+	})
+	mux.HandleFunc("GET /v1/sweeps", func(w http.ResponseWriter, r *http.Request) {
+		httpJSON(w, http.StatusOK, c.Sweeps())
+	})
+	mux.HandleFunc("GET /v1/sweeps/{id}", func(w http.ResponseWriter, r *http.Request) {
+		st, ok := c.Status(r.PathValue("id"))
+		if !ok {
+			httpJSON(w, http.StatusNotFound, map[string]string{"error": "unknown sweep"})
+			return
+		}
+		httpJSON(w, http.StatusOK, st)
+	})
+	mux.HandleFunc("POST /v1/workers", func(w http.ResponseWriter, r *http.Request) {
+		var body struct {
+			URL string `json:"url"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+			httpJSON(w, http.StatusBadRequest, map[string]string{"error": "bad JSON: " + err.Error()})
+			return
+		}
+		if err := c.AddWorker(body.URL); err != nil {
+			httpJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+			return
+		}
+		httpJSON(w, http.StatusOK, map[string]string{"registered": body.URL})
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		httpJSON(w, http.StatusOK, map[string]bool{"ok": true})
+	})
+	mux.Handle("GET /metrics", obs.Handler(c.Registry()))
+	return mux
+}
+
+func httpJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}

@@ -1,0 +1,239 @@
+package fleet
+
+import (
+	"bytes"
+	"encoding/json"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"rvpsim/internal/pipeline"
+	"rvpsim/internal/simerr"
+)
+
+// Ledger is the coordinator's write-ahead cell log: every sweep
+// admission and every cell transition the coordinator must not forget
+// (lease, expiry, steal, done, failed) is appended — and fsync'd — as a
+// CRC-32-enveloped JSON line before the transition is acknowledged
+// anywhere else. Replaying the log reconstructs the sweep after a
+// coordinator crash: done and failed cells keep their results, every
+// other cell reverts to ready (an in-flight lease held by a dead
+// coordinator is meaningless — exactly like a speculative, uncommitted
+// value after a squash). A torn or corrupt tail is truncated away on
+// open, never fatal. Same envelope idiom as internal/server's jobstore
+// and internal/exp's sweep journal.
+type Ledger struct {
+	mu sync.Mutex
+	f  *os.File
+
+	// Truncated reports how many damaged tail records were dropped on
+	// open.
+	Truncated int
+}
+
+// Ledger record kinds. Done and Failed are the only terminal kinds;
+// Lease, Expire and Steal exist so restart-surviving counters agree
+// with the log (see Replay) and so an operator can audit exactly how a
+// cell travelled the fleet.
+const (
+	recSweep  = "sweep"
+	recLease  = "lease"
+	recExpire = "expire"
+	recSteal  = "steal"
+	recDone   = "done"
+	recFailed = "failed"
+)
+
+// LedgerRecord is one line's payload.
+type LedgerRecord struct {
+	Kind  string `json:"kind"`
+	Sweep string `json:"sweep"`
+	// Cell is the cell digest (empty on sweep records).
+	Cell string `json:"cell,omitempty"`
+	// Worker is the worker URL involved in a lease/steal/done/expire.
+	Worker string `json:"worker,omitempty"`
+	// Spec carries the normalized sweep spec on sweep records.
+	Spec *SweepSpec `json:"spec,omitempty"`
+	// Stats carries the cell result on done records.
+	Stats *pipeline.Stats `json:"stats,omitempty"`
+	// Reason carries the failure on failed records.
+	Reason string `json:"reason,omitempty"`
+}
+
+// ledgerEnvelope wraps one record: Rec's exact bytes are CRC-protected,
+// so a torn write or bit flip in either field fails validation.
+type ledgerEnvelope struct {
+	CRC uint32          `json:"crc"`
+	Rec json.RawMessage `json:"rec"`
+}
+
+// Replay is the ledger's reconstructed view: what OpenLedger found.
+type Replay struct {
+	// Sweeps maps sweep ID to its normalized spec, in first-seen order
+	// via Order.
+	Sweeps map[string]SweepSpec
+	Order  []string
+	// Done maps sweep ID -> cell digest -> result.
+	Done map[string]map[string]pipeline.Stats
+	// Failed maps sweep ID -> cell digest -> failure reason.
+	Failed map[string]map[string]string
+	// Leases, Expiries, Steals count those records across the whole
+	// log; the coordinator seeds its registry counters from them so
+	// /metrics agrees with the ledger across restarts.
+	Leases, Expiries, Steals int64
+	// DuplicateDone counts done records for cells already done — always
+	// zero unless a coordinator bug committed a cell twice.
+	DuplicateDone int64
+}
+
+// LedgerPath is the cell ledger's location inside a state directory.
+func LedgerPath(dir string) string { return filepath.Join(dir, "cells.jsonl") }
+
+// OpenLedger opens (creating if absent) the ledger at path, replays
+// every valid record into a Replay, and truncates any damaged tail.
+func OpenLedger(path string) (*Ledger, *Replay, error) {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return nil, nil, simerr.New("fleet", err)
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, simerr.New("fleet", err)
+	}
+	l := &Ledger{f: f}
+	rp := &Replay{
+		Sweeps: map[string]SweepSpec{},
+		Done:   map[string]map[string]pipeline.Stats{},
+		Failed: map[string]map[string]string{},
+	}
+
+	data, err := io.ReadAll(f)
+	if err != nil {
+		f.Close()
+		return nil, nil, simerr.New("fleet", err)
+	}
+	valid := 0 // byte offset past the last valid record
+	for valid < len(data) {
+		nl := bytes.IndexByte(data[valid:], '\n')
+		if nl < 0 {
+			break
+		}
+		rec, ok := parseLedgerLine(data[valid : valid+nl])
+		if !ok {
+			break
+		}
+		rp.apply(rec)
+		valid += nl + 1
+	}
+	if valid < len(data) {
+		l.Truncated = 1 + bytes.Count(data[valid:], []byte{'\n'})
+		if data[len(data)-1] == '\n' {
+			l.Truncated--
+		}
+	}
+	if err := f.Truncate(int64(valid)); err != nil {
+		f.Close()
+		return nil, nil, simerr.New("fleet", err)
+	}
+	if _, err := f.Seek(int64(valid), io.SeekStart); err != nil {
+		f.Close()
+		return nil, nil, simerr.New("fleet", err)
+	}
+	return l, rp, nil
+}
+
+// parseLedgerLine validates one envelope line.
+func parseLedgerLine(line []byte) (LedgerRecord, bool) {
+	var rec LedgerRecord
+	if len(bytes.TrimSpace(line)) == 0 {
+		return rec, false
+	}
+	var env ledgerEnvelope
+	if err := json.Unmarshal(line, &env); err != nil {
+		return rec, false
+	}
+	if crc32.ChecksumIEEE(env.Rec) != env.CRC {
+		return rec, false
+	}
+	if err := json.Unmarshal(env.Rec, &rec); err != nil || rec.Kind == "" || rec.Sweep == "" {
+		return rec, false
+	}
+	return rec, true
+}
+
+// apply folds one replayed record into the view.
+func (rp *Replay) apply(rec LedgerRecord) {
+	switch rec.Kind {
+	case recSweep:
+		if rec.Spec == nil {
+			return
+		}
+		if _, seen := rp.Sweeps[rec.Sweep]; !seen {
+			rp.Order = append(rp.Order, rec.Sweep)
+		}
+		rp.Sweeps[rec.Sweep] = *rec.Spec
+	case recLease:
+		rp.Leases++
+	case recExpire:
+		rp.Expiries++
+	case recSteal:
+		rp.Steals++
+	case recDone:
+		if rec.Stats == nil {
+			return
+		}
+		m := rp.Done[rec.Sweep]
+		if m == nil {
+			m = map[string]pipeline.Stats{}
+			rp.Done[rec.Sweep] = m
+		}
+		if _, dup := m[rec.Cell]; dup {
+			rp.DuplicateDone++
+			return
+		}
+		m[rec.Cell] = *rec.Stats
+		delete(rp.Failed[rec.Sweep], rec.Cell)
+	case recFailed:
+		if _, done := rp.Done[rec.Sweep][rec.Cell]; done {
+			return
+		}
+		m := rp.Failed[rec.Sweep]
+		if m == nil {
+			m = map[string]string{}
+			rp.Failed[rec.Sweep] = m
+		}
+		m[rec.Cell] = rec.Reason
+	}
+}
+
+// Append records one transition, fsyncing before it returns: the
+// write-ahead guarantee that makes a restarted coordinator resume
+// instead of re-deciding.
+func (l *Ledger) Append(rec LedgerRecord) error {
+	raw, err := json.Marshal(rec)
+	if err != nil {
+		return simerr.New("fleet", err)
+	}
+	line, err := json.Marshal(ledgerEnvelope{CRC: crc32.ChecksumIEEE(raw), Rec: raw})
+	if err != nil {
+		return simerr.New("fleet", err)
+	}
+	line = append(line, '\n')
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if _, err := l.f.Write(line); err != nil {
+		return simerr.New("fleet", err)
+	}
+	if err := l.f.Sync(); err != nil {
+		return simerr.New("fleet", err)
+	}
+	return nil
+}
+
+// Close closes the underlying file.
+func (l *Ledger) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.f.Close()
+}

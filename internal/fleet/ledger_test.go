@@ -1,0 +1,212 @@
+package fleet
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"rvpsim/internal/pipeline"
+)
+
+func testSweep(t *testing.T) SweepSpec {
+	t.Helper()
+	s := SweepSpec{Workloads: []string{"go", "li"}, Predictors: []string{"rvp"}, Insts: 5_000}
+	s.Normalize(0)
+	if err := s.Validate(); err != nil {
+		t.Fatalf("test sweep invalid: %v", err)
+	}
+	return s
+}
+
+func TestLedgerReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	spec := testSweep(t)
+	id := spec.ID()
+	cells := spec.Cells()
+
+	l, rp, err := OpenLedger(LedgerPath(dir))
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	if len(rp.Sweeps) != 0 {
+		t.Fatalf("fresh ledger replayed %d sweeps", len(rp.Sweeps))
+	}
+	st := pipeline.Stats{Cycles: 123, Committed: 456}
+	recs := []LedgerRecord{
+		{Kind: recSweep, Sweep: id, Spec: &spec},
+		{Kind: recLease, Sweep: id, Cell: cells[0].ID, Worker: "http://w1"},
+		{Kind: recExpire, Sweep: id, Cell: cells[0].ID, Worker: "http://w1"},
+		{Kind: recLease, Sweep: id, Cell: cells[0].ID, Worker: "http://w2"},
+		{Kind: recDone, Sweep: id, Cell: cells[0].ID, Worker: "http://w2", Stats: &st},
+		{Kind: recLease, Sweep: id, Cell: cells[1].ID, Worker: "http://w2"},
+		{Kind: recSteal, Sweep: id, Cell: cells[1].ID, Worker: "http://w1"},
+		{Kind: recFailed, Sweep: id, Cell: cells[1].ID, Reason: "boom"},
+	}
+	for _, r := range recs {
+		if err := l.Append(r); err != nil {
+			t.Fatalf("append %+v: %v", r, err)
+		}
+	}
+	l.Close()
+
+	l2, rp2, err := OpenLedger(LedgerPath(dir))
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer l2.Close()
+	if l2.Truncated != 0 {
+		t.Errorf("clean log reported %d truncated records", l2.Truncated)
+	}
+	if len(rp2.Order) != 1 || rp2.Order[0] != id {
+		t.Errorf("order = %v, want [%s]", rp2.Order, id)
+	}
+	if got := rp2.Sweeps[id].ID(); got != id {
+		t.Errorf("replayed spec ID = %s, want %s", got, id)
+	}
+	if got := rp2.Done[id][cells[0].ID]; got != st {
+		t.Errorf("replayed stats = %+v, want %+v", got, st)
+	}
+	if got := rp2.Failed[id][cells[1].ID]; got != "boom" {
+		t.Errorf("replayed failure = %q, want boom", got)
+	}
+	if rp2.Leases != 3 || rp2.Expiries != 1 || rp2.Steals != 1 {
+		t.Errorf("counters = %d leases, %d expiries, %d steals; want 3,1,1",
+			rp2.Leases, rp2.Expiries, rp2.Steals)
+	}
+	if rp2.DuplicateDone != 0 {
+		t.Errorf("duplicate done = %d on a clean log", rp2.DuplicateDone)
+	}
+}
+
+func TestLedgerDoneWinsOverFailedAndDuplicatesCounted(t *testing.T) {
+	dir := t.TempDir()
+	spec := testSweep(t)
+	id := spec.ID()
+	cell := spec.Cells()[0].ID
+	st := pipeline.Stats{Cycles: 9, Committed: 9}
+
+	l, _, err := OpenLedger(LedgerPath(dir))
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	for _, r := range []LedgerRecord{
+		{Kind: recSweep, Sweep: id, Spec: &spec},
+		{Kind: recFailed, Sweep: id, Cell: cell, Reason: "first attempt"},
+		{Kind: recDone, Sweep: id, Cell: cell, Stats: &st},
+		{Kind: recDone, Sweep: id, Cell: cell, Stats: &st}, // idempotent duplicate
+		{Kind: recFailed, Sweep: id, Cell: cell, Reason: "late straggler"},
+	} {
+		if err := l.Append(r); err != nil {
+			t.Fatalf("append: %v", err)
+		}
+	}
+	l.Close()
+
+	l2, rp, err := OpenLedger(LedgerPath(dir))
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer l2.Close()
+	if _, failed := rp.Failed[id][cell]; failed {
+		t.Errorf("cell still failed after a done record")
+	}
+	if got := rp.Done[id][cell]; got != st {
+		t.Errorf("done stats = %+v, want %+v", got, st)
+	}
+	if rp.DuplicateDone != 1 {
+		t.Errorf("duplicate done = %d, want 1", rp.DuplicateDone)
+	}
+}
+
+func TestLedgerTornTailTruncated(t *testing.T) {
+	dir := t.TempDir()
+	spec := testSweep(t)
+	id := spec.ID()
+	cell := spec.Cells()[0].ID
+
+	path := LedgerPath(dir)
+	l, _, err := OpenLedger(path)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	if err := l.Append(LedgerRecord{Kind: recSweep, Sweep: id, Spec: &spec}); err != nil {
+		t.Fatalf("append: %v", err)
+	}
+	if err := l.Append(LedgerRecord{Kind: recLease, Sweep: id, Cell: cell, Worker: "w"}); err != nil {
+		t.Fatalf("append: %v", err)
+	}
+	l.Close()
+
+	// Tear the final record mid-line, as a crash mid-write would.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if err := os.WriteFile(path, raw[:len(raw)-7], 0o644); err != nil {
+		t.Fatalf("tear: %v", err)
+	}
+
+	l2, rp, err := OpenLedger(path)
+	if err != nil {
+		t.Fatalf("reopen torn: %v", err)
+	}
+	if l2.Truncated != 1 {
+		t.Errorf("truncated = %d, want 1", l2.Truncated)
+	}
+	if rp.Leases != 0 {
+		t.Errorf("torn lease record survived replay")
+	}
+	if _, ok := rp.Sweeps[id]; !ok {
+		t.Errorf("intact sweep record lost with the torn tail")
+	}
+	// The repaired log must accept appends and replay cleanly.
+	if err := l2.Append(LedgerRecord{Kind: recLease, Sweep: id, Cell: cell, Worker: "w2"}); err != nil {
+		t.Fatalf("append after repair: %v", err)
+	}
+	l2.Close()
+	l3, rp3, err := OpenLedger(path)
+	if err != nil {
+		t.Fatalf("reopen repaired: %v", err)
+	}
+	defer l3.Close()
+	if l3.Truncated != 0 || rp3.Leases != 1 {
+		t.Errorf("repaired log: truncated=%d leases=%d, want 0 and 1", l3.Truncated, rp3.Leases)
+	}
+}
+
+func TestLedgerCorruptMiddleStopsReplayAtDamage(t *testing.T) {
+	// Corruption strictly before the tail still truncates from the first
+	// damaged record: everything after it is untrustworthy.
+	dir := t.TempDir()
+	spec := testSweep(t)
+	id := spec.ID()
+	path := LedgerPath(dir)
+	l, _, err := OpenLedger(path)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := l.Append(LedgerRecord{Kind: recLease, Sweep: id, Cell: spec.Cells()[0].ID, Worker: "w"}); err != nil {
+			t.Fatalf("append: %v", err)
+		}
+	}
+	l.Close()
+	raw, _ := os.ReadFile(path)
+	lines := strings.SplitAfter(string(raw), "\n")
+	// Flip payload bytes without touching the stored CRC: the envelope's
+	// checksum no longer matches, so the record must be rejected.
+	lines[1] = strings.Replace(lines[1], `"kind":"lease"`, `"kind":"leaze"`, 1)
+	os.WriteFile(path, []byte(strings.Join(lines, "")), 0o644)
+
+	l2, rp, err := OpenLedger(path)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer l2.Close()
+	if rp.Leases != 1 {
+		t.Errorf("replayed %d leases past the damage, want 1", rp.Leases)
+	}
+	if l2.Truncated != 2 {
+		t.Errorf("truncated = %d, want 2 (damaged record and everything after)", l2.Truncated)
+	}
+}

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"bytes"
 	"os"
 	"path/filepath"
 	"testing"
@@ -133,6 +134,108 @@ func TestStoreTornTailTruncated(t *testing.T) {
 	if _, ok := s3.Get("j3"); !ok {
 		t.Fatalf("post-repair record lost")
 	}
+}
+
+// damageTail writes two records, lets damage mutate the raw log bytes,
+// and then asserts the full repair contract: exactly the final record
+// is dropped, the first survives, the repaired log accepts appends, and
+// a third open finds no damage left.
+func damageTail(t *testing.T, name string, damage func(data []byte, lastLine int) []byte) {
+	t.Helper()
+	t.Run(name, func(t *testing.T) {
+		path := StorePath(t.TempDir())
+		s, err := OpenStore(path)
+		if err != nil {
+			t.Fatalf("OpenStore: %v", err)
+		}
+		spec := testSpec()
+		s.Append(JobStatus{ID: "j1", Key: "k1", State: StateQueued, Spec: spec})
+		s.Append(JobStatus{ID: "j2", Key: "k2", State: StateQueued, Spec: spec})
+		s.Close()
+
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("read log: %v", err)
+		}
+		lastLine := bytes.LastIndexByte(data[:len(data)-1], '\n') + 1
+		if err := os.WriteFile(path, damage(data, lastLine), 0o644); err != nil {
+			t.Fatalf("damage log: %v", err)
+		}
+
+		s2, err := OpenStore(path)
+		if err != nil {
+			t.Fatalf("reopen damaged log: %v", err)
+		}
+		if s2.Truncated != 1 {
+			t.Errorf("Truncated = %d, want exactly the final record", s2.Truncated)
+		}
+		if _, ok := s2.Get("j1"); !ok {
+			t.Errorf("intact record lost with the damaged tail")
+		}
+		if _, ok := s2.Get("j2"); ok {
+			t.Errorf("damaged record replayed")
+		}
+		if err := s2.Append(JobStatus{ID: "j3", Key: "k3", State: StateQueued, Spec: spec}); err != nil {
+			t.Fatalf("Append after repair: %v", err)
+		}
+		s2.Close()
+
+		s3, err := OpenStore(path)
+		if err != nil {
+			t.Fatalf("clean reopen: %v", err)
+		}
+		defer s3.Close()
+		if s3.Truncated != 0 {
+			t.Errorf("log still damaged after repair: Truncated = %d", s3.Truncated)
+		}
+		if _, ok := s3.Get("j1"); !ok {
+			t.Errorf("first record lost across repair")
+		}
+		if _, ok := s3.Get("j3"); !ok {
+			t.Errorf("post-repair record lost")
+		}
+	})
+}
+
+// TestStoreTornTailAtEnvelopeBoundary drives the torn-tail repair with
+// damage that lands on the CRC envelope's own framing, not inside the
+// job payload: a crash can tear a line anywhere, including mid-way
+// through `{"crc":` or across the `,"rec":` seam, and the repair must
+// behave identically wherever the tear lands.
+func TestStoreTornTailAtEnvelopeBoundary(t *testing.T) {
+	// Torn inside the `{"crc":NNN` prefix: the final line dies before its
+	// checksum is even complete (and has no trailing newline).
+	damageTail(t, "inside-crc-prefix", func(data []byte, lastLine int) []byte {
+		return data[:lastLine+len(`{"crc":12`)]
+	})
+	// Corruption straddling the `,"rec":` boundary between the checksum
+	// and the protected payload, newline intact: the key no longer
+	// parses as "rec", so the envelope carries no payload and the CRC
+	// cannot match.
+	damageTail(t, "across-rec-seam", func(data []byte, lastLine int) []byte {
+		seam := bytes.Index(data[lastLine:], []byte(`,"rec":`))
+		if seam < 0 {
+			t.Fatalf("envelope seam not found in %q", data[lastLine:])
+		}
+		copy(data[lastLine+seam:], `,"rxc":`)
+		return data
+	})
+	// The payload's final bytes and the envelope's closing braces
+	// overwritten, newline intact: invalid JSON on the last line only.
+	damageTail(t, "closing-braces", func(data []byte, lastLine int) []byte {
+		copy(data[len(data)-4:], "xyz")
+		return data
+	})
+	// Torn exactly at the envelope boundary: the final line is just
+	// `{"crc":` and nothing else — checksum present, payload never
+	// written.
+	damageTail(t, "crc-only", func(data []byte, lastLine int) []byte {
+		end := bytes.Index(data[lastLine:], []byte(`,"rec":`))
+		if end < 0 {
+			t.Fatalf("envelope seam not found")
+		}
+		return data[:lastLine+end]
+	})
 }
 
 func TestStoreCorruptPayloadRejected(t *testing.T) {

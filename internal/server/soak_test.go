@@ -20,7 +20,6 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
-	"runtime"
 	"strings"
 	"sync"
 	"testing"
@@ -30,13 +29,16 @@ import (
 	"rvpsim/internal/exp"
 	"rvpsim/internal/faultinject"
 	"rvpsim/internal/server"
+	"rvpsim/internal/testutil/leak"
 )
 
 func TestSoakConcurrentClientsWithFaults(t *testing.T) {
 	if testing.Short() {
 		t.Skip("soak test skipped in -short mode")
 	}
-	goroutinesBefore := runtime.NumGoroutine()
+	// Goroutine-leak check: everything the daemon starts must be gone
+	// after Close.
+	leak.Check(t)
 
 	srv, err := server.New(server.Config{
 		StateDir:     t.TempDir(),
@@ -221,21 +223,5 @@ func TestSoakConcurrentClientsWithFaults(t *testing.T) {
 	ts.Close()
 	if err := srv.Close(); err != nil {
 		t.Fatalf("Close: %v", err)
-	}
-
-	// Goroutine-leak check: everything the daemon started must be gone.
-	deadline := time.Now().Add(5 * time.Second)
-	for {
-		runtime.GC()
-		if n := runtime.NumGoroutine(); n <= goroutinesBefore+2 {
-			break
-		}
-		if time.Now().After(deadline) {
-			buf := make([]byte, 1<<16)
-			n := runtime.Stack(buf, true)
-			t.Fatalf("goroutines leaked: %d before, %d after\n%s",
-				goroutinesBefore, runtime.NumGoroutine(), buf[:n])
-		}
-		time.Sleep(50 * time.Millisecond)
 	}
 }
