@@ -14,13 +14,12 @@ import (
 	"encoding/gob"
 	"fmt"
 	"hash/crc64"
-	"io"
-	"os"
 	"path/filepath"
 
 	"rvpsim/internal/core"
 	"rvpsim/internal/pipeline"
 	"rvpsim/internal/simerr"
+	"rvpsim/internal/vfs"
 )
 
 // magic identifies a checkpoint file. Version is separate so readers can
@@ -95,59 +94,77 @@ func Decode(data []byte) (*pipeline.Snapshot, error) {
 	return &snap, nil
 }
 
-// Save writes a snapshot to path atomically: the container is written
-// and fsync'd to a temp file in the same directory, then renamed over
-// path. Readers therefore always see either the previous checkpoint or
-// the new one, never a torn mix.
-func Save(path string, snap *pipeline.Snapshot) error {
-	data, err := Encode(snap)
-	if err != nil {
-		return err
+// Verify checks the container's structure — magic, version, geometry,
+// payload CRC — without gob-decoding the payload. It is what `rvpadmin
+// fsck` runs over every checkpoint: cheap, and independent of the gob
+// type registry. Damage wraps simerr.ErrCorrupt.
+func Verify(data []byte) error {
+	corrupt := func(format string, args ...any) error {
+		return simerr.New("checkpoint", fmt.Errorf(format+": %w", append(args, simerr.ErrCorrupt)...))
 	}
-	dir := filepath.Dir(path)
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return simerr.New("checkpoint", err)
+	if len(data) < headerSize {
+		return corrupt("truncated header (%d bytes)", len(data))
 	}
-	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
-	if err != nil {
-		return simerr.New("checkpoint", err)
+	if !bytes.Equal(data[:8], magic[:]) {
+		return corrupt("bad magic")
 	}
-	defer os.Remove(tmp.Name()) // no-op after a successful rename
-	if _, err := tmp.Write(data); err != nil {
-		tmp.Close()
-		return simerr.New("checkpoint", err)
+	if v := binary.LittleEndian.Uint32(data[8:12]); v != Version {
+		return corrupt("unsupported version %d (want %d)", v, Version)
 	}
-	if err := tmp.Sync(); err != nil {
-		tmp.Close()
-		return simerr.New("checkpoint", err)
+	n := binary.LittleEndian.Uint64(data[12:20])
+	want := binary.LittleEndian.Uint64(data[20:28])
+	payload := data[headerSize:]
+	if uint64(len(payload)) != n {
+		return corrupt("payload is %d bytes, header says %d", len(payload), n)
 	}
-	if err := tmp.Close(); err != nil {
-		return simerr.New("checkpoint", err)
-	}
-	if err := os.Rename(tmp.Name(), path); err != nil {
-		return simerr.New("checkpoint", err)
-	}
-	// Best-effort directory sync so the rename itself is durable.
-	if d, err := os.Open(dir); err == nil {
-		d.Sync()
-		d.Close()
+	if got := crc64.Checksum(payload, crcTable); got != want {
+		return corrupt("payload checksum %#x, header says %#x", got, want)
 	}
 	return nil
 }
 
-// Load reads and validates the checkpoint at path. A missing file is
-// reported as the underlying fs error (check with os.IsNotExist /
+// Save writes a snapshot to path atomically via the OS filesystem.
+func Save(path string, snap *pipeline.Snapshot) error {
+	return SaveFS(vfs.OS, path, snap)
+}
+
+// SaveFS writes a snapshot to path atomically through fsys: the
+// container is written and fsync'd to a temp file in the same
+// directory, renamed over path, and the directory entry is fsync'd.
+// Readers therefore always see either the previous checkpoint or the
+// new one, never a torn mix — and the new one only once it would
+// survive a crash. Every failure (including the directory fsync, whose
+// loss would let a crash resurrect the old checkpoint after the save
+// was acknowledged) fails the save, and no temp file is left behind on
+// any error path, so retries don't litter the state dir.
+func SaveFS(fsys vfs.FS, path string, snap *pipeline.Snapshot) error {
+	data, err := Encode(snap)
+	if err != nil {
+		return err
+	}
+	if err := fsys.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return simerr.New("checkpoint", err)
+	}
+	if err := vfs.WriteFileAtomic(fsys, path, data, 0o644); err != nil {
+		return simerr.New("checkpoint", err)
+	}
+	return nil
+}
+
+// Load reads and validates the checkpoint at path via the OS
+// filesystem.
+func Load(path string) (*pipeline.Snapshot, error) {
+	return LoadFS(vfs.OS, path)
+}
+
+// LoadFS reads and validates the checkpoint at path through fsys. A
+// missing file is reported as the underlying fs error (check with
 // errors.Is(err, fs.ErrNotExist)); a damaged file wraps
 // simerr.ErrCorrupt.
-func Load(path string) (*pipeline.Snapshot, error) {
-	f, err := os.Open(path)
+func LoadFS(fsys vfs.FS, path string) (*pipeline.Snapshot, error) {
+	data, err := vfs.ReadFile(fsys, path)
 	if err != nil {
 		return nil, err
-	}
-	defer f.Close()
-	data, err := io.ReadAll(f)
-	if err != nil {
-		return nil, simerr.New("checkpoint", err)
 	}
 	return Decode(data)
 }

@@ -372,6 +372,68 @@ func (c *Client) SubmitAndWait(ctx context.Context, spec exp.JobSpec, key string
 	return c.Wait(ctx, st.ID, poll)
 }
 
+// RegisterWorker announces a worker's base URL to a fleet coordinator
+// (the Client's base must point at the coordinator). Registration is
+// idempotent on the coordinator side, so the call retries with the same
+// backoff schedule as Submit until the coordinator accepts or a
+// permanent 4xx says the URL itself is bad. Daemons use this to
+// self-advertise on startup (rvpd -advertise) while the coordinator may
+// still be coming up.
+func (c *Client) RegisterWorker(ctx context.Context, workerURL string) error {
+	if c.maxElapsed > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, c.maxElapsed)
+		defer cancel()
+	}
+	body, err := json.Marshal(map[string]string{"url": workerURL})
+	if err != nil {
+		return err
+	}
+	var lastErr error
+	lastStatus := 0
+	for attempt := 0; attempt < c.attempts; attempt++ {
+		if attempt > 0 {
+			if err := c.sleep(ctx, attempt-1, retryAfterHint(lastErr)); err != nil {
+				return err
+			}
+		}
+		status, err := c.tryRegister(ctx, body)
+		switch {
+		case err == nil:
+			c.log.Info("worker registered", "worker", workerURL, "coordinator", c.base,
+				"attempt", attempt+1)
+			return nil
+		case ctx.Err() != nil:
+			return ctx.Err()
+		case !retryable(status, err):
+			c.log.Warn("worker registration rejected permanently", "status", status, "error", err)
+			return err
+		}
+		c.log.Debug("worker registration failed; backing off", "attempt", attempt+1,
+			"status", status, "error", err)
+		lastErr, lastStatus = err, status
+	}
+	return &RetryableError{Attempts: c.attempts, LastStatus: lastStatus, Last: lastErr}
+}
+
+func (c *Client) tryRegister(ctx context.Context, body []byte) (int, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/workers", bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusOK || resp.StatusCode == http.StatusAccepted {
+		_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 4<<10))
+		return resp.StatusCode, nil
+	}
+	return resp.StatusCode, decodeError(resp)
+}
+
 // CheckEndpoint GETs one of the daemon's plumbing endpoints (/healthz,
 // /readyz, /metrics) and returns its body, failing on non-200.
 func (c *Client) CheckEndpoint(ctx context.Context, path string) (string, error) {

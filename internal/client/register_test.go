@@ -1,0 +1,69 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestRegisterWorkerRetriesUntilCoordinatorUp: registration survives a
+// coordinator that is still coming up (503s), sends the worker URL
+// verbatim, and stops on acceptance.
+func TestRegisterWorkerRetriesUntilCoordinatorUp(t *testing.T) {
+	var calls atomic.Int64
+	var gotURL atomic.Value
+	coord := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost || r.URL.Path != "/v1/workers" {
+			t.Errorf("unexpected request: %s %s", r.Method, r.URL.Path)
+		}
+		if calls.Add(1) < 3 {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			return
+		}
+		var body struct {
+			URL string `json:"url"`
+		}
+		_ = json.NewDecoder(r.Body).Decode(&body)
+		gotURL.Store(body.URL)
+		w.WriteHeader(http.StatusOK)
+		_ = json.NewEncoder(w).Encode(map[string]string{"registered": body.URL})
+	}))
+	defer coord.Close()
+
+	c := New(coord.URL,
+		WithBackoff(Backoff{Base: time.Millisecond, Max: 5 * time.Millisecond, Factor: 2}),
+		WithSeed(1))
+	if err := c.RegisterWorker(context.Background(), "http://127.0.0.1:9999"); err != nil {
+		t.Fatalf("RegisterWorker: %v", err)
+	}
+	if n := calls.Load(); n != 3 {
+		t.Fatalf("coordinator saw %d attempts, want 3", n)
+	}
+	if got := gotURL.Load(); got != "http://127.0.0.1:9999" {
+		t.Fatalf("registered URL %v", got)
+	}
+}
+
+// TestRegisterWorkerPermanentRejection: a 400 (bad worker URL) is not
+// retried.
+func TestRegisterWorkerPermanentRejection(t *testing.T) {
+	var calls atomic.Int64
+	coord := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusBadRequest)
+		_ = json.NewEncoder(w).Encode(map[string]string{"error": "bad url"})
+	}))
+	defer coord.Close()
+
+	c := New(coord.URL, WithBackoff(Backoff{Base: time.Millisecond, Max: 5 * time.Millisecond, Factor: 2}))
+	if err := c.RegisterWorker(context.Background(), "not-a-url"); err == nil {
+		t.Fatalf("bad URL registered successfully")
+	}
+	if n := calls.Load(); n != 1 {
+		t.Fatalf("permanent rejection retried: %d attempts", n)
+	}
+}

@@ -15,7 +15,6 @@ import (
 	"context"
 	"errors"
 	"io/fs"
-	"os"
 	"runtime"
 	"sync"
 	"time"
@@ -29,6 +28,8 @@ import (
 	"rvpsim/internal/program"
 	"rvpsim/internal/simerr"
 	"rvpsim/internal/stats"
+	"rvpsim/internal/vfs"
+	"rvpsim/internal/wal"
 	"rvpsim/internal/workloads"
 )
 
@@ -99,6 +100,14 @@ type Options struct {
 	// ProgressEvery is the OnProgress cadence in committed instructions
 	// (default 100_000 when OnProgress is set).
 	ProgressEvery uint64
+	// FS is the filesystem seam all of the runner's durability I/O —
+	// the sweep journal and run checkpoints — goes through. Nil means
+	// the real filesystem; tests inject vfs.Mem/vfs.Fault to simulate
+	// hostile storage.
+	FS vfs.FS
+	// WALMetrics, when non-nil, receives the journal's wal_* instrument
+	// updates (appends, fsync latency, repairs).
+	WALMetrics *wal.Metrics
 	// OnCheckpoint, when non-nil, is called with a "workload/predictor"
 	// label after each periodic checkpoint is durably saved. Same
 	// concurrency contract as OnProgress.
@@ -146,6 +155,19 @@ func NewRunner(opts Options) *Runner {
 		injectors: map[string]*faultinject.Injector{},
 	}
 }
+
+// fsys is the runner's filesystem seam (the real filesystem unless
+// Options.FS injects another).
+func (r *Runner) fsys() vfs.FS {
+	if r.opts.FS != nil {
+		return r.opts.FS
+	}
+	return vfs.OS
+}
+
+// removeQuiet deletes a redundant or rejected checkpoint; failure is
+// harmless (the file is re-validated or overwritten on next use).
+func removeQuiet(fsys vfs.FS, path string) { _ = fsys.Remove(path) }
 
 // injector returns the memoised fault injector for a workload, nil when
 // none is configured. One injector per workload persists across every
@@ -212,7 +234,7 @@ func (r *Runner) EnableResume() error {
 	if r.opts.StateDir == "" {
 		return nil
 	}
-	j, err := OpenJournal(JournalPath(r.opts.StateDir))
+	j, err := OpenJournalFS(JournalPath(r.opts.StateDir), r.opts.FS, r.opts.WALMetrics)
 	if err != nil {
 		return err
 	}
@@ -342,7 +364,7 @@ func (r *Runner) runOn(scope string, p *program.Program, cfg pipeline.Config, pr
 			return
 		}
 		sim.SetCheckpoint(r.opts.CheckpointEvery, func(snap *pipeline.Snapshot) error {
-			if err := checkpoint.Save(ckptPath, snap); err != nil {
+			if err := checkpoint.SaveFS(r.fsys(), ckptPath, snap); err != nil {
 				return err
 			}
 			r.count("exp_ckpt_saves", "periodic run checkpoints written")
@@ -362,7 +384,7 @@ func (r *Runner) runOn(scope string, p *program.Program, cfg pipeline.Config, pr
 	defer func() { sp.EndErr(err) }()
 	ran := false
 	if canCkpt {
-		snap, lerr := checkpoint.Load(ckptPath)
+		snap, lerr := checkpoint.LoadFS(r.fsys(), ckptPath)
 		switch {
 		case lerr == nil:
 			if sim, err = newSim(); err != nil {
@@ -377,7 +399,7 @@ func (r *Runner) runOn(scope string, p *program.Program, cfg pipeline.Config, pr
 				// run the cell from scratch.
 				r.warn("checkpoint for %s rejected (%v); re-running cell from scratch", key, lerr2str(err))
 				r.count("exp_ckpt_corrupt", "checkpoints discarded as damaged or mismatched")
-				os.Remove(ckptPath)
+				removeQuiet(r.fsys(), ckptPath)
 				_ = ckptable.RestoreState(pristine)
 			} else {
 				ran = true
@@ -388,7 +410,7 @@ func (r *Runner) runOn(scope string, p *program.Program, cfg pipeline.Config, pr
 		default:
 			r.warn("checkpoint for %s unreadable (%v); re-running cell from scratch", key, lerr2str(lerr))
 			r.count("exp_ckpt_corrupt", "checkpoints discarded as damaged or mismatched")
-			os.Remove(ckptPath)
+			removeQuiet(r.fsys(), ckptPath)
 		}
 	}
 	if !ran {
@@ -404,7 +426,7 @@ func (r *Runner) runOn(scope string, p *program.Program, cfg pipeline.Config, pr
 		// up mid-stream instead of starting over.
 		if canCkpt && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
 			if snap, serr := sim.Snapshot(); serr == nil {
-				if werr := checkpoint.Save(ckptPath, snap); werr == nil {
+				if werr := checkpoint.SaveFS(r.fsys(), ckptPath, snap); werr == nil {
 					r.count("exp_ckpt_saves", "periodic run checkpoints written")
 				}
 			}
@@ -420,7 +442,7 @@ func (r *Runner) runOn(scope string, p *program.Program, cfg pipeline.Config, pr
 		r.count("exp_journal_appends", "sweep cells appended to the journal")
 	}
 	if canCkpt {
-		os.Remove(ckptPath)
+		removeQuiet(r.fsys(), ckptPath)
 	}
 	if r.opts.OnRunDone != nil {
 		r.opts.OnRunDone(label)

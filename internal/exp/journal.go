@@ -1,45 +1,37 @@
 package exp
 
 import (
-	"bytes"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
-	"hash/crc32"
-	"io"
-	"os"
 	"path/filepath"
 	"sync"
 
 	"rvpsim/internal/pipeline"
 	"rvpsim/internal/simerr"
+	"rvpsim/internal/vfs"
+	"rvpsim/internal/wal"
 )
 
 // Journal is the write-ahead results log for a sweep: every finished
 // cell (one workload × predictor × experiment simulation run) is
 // appended — and fsync'd — before its result enters any table, so a
-// crash can lose at most the in-flight runs. Records are JSON lines,
-// each wrapped in a checksum envelope; on open, a torn or corrupt tail
-// (the signature of a crash mid-append) is detected and truncated away,
-// never fatal. Completed cells found in the journal are replayed from it
-// instead of re-simulated.
+// crash can lose at most the in-flight runs. Completed cells found in
+// the journal are replayed from it instead of re-simulated.
+//
+// The durability mechanics — CRC envelope, fsync-per-append, torn-tail
+// repair on open, interior-corruption refusal — live in internal/wal;
+// this type is the sweep-shaped layer on top. The on-disk format is
+// unchanged from the pre-engine journal, so old state dirs resume.
 type Journal struct {
 	mu   sync.Mutex
-	f    *os.File
+	w    *wal.WAL
 	done map[string]pipeline.Stats
 
 	// Truncated reports how many damaged tail records were dropped when
 	// the journal was opened.
 	Truncated int
-}
-
-// journalEnvelope is one line on disk: Rec's exact bytes are protected
-// by CRC-32 (IEEE), so a torn write or bit flip in either field fails
-// validation.
-type journalEnvelope struct {
-	CRC uint32          `json:"crc"`
-	Rec json.RawMessage `json:"rec"`
 }
 
 // journalRecord is the payload: which cell finished and its result.
@@ -48,76 +40,33 @@ type journalRecord struct {
 	Stats pipeline.Stats `json:"stats"`
 }
 
-// OpenJournal opens (creating if absent) the journal at path and replays
-// every valid record. The first damaged record and everything after it
-// are truncated from the file; the count of dropped records is available
-// as Journal.Truncated.
-func OpenJournal(path string) (*Journal, error) {
-	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
-		return nil, simerr.New("journal", err)
-	}
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
-	if err != nil {
-		return nil, simerr.New("journal", err)
-	}
-	j := &Journal{f: f, done: map[string]pipeline.Stats{}}
+// OpenJournal opens (creating if absent) the journal at path and
+// replays every valid record, via the real filesystem. A torn tail is
+// repaired and counted in Journal.Truncated; interior damage is a typed
+// error (see internal/wal).
+func OpenJournal(path string) (*Journal, error) { return OpenJournalFS(path, nil, nil) }
 
-	data, err := io.ReadAll(f)
-	if err != nil {
-		f.Close()
-		return nil, simerr.New("journal", err)
-	}
-	// Writers always terminate records with '\n', so an unterminated
-	// final line is by definition a torn write.
-	valid := 0 // byte offset past the last valid record
-	for valid < len(data) {
-		nl := bytes.IndexByte(data[valid:], '\n')
-		if nl < 0 {
-			break
+// OpenJournalFS is OpenJournal through an explicit filesystem seam (nil
+// means vfs.OS) with optional wal metrics.
+func OpenJournalFS(path string, fsys vfs.FS, met *wal.Metrics) (*Journal, error) {
+	j := &Journal{done: map[string]pipeline.Stats{}}
+	w, err := wal.Open(path, wal.Options{FS: fsys, Name: "journal", Metrics: met}, func(raw json.RawMessage) error {
+		var rec journalRecord
+		if err := json.Unmarshal(raw, &rec); err != nil {
+			return err
 		}
-		rec, ok := parseJournalLine(data[valid : valid+nl])
-		if !ok {
-			break
+		if rec.Key == "" {
+			return simerr.Newf("journal", "record with empty cell key")
 		}
 		j.done[rec.Key] = rec.Stats
-		valid += nl + 1
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	if valid < len(data) {
-		// Count what is being dropped: the bad record plus anything after
-		// it (replay must not resume past a hole in the log).
-		j.Truncated = 1 + bytes.Count(data[valid:], []byte{'\n'})
-		if data[len(data)-1] == '\n' {
-			j.Truncated--
-		}
-	}
-	if err := f.Truncate(int64(valid)); err != nil {
-		f.Close()
-		return nil, simerr.New("journal", err)
-	}
-	if _, err := f.Seek(int64(valid), io.SeekStart); err != nil {
-		f.Close()
-		return nil, simerr.New("journal", err)
-	}
+	j.w = w
+	j.Truncated = w.Truncated
 	return j, nil
-}
-
-// parseJournalLine validates one envelope line.
-func parseJournalLine(line []byte) (journalRecord, bool) {
-	var rec journalRecord
-	if len(bytes.TrimSpace(line)) == 0 {
-		return rec, false
-	}
-	var env journalEnvelope
-	if err := json.Unmarshal(line, &env); err != nil {
-		return rec, false
-	}
-	if crc32.ChecksumIEEE(env.Rec) != env.CRC {
-		return rec, false
-	}
-	if err := json.Unmarshal(env.Rec, &rec); err != nil || rec.Key == "" {
-		return rec, false
-	}
-	return rec, true
 }
 
 // Lookup reports the journaled result for a cell, if present.
@@ -139,32 +88,20 @@ func (j *Journal) Len() int {
 // the write-ahead guarantee: the result is durable before any table
 // aggregation sees it.
 func (j *Journal) Record(key string, st pipeline.Stats) error {
-	rec, err := json.Marshal(journalRecord{Key: key, Stats: st})
-	if err != nil {
-		return simerr.New("journal", err)
-	}
-	line, err := json.Marshal(journalEnvelope{CRC: crc32.ChecksumIEEE(rec), Rec: rec})
-	if err != nil {
-		return simerr.New("journal", err)
-	}
-	line = append(line, '\n')
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	if _, err := j.f.Write(line); err != nil {
-		return simerr.New("journal", err)
-	}
-	if err := j.f.Sync(); err != nil {
-		return simerr.New("journal", err)
+	if err := j.w.Append(journalRecord{Key: key, Stats: st}); err != nil {
+		return err
 	}
 	j.done[key] = st
 	return nil
 }
 
-// Close closes the underlying file.
+// Close closes the underlying log.
 func (j *Journal) Close() error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	return j.f.Close()
+	return j.w.Close()
 }
 
 // runKey names one sweep cell: scope, workload, predictor, and a digest

@@ -1,0 +1,31 @@
+package exp
+
+import (
+	"testing"
+
+	"rvpsim/internal/vfs"
+	"rvpsim/internal/wal/waltest"
+)
+
+// TestJournalTornTailMatrix runs the shared torn/corrupt-tail
+// conformance matrix against the sweep journal, identical to the job
+// store's and cell ledger's runs.
+func TestJournalTornTailMatrix(t *testing.T) {
+	waltest.Run(t, "/state/journal.jsonl", waltest.Store{
+		Records: func(n int) []any {
+			out := make([]any, n)
+			for i := range out {
+				out[i] = journalRecord{Key: waltest.Fmt("cell", i)}
+			}
+			return out
+		},
+		Open: func(fsys vfs.FS, path string) (int, int, error) {
+			j, err := OpenJournalFS(path, fsys, nil)
+			if err != nil {
+				return 0, 0, err
+			}
+			defer j.Close()
+			return j.Len(), j.Truncated, nil
+		},
+	})
+}

@@ -3,10 +3,13 @@ package fleet
 import (
 	"context"
 	"encoding/json"
+	"errors"
+	"fmt"
 	"io"
 	"log/slog"
 	"net/http"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"rvpsim/internal/client"
@@ -14,6 +17,8 @@ import (
 	"rvpsim/internal/pipeline"
 	"rvpsim/internal/server"
 	"rvpsim/internal/simerr"
+	"rvpsim/internal/vfs"
+	"rvpsim/internal/wal"
 )
 
 // Config sizes the coordinator. Zero values take the documented
@@ -56,6 +61,13 @@ type Config struct {
 	Registry *obs.Registry
 	// Logger receives structured lifecycle logs; nil discards them.
 	Logger *slog.Logger
+	// FS is the filesystem seam the cell ledger goes through. Nil means
+	// the real filesystem; tests inject vfs.Mem/vfs.Fault to simulate
+	// hostile storage.
+	FS vfs.FS
+	// StorageProbeEvery is how often a storage-degraded coordinator
+	// probes the disk for recovery (default 2s).
+	StorageProbeEvery time.Duration
 }
 
 func (c *Config) setDefaults() error {
@@ -95,8 +107,16 @@ func (c *Config) setDefaults() error {
 	if c.Logger == nil {
 		c.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
+	if c.StorageProbeEvery <= 0 {
+		c.StorageProbeEvery = 2 * time.Second
+	}
 	return nil
 }
+
+// ErrStorageDegraded is returned by SubmitSweep while the coordinator
+// cannot persist ledger appends: the HTTP layer maps it to 503 +
+// Retry-After so clients back off instead of losing sweeps.
+var ErrStorageDegraded = errors.New("fleet: storage degraded, not accepting sweeps")
 
 // Cell states inside the coordinator.
 const (
@@ -201,11 +221,20 @@ type Coordinator struct {
 	worder  []string
 	leases  map[string]*cellState // sweepID+"/"+cellID -> leased cells only
 
+	// storageDegraded is set when a ledger append fails: the
+	// coordinator stops admitting sweeps (503 + Retry-After, /readyz
+	// not ready) instead of crashing, keeps already-admitted cells
+	// schedulable, and the janitor's probe clears the flag when the
+	// disk takes durable writes again.
+	storageDegraded atomic.Bool
+
 	mLeases, mExpiries, mSteals     *obs.Counter
 	mCellsDone, mCellsFailed        *obs.Counter
 	mCellRetries, mDispatchErrors   *obs.Counter
+	mShedStorage                    *obs.Counter
 	gWorkersLive, gWorkersTotal     *obs.Gauge
 	gReady, gLeased, gDone, gFailed *obs.Gauge
+	gStorageDegraded                *obs.Gauge
 }
 
 // Open opens the state directory, replays the cell ledger — finished
@@ -217,7 +246,7 @@ func Open(cfg Config) (*Coordinator, error) {
 	if err := cfg.setDefaults(); err != nil {
 		return nil, err
 	}
-	ledger, rp, err := OpenLedger(LedgerPath(cfg.StateDir))
+	ledger, rp, err := OpenLedgerFS(LedgerPath(cfg.StateDir), cfg.FS, wal.NewMetrics(cfg.Registry))
 	if err != nil {
 		return nil, err
 	}
@@ -293,13 +322,31 @@ func (c *Coordinator) initMetrics() {
 	c.mCellsFailed = c.reg.Counter("fleet_cells_failed_total", "cells committed to the ledger as failed")
 	c.mCellRetries = c.reg.Counter("fleet_cell_retries_total", "failed cell attempts returned to the ready set")
 	c.mDispatchErrors = c.reg.Counter("fleet_dispatch_errors_total", "dispatches abandoned on transport/submission errors")
+	c.mShedStorage = c.reg.Counter("fleet_shed_storage_total", "sweep submissions shed while storage-degraded (503)")
 	c.gWorkersLive = c.reg.Gauge("fleet_workers_live", "registered workers currently answering /readyz")
 	c.gWorkersTotal = c.reg.Gauge("fleet_workers_total", "registered workers")
 	c.gReady = c.reg.Gauge("fleet_cells_ready", "cells waiting for a worker")
 	c.gLeased = c.reg.Gauge("fleet_cells_leased", "cells currently leased to workers")
 	c.gDone = c.reg.Gauge("fleet_cells_done", "cells finished successfully")
 	c.gFailed = c.reg.Gauge("fleet_cells_failed", "cells terminally failed")
+	c.gStorageDegraded = c.reg.Gauge("fleet_storage_degraded", "1 while ledger appends are failing and sweep admission is shed")
 }
+
+// noteStorageFailure flips the coordinator into storage-degraded mode
+// after a failed ledger append: sweep admission sheds with 503 while
+// already-admitted cells stay schedulable (their leases and results
+// simply wait for a durable ledger), and the janitor's probe restores
+// service when the disk recovers.
+func (c *Coordinator) noteStorageFailure(err error) {
+	if c.storageDegraded.CompareAndSwap(false, true) {
+		c.gStorageDegraded.Set(1)
+		c.log.Error("storage degraded: ledger append failed; shedding sweep admission until the disk recovers", "error", err)
+	}
+}
+
+// StorageDegraded reports whether the coordinator is currently shedding
+// sweep admission because its ledger cannot take durable appends.
+func (c *Coordinator) StorageDegraded() bool { return c.storageDegraded.Load() }
 
 // newSweepLocked builds the sweep state with every cell ready, in
 // digest order. Caller holds c.mu (or is single-threaded in Open).
@@ -404,10 +451,18 @@ func (c *Coordinator) SubmitSweep(spec SweepSpec) (SweepStatus, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if _, ok := c.sweeps[id]; !ok {
+		// Admission requires a durable ledger; resubmitting a known
+		// sweep is still answered from memory while degraded.
+		if c.storageDegraded.Load() {
+			c.mShedStorage.Inc()
+			return SweepStatus{}, ErrStorageDegraded
+		}
 		// Write-ahead: the sweep is durable before it is acknowledged.
 		sp := spec
 		if err := c.ledger.Append(LedgerRecord{Kind: recSweep, Sweep: id, Spec: &sp}); err != nil {
-			return SweepStatus{}, err
+			c.noteStorageFailure(err)
+			c.mShedStorage.Inc()
+			return SweepStatus{}, fmt.Errorf("%w: %w", ErrStorageDegraded, err)
 		}
 		sw := c.newSweepLocked(id, spec)
 		c.refreshGauges()
@@ -482,7 +537,9 @@ func (c *Coordinator) Stop() {
 		c.baseCancel()
 	})
 	c.wg.Wait()
-	c.ledger.Close()
+	if err := c.ledger.Close(); err != nil {
+		c.cfg.Logger.Warn("closing ledger", "error", err)
+	}
 }
 
 // leaseRef is a worker loop's claim on one cell. The token pins the
@@ -509,8 +566,26 @@ func (c *Coordinator) janitor() {
 			return
 		case <-t.C:
 			c.expireOverdue(time.Now())
+			c.probeStorage()
 		}
 	}
+}
+
+// probeStorage checks a degraded coordinator's disk and restores sweep
+// admission once durable writes succeed again. The janitor's ticker
+// drives it; Heartbeat and StorageProbeEvery are both short, so the
+// sooner of the two cadences applies in practice.
+func (c *Coordinator) probeStorage() {
+	if !c.storageDegraded.Load() {
+		return
+	}
+	if err := c.ledger.Probe(); err != nil {
+		c.log.Debug("storage probe failed; staying degraded", "error", err)
+		return
+	}
+	c.storageDegraded.Store(false)
+	c.gStorageDegraded.Set(0)
+	c.log.Info("storage recovered: accepting sweeps again")
 }
 
 func (c *Coordinator) expireOverdue(now time.Time) {
@@ -525,6 +600,7 @@ func (c *Coordinator) expireOverdue(now time.Time) {
 			Kind: recExpire, Sweep: cell.sweepID, Cell: cell.id, Worker: cell.worker,
 		}); err != nil {
 			c.log.Error("ledgering lease expiry failed", "cell", cell.id, "error", err)
+			c.noteStorageFailure(err)
 			continue
 		}
 		c.log.Warn("lease expired; cell returns to ready", "sweep", cell.sweepID,
@@ -674,6 +750,7 @@ func (c *Coordinator) leaseLocked(sw *sweepState, cell *cellState, w *workerStat
 		Kind: kind, Sweep: sw.id, Cell: cell.id, Worker: w.url,
 	}); err != nil {
 		c.log.Error("ledgering lease failed", "cell", cell.id, "error", err)
+		c.noteStorageFailure(err)
 		sw.ready = append(sw.ready, cell.id) // keep the cell schedulable
 		return leaseRef{}, false
 	}
@@ -805,6 +882,7 @@ func (c *Coordinator) complete(ref leaseRef, w *workerState, st pipeline.Stats) 
 		Kind: recDone, Sweep: ref.sweepID, Cell: ref.cellID, Worker: w.url, Stats: &stc,
 	}); err != nil {
 		c.log.Error("ledgering cell result failed", "cell", ref.cellID, "error", err)
+		c.noteStorageFailure(err)
 		return // lease expiry will re-run the cell; never commit undurable results
 	}
 	if cell.state == cellLeased {
@@ -854,6 +932,7 @@ func (c *Coordinator) fail(ref leaseRef, reason string) {
 		Kind: recFailed, Sweep: ref.sweepID, Cell: ref.cellID, Reason: reason,
 	}); err != nil {
 		c.log.Error("ledgering cell failure failed", "cell", ref.cellID, "error", err)
+		c.noteStorageFailure(err)
 		cell.state = cellReady // keep it schedulable rather than losing it
 		sw.ready = append(sw.ready, cell.id)
 		return

@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"errors"
 	"net/http"
+	"strconv"
+	"time"
 
 	"rvpsim/internal/obs"
 	"rvpsim/internal/simerr"
@@ -16,6 +18,7 @@ import (
 //	GET  /v1/sweeps/{id}   one sweep's status (+ merged table when done)
 //	POST /v1/workers       register a worker {"url": "http://..."}
 //	GET  /healthz          liveness
+//	GET  /readyz           readiness (503 + storage_degraded while the disk is failing)
 //	GET  /metrics          fleet gauges and counters (Prometheus text)
 func Handler(c *Coordinator) http.Handler {
 	mux := http.NewServeMux()
@@ -28,8 +31,14 @@ func Handler(c *Coordinator) http.Handler {
 		st, err := c.SubmitSweep(spec)
 		if err != nil {
 			code := http.StatusInternalServerError
-			if errors.Is(err, simerr.ErrConfig) {
+			switch {
+			case errors.Is(err, simerr.ErrConfig):
 				code = http.StatusBadRequest
+			case errors.Is(err, ErrStorageDegraded):
+				// Degraded, not dead: shed with a retry hint so clients
+				// back off and resubmit once the disk recovers.
+				code = http.StatusServiceUnavailable
+				w.Header().Set("Retry-After", strconv.Itoa(int(2*c.cfg.StorageProbeEvery/time.Second)+1))
 			}
 			httpJSON(w, code, map[string]string{"error": err.Error()})
 			return
@@ -63,6 +72,14 @@ func Handler(c *Coordinator) http.Handler {
 	})
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		httpJSON(w, http.StatusOK, map[string]bool{"ok": true})
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		degraded := c.StorageDegraded()
+		code := http.StatusOK
+		if degraded {
+			code = http.StatusServiceUnavailable
+		}
+		httpJSON(w, code, map[string]bool{"ready": !degraded, "storage_degraded": degraded})
 	})
 	mux.Handle("GET /metrics", obs.Handler(c.Registry()))
 	return mux

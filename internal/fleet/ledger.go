@@ -1,32 +1,32 @@
 package fleet
 
 import (
-	"bytes"
 	"encoding/json"
-	"hash/crc32"
-	"io"
-	"os"
 	"path/filepath"
 	"sync"
 
 	"rvpsim/internal/pipeline"
 	"rvpsim/internal/simerr"
+	"rvpsim/internal/vfs"
+	"rvpsim/internal/wal"
 )
 
 // Ledger is the coordinator's write-ahead cell log: every sweep
 // admission and every cell transition the coordinator must not forget
-// (lease, expiry, steal, done, failed) is appended — and fsync'd — as a
-// CRC-32-enveloped JSON line before the transition is acknowledged
-// anywhere else. Replaying the log reconstructs the sweep after a
-// coordinator crash: done and failed cells keep their results, every
-// other cell reverts to ready (an in-flight lease held by a dead
-// coordinator is meaningless — exactly like a speculative, uncommitted
-// value after a squash). A torn or corrupt tail is truncated away on
-// open, never fatal. Same envelope idiom as internal/server's jobstore
-// and internal/exp's sweep journal.
+// (lease, expiry, steal, done, failed) is appended — and fsync'd —
+// before the transition is acknowledged anywhere else. Replaying the
+// log reconstructs the sweep after a coordinator crash: done and failed
+// cells keep their results, every other cell reverts to ready (an
+// in-flight lease held by a dead coordinator is meaningless — exactly
+// like a speculative, uncommitted value after a squash).
+//
+// The durability mechanics — CRC envelope, fsync-per-append, torn-tail
+// repair on open, interior-corruption refusal — live in internal/wal;
+// this type is the fleet-shaped layer on top. The on-disk format is
+// unchanged from the pre-engine ledger, so old state dirs resume.
 type Ledger struct {
 	mu sync.Mutex
-	f  *os.File
+	w  *wal.WAL
 
 	// Truncated reports how many damaged tail records were dropped on
 	// open.
@@ -62,13 +62,6 @@ type LedgerRecord struct {
 	Reason string `json:"reason,omitempty"`
 }
 
-// ledgerEnvelope wraps one record: Rec's exact bytes are CRC-protected,
-// so a torn write or bit flip in either field fails validation.
-type ledgerEnvelope struct {
-	CRC uint32          `json:"crc"`
-	Rec json.RawMessage `json:"rec"`
-}
-
 // Replay is the ledger's reconstructed view: what OpenLedger found.
 type Replay struct {
 	// Sweeps maps sweep ID to its normalized spec, in first-seen order
@@ -92,74 +85,36 @@ type Replay struct {
 func LedgerPath(dir string) string { return filepath.Join(dir, "cells.jsonl") }
 
 // OpenLedger opens (creating if absent) the ledger at path, replays
-// every valid record into a Replay, and truncates any damaged tail.
-func OpenLedger(path string) (*Ledger, *Replay, error) {
-	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
-		return nil, nil, simerr.New("fleet", err)
-	}
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
-	if err != nil {
-		return nil, nil, simerr.New("fleet", err)
-	}
-	l := &Ledger{f: f}
+// every valid record into a Replay, and repairs any torn tail, via the
+// real filesystem.
+func OpenLedger(path string) (*Ledger, *Replay, error) { return OpenLedgerFS(path, nil, nil) }
+
+// OpenLedgerFS is OpenLedger through an explicit filesystem seam (nil
+// means vfs.OS) with optional wal metrics.
+func OpenLedgerFS(path string, fsys vfs.FS, met *wal.Metrics) (*Ledger, *Replay, error) {
+	l := &Ledger{}
 	rp := &Replay{
 		Sweeps: map[string]SweepSpec{},
 		Done:   map[string]map[string]pipeline.Stats{},
 		Failed: map[string]map[string]string{},
 	}
-
-	data, err := io.ReadAll(f)
-	if err != nil {
-		f.Close()
-		return nil, nil, simerr.New("fleet", err)
-	}
-	valid := 0 // byte offset past the last valid record
-	for valid < len(data) {
-		nl := bytes.IndexByte(data[valid:], '\n')
-		if nl < 0 {
-			break
+	w, err := wal.Open(path, wal.Options{FS: fsys, Name: "fleet", Metrics: met}, func(raw json.RawMessage) error {
+		var rec LedgerRecord
+		if err := json.Unmarshal(raw, &rec); err != nil {
+			return err
 		}
-		rec, ok := parseLedgerLine(data[valid : valid+nl])
-		if !ok {
-			break
+		if rec.Kind == "" || rec.Sweep == "" {
+			return simerr.Newf("fleet", "ledger record missing kind or sweep")
 		}
 		rp.apply(rec)
-		valid += nl + 1
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
 	}
-	if valid < len(data) {
-		l.Truncated = 1 + bytes.Count(data[valid:], []byte{'\n'})
-		if data[len(data)-1] == '\n' {
-			l.Truncated--
-		}
-	}
-	if err := f.Truncate(int64(valid)); err != nil {
-		f.Close()
-		return nil, nil, simerr.New("fleet", err)
-	}
-	if _, err := f.Seek(int64(valid), io.SeekStart); err != nil {
-		f.Close()
-		return nil, nil, simerr.New("fleet", err)
-	}
+	l.w = w
+	l.Truncated = w.Truncated
 	return l, rp, nil
-}
-
-// parseLedgerLine validates one envelope line.
-func parseLedgerLine(line []byte) (LedgerRecord, bool) {
-	var rec LedgerRecord
-	if len(bytes.TrimSpace(line)) == 0 {
-		return rec, false
-	}
-	var env ledgerEnvelope
-	if err := json.Unmarshal(line, &env); err != nil {
-		return rec, false
-	}
-	if crc32.ChecksumIEEE(env.Rec) != env.CRC {
-		return rec, false
-	}
-	if err := json.Unmarshal(env.Rec, &rec); err != nil || rec.Kind == "" || rec.Sweep == "" {
-		return rec, false
-	}
-	return rec, true
 }
 
 // apply folds one replayed record into the view.
@@ -211,29 +166,18 @@ func (rp *Replay) apply(rec LedgerRecord) {
 // write-ahead guarantee that makes a restarted coordinator resume
 // instead of re-deciding.
 func (l *Ledger) Append(rec LedgerRecord) error {
-	raw, err := json.Marshal(rec)
-	if err != nil {
-		return simerr.New("fleet", err)
-	}
-	line, err := json.Marshal(ledgerEnvelope{CRC: crc32.ChecksumIEEE(raw), Rec: raw})
-	if err != nil {
-		return simerr.New("fleet", err)
-	}
-	line = append(line, '\n')
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	if _, err := l.f.Write(line); err != nil {
-		return simerr.New("fleet", err)
-	}
-	if err := l.f.Sync(); err != nil {
-		return simerr.New("fleet", err)
-	}
-	return nil
+	return l.w.Append(rec)
 }
 
-// Close closes the underlying file.
+// Probe checks that the ledger's storage still takes durable writes; a
+// degraded coordinator calls this to decide the disk has come back.
+func (l *Ledger) Probe() error { return l.w.Probe() }
+
+// Close closes the underlying log.
 func (l *Ledger) Close() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	return l.f.Close()
+	return l.w.Close()
 }

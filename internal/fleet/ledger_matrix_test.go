@@ -1,0 +1,37 @@
+package fleet
+
+import (
+	"testing"
+
+	"rvpsim/internal/pipeline"
+	"rvpsim/internal/vfs"
+	"rvpsim/internal/wal/waltest"
+)
+
+// TestLedgerTornTailMatrix runs the shared torn/corrupt-tail
+// conformance matrix against the cell ledger, identical to the job
+// store's and sweep journal's runs.
+func TestLedgerTornTailMatrix(t *testing.T) {
+	waltest.Run(t, "/state/cells.jsonl", waltest.Store{
+		Records: func(n int) []any {
+			out := make([]any, n)
+			for i := range out {
+				out[i] = LedgerRecord{
+					Kind:  recDone,
+					Sweep: "s",
+					Cell:  waltest.Fmt("cell", i),
+					Stats: &pipeline.Stats{},
+				}
+			}
+			return out
+		},
+		Open: func(fsys vfs.FS, path string) (int, int, error) {
+			l, rp, err := OpenLedgerFS(path, fsys, nil)
+			if err != nil {
+				return 0, 0, err
+			}
+			defer l.Close()
+			return len(rp.Done["s"]), l.Truncated, nil
+		},
+	})
+}

@@ -1,11 +1,14 @@
 package fleet
 
 import (
+	"errors"
 	"os"
 	"strings"
 	"testing"
 
 	"rvpsim/internal/pipeline"
+	"rvpsim/internal/simerr"
+	"rvpsim/internal/wal"
 )
 
 func testSweep(t *testing.T) SweepSpec {
@@ -174,9 +177,12 @@ func TestLedgerTornTailTruncated(t *testing.T) {
 	}
 }
 
-func TestLedgerCorruptMiddleStopsReplayAtDamage(t *testing.T) {
-	// Corruption strictly before the tail still truncates from the first
-	// damaged record: everything after it is untrustworthy.
+func TestLedgerCorruptMiddleRefusesOpen(t *testing.T) {
+	// Corruption strictly before the tail means acknowledged records
+	// follow the damage: not a torn append but bitrot or an outside
+	// writer. Truncating would silently destroy committed state, so the
+	// ledger must refuse with a typed corruption error and leave the
+	// file for `rvpadmin fsck`.
 	dir := t.TempDir()
 	spec := testSweep(t)
 	id := spec.ID()
@@ -190,7 +196,9 @@ func TestLedgerCorruptMiddleStopsReplayAtDamage(t *testing.T) {
 			t.Fatalf("append: %v", err)
 		}
 	}
-	l.Close()
+	if err := l.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
 	raw, _ := os.ReadFile(path)
 	lines := strings.SplitAfter(string(raw), "\n")
 	// Flip payload bytes without touching the stored CRC: the envelope's
@@ -198,15 +206,23 @@ func TestLedgerCorruptMiddleStopsReplayAtDamage(t *testing.T) {
 	lines[1] = strings.Replace(lines[1], `"kind":"lease"`, `"kind":"leaze"`, 1)
 	os.WriteFile(path, []byte(strings.Join(lines, "")), 0o644)
 
-	l2, rp, err := OpenLedger(path)
-	if err != nil {
-		t.Fatalf("reopen: %v", err)
+	_, _, err = OpenLedger(path)
+	if err == nil {
+		t.Fatal("reopen accepted a ledger with interior corruption")
 	}
-	defer l2.Close()
-	if rp.Leases != 1 {
-		t.Errorf("replayed %d leases past the damage, want 1", rp.Leases)
+	if !errors.Is(err, simerr.ErrCorrupt) {
+		t.Errorf("reopen error %v does not wrap simerr.ErrCorrupt", err)
 	}
-	if l2.Truncated != 2 {
-		t.Errorf("truncated = %d, want 2 (damaged record and everything after)", l2.Truncated)
+	var ce *wal.CorruptError
+	if !errors.As(err, &ce) {
+		t.Fatalf("reopen error %v is not a *wal.CorruptError", err)
+	}
+	if ce.Line != 2 {
+		t.Errorf("corruption reported at record %d, want 2", ce.Line)
+	}
+	// The file must be untouched: all three lines still present for fsck.
+	after, _ := os.ReadFile(path)
+	if string(after) != strings.Join(lines, "") {
+		t.Error("open modified a ledger it refused to load")
 	}
 }

@@ -1,0 +1,96 @@
+package fleet
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"rvpsim/internal/vfs"
+)
+
+// TestCoordinatorENOSPCDegradesAndRecovers: a coordinator whose ledger
+// disk stops taking writes sheds new sweeps with a typed error (503 +
+// Retry-After over HTTP) instead of crashing, answers resubmits of
+// known sweeps from memory, and resumes admissions once the janitor's
+// storage probe sees the disk return.
+func TestCoordinatorENOSPCDegradesAndRecovers(t *testing.T) {
+	fault := vfs.NewFault(vfs.OS)
+	c, err := Open(Config{
+		StateDir:  t.TempDir(),
+		FS:        fault,
+		Lease:     400 * time.Millisecond,
+		Heartbeat: 20 * time.Millisecond, // janitor (and probe) cadence
+		Poll:      10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer c.Stop()
+	ts := httptest.NewServer(Handler(c))
+	defer ts.Close()
+
+	spec := SweepSpec{Workloads: []string{"go"}, Predictors: []string{"rvp"}, Insts: 5_000}
+	st, err := c.SubmitSweep(spec)
+	if err != nil {
+		t.Fatalf("healthy submit: %v", err)
+	}
+
+	fault.SetPersistent(vfs.ENOSPC)
+	other := SweepSpec{Workloads: []string{"li"}, Predictors: []string{"rvp"}, Insts: 5_000}
+	if _, err := c.SubmitSweep(other); !errors.Is(err, ErrStorageDegraded) {
+		t.Fatalf("submit under ENOSPC: %v, want ErrStorageDegraded", err)
+	}
+	if !c.StorageDegraded() {
+		t.Fatalf("coordinator not marked degraded")
+	}
+
+	// Resubmits of an already-admitted sweep still answer from memory.
+	if st2, err := c.SubmitSweep(spec); err != nil || st2.ID != st.ID {
+		t.Fatalf("idempotent resubmit while degraded: %+v, %v", st2, err)
+	}
+
+	// Over HTTP the shed is a 503 with a retry hint, and readyz flips.
+	resp, err := http.Post(ts.URL+"/v1/sweeps", "application/json",
+		jsonBody(t, SweepSpec{Workloads: []string{"perl"}, Predictors: []string{"rvp"}, Insts: 5_000}))
+	if err != nil {
+		t.Fatalf("POST /v1/sweeps: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable || resp.Header.Get("Retry-After") == "" {
+		t.Fatalf("degraded submit: %d, Retry-After %q", resp.StatusCode, resp.Header.Get("Retry-After"))
+	}
+	resp, err = http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatalf("GET /readyz: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("readyz while degraded: %d", resp.StatusCode)
+	}
+
+	// Disk returns; the janitor's probe must clear the flag.
+	fault.SetPersistent(nil)
+	deadline := time.Now().Add(10 * time.Second)
+	for c.StorageDegraded() {
+		if time.Now().After(deadline) {
+			t.Fatalf("coordinator never recovered")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if _, err := c.SubmitSweep(other); err != nil {
+		t.Fatalf("submit after recovery: %v", err)
+	}
+}
+
+func jsonBody(t *testing.T, v any) *bytes.Reader {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bytes.NewReader(b)
+}

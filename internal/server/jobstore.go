@@ -1,29 +1,30 @@
 package server
 
 import (
-	"bytes"
 	"encoding/json"
-	"hash/crc32"
-	"io"
-	"os"
 	"path/filepath"
 	"sync"
 
 	"rvpsim/internal/simerr"
+	"rvpsim/internal/vfs"
+	"rvpsim/internal/wal"
 )
 
 // Store is the daemon's write-ahead job log: every job state transition
 // (accepted, started, finished, requeued) is appended — and fsync'd —
-// as a CRC-32-enveloped JSON line before the transition is acknowledged
-// anywhere else. Replaying the log (latest record per job ID wins)
-// reconstructs every job after a restart, which is what makes "no
-// accepted job is ever silently dropped" hold across process deaths: a
-// job either reaches a terminal record or is re-enqueued by the next
-// daemon. A torn or corrupt tail — the signature of a crash mid-append —
-// is truncated away on open, never fatal.
+// before the transition is acknowledged anywhere else. Replaying the log
+// (latest record per job ID wins) reconstructs every job after a
+// restart, which is what makes "no accepted job is ever silently
+// dropped" hold across process deaths: a job either reaches a terminal
+// record or is re-enqueued by the next daemon.
+//
+// The durability mechanics — CRC envelope, fsync-per-append, torn-tail
+// repair on open, interior-corruption refusal — live in internal/wal;
+// this type is the job-shaped layer on top. The on-disk format is
+// unchanged from the pre-engine store, so old state dirs resume.
 type Store struct {
 	mu    sync.Mutex
-	f     *os.File
+	w     *wal.WAL
 	jobs  map[string]JobStatus
 	order []string          // first-seen order, for deterministic recovery
 	byKey map[string]string // idempotency key -> job ID
@@ -33,79 +34,34 @@ type Store struct {
 	Truncated int
 }
 
-// storeEnvelope wraps one record: Rec's exact bytes are CRC-protected.
-type storeEnvelope struct {
-	CRC uint32          `json:"crc"`
-	Rec json.RawMessage `json:"rec"`
-}
-
 // StorePath is the job log's location inside a state directory.
 func StorePath(dir string) string { return filepath.Join(dir, "jobs.jsonl") }
 
 // OpenStore opens (creating if absent) the job log at path and replays
-// every valid record.
-func OpenStore(path string) (*Store, error) {
-	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
-		return nil, simerr.New("jobstore", err)
-	}
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
-	if err != nil {
-		return nil, simerr.New("jobstore", err)
-	}
-	s := &Store{f: f, jobs: map[string]JobStatus{}, byKey: map[string]string{}}
+// every valid record, via the real filesystem.
+func OpenStore(path string) (*Store, error) { return OpenStoreFS(path, nil, nil) }
 
-	data, err := io.ReadAll(f)
-	if err != nil {
-		f.Close()
-		return nil, simerr.New("jobstore", err)
-	}
-	valid := 0
-	for valid < len(data) {
-		nl := bytes.IndexByte(data[valid:], '\n')
-		if nl < 0 {
-			break
+// OpenStoreFS is OpenStore through an explicit filesystem seam (nil
+// means vfs.OS) with optional wal metrics.
+func OpenStoreFS(path string, fsys vfs.FS, met *wal.Metrics) (*Store, error) {
+	s := &Store{jobs: map[string]JobStatus{}, byKey: map[string]string{}}
+	w, err := wal.Open(path, wal.Options{FS: fsys, Name: "jobstore", Metrics: met}, func(raw json.RawMessage) error {
+		var rec JobStatus
+		if err := json.Unmarshal(raw, &rec); err != nil {
+			return err
 		}
-		rec, ok := parseStoreLine(data[valid : valid+nl])
-		if !ok {
-			break
+		if rec.ID == "" {
+			return simerr.Newf("jobstore", "record with empty job ID")
 		}
 		s.apply(rec)
-		valid += nl + 1
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	if valid < len(data) {
-		s.Truncated = 1 + bytes.Count(data[valid:], []byte{'\n'})
-		if data[len(data)-1] == '\n' {
-			s.Truncated--
-		}
-	}
-	if err := f.Truncate(int64(valid)); err != nil {
-		f.Close()
-		return nil, simerr.New("jobstore", err)
-	}
-	if _, err := f.Seek(int64(valid), io.SeekStart); err != nil {
-		f.Close()
-		return nil, simerr.New("jobstore", err)
-	}
+	s.w = w
+	s.Truncated = w.Truncated
 	return s, nil
-}
-
-// parseStoreLine validates one envelope line.
-func parseStoreLine(line []byte) (JobStatus, bool) {
-	var rec JobStatus
-	if len(bytes.TrimSpace(line)) == 0 {
-		return rec, false
-	}
-	var env storeEnvelope
-	if err := json.Unmarshal(line, &env); err != nil {
-		return rec, false
-	}
-	if crc32.ChecksumIEEE(env.Rec) != env.CRC {
-		return rec, false
-	}
-	if err := json.Unmarshal(env.Rec, &rec); err != nil || rec.ID == "" {
-		return rec, false
-	}
-	return rec, true
 }
 
 // apply folds one replayed record into the in-memory view. Caller holds
@@ -122,26 +78,18 @@ func (s *Store) apply(rec JobStatus) {
 
 // Append records one job state transition, fsyncing before it returns.
 func (s *Store) Append(rec JobStatus) error {
-	raw, err := json.Marshal(rec)
-	if err != nil {
-		return simerr.New("jobstore", err)
-	}
-	line, err := json.Marshal(storeEnvelope{CRC: crc32.ChecksumIEEE(raw), Rec: raw})
-	if err != nil {
-		return simerr.New("jobstore", err)
-	}
-	line = append(line, '\n')
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if _, err := s.f.Write(line); err != nil {
-		return simerr.New("jobstore", err)
-	}
-	if err := s.f.Sync(); err != nil {
-		return simerr.New("jobstore", err)
+	if err := s.w.Append(rec); err != nil {
+		return err
 	}
 	s.apply(rec)
 	return nil
 }
+
+// Probe checks that the store's storage still takes durable writes; a
+// degraded daemon calls this to decide the disk has come back.
+func (s *Store) Probe() error { return s.w.Probe() }
 
 // Get returns the latest record for id.
 func (s *Store) Get(id string) (JobStatus, bool) {
@@ -184,9 +132,9 @@ func (s *Store) Len() int {
 	return len(s.jobs)
 }
 
-// Close closes the underlying file.
+// Close closes the underlying log.
 func (s *Store) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.f.Close()
+	return s.w.Close()
 }

@@ -1,0 +1,33 @@
+package server
+
+import (
+	"testing"
+
+	"rvpsim/internal/vfs"
+	"rvpsim/internal/wal/waltest"
+)
+
+// TestJobStoreTornTailMatrix runs the shared torn/corrupt-tail
+// conformance matrix against the job store: byte-level truncation of
+// the final envelope, flipped CRC, flipped payload, and the
+// interior-damage refusal, identical to the journal's and ledger's
+// runs.
+func TestJobStoreTornTailMatrix(t *testing.T) {
+	waltest.Run(t, "/state/jobs.jsonl", waltest.Store{
+		Records: func(n int) []any {
+			out := make([]any, n)
+			for i := range out {
+				out[i] = JobStatus{ID: waltest.Fmt("job", i), State: StateQueued}
+			}
+			return out
+		},
+		Open: func(fsys vfs.FS, path string) (int, int, error) {
+			s, err := OpenStoreFS(path, fsys, nil)
+			if err != nil {
+				return 0, 0, err
+			}
+			defer s.Close()
+			return s.Len(), s.Truncated, nil
+		},
+	})
+}

@@ -20,6 +20,10 @@ type job struct {
 	// under: the admission span for fresh submissions, a bare trace ID
 	// for jobs recovered from the store.
 	tctx obs.SpanContext
+	// dropped marks a job whose durable acceptance record could not be
+	// written after it entered the queue: the client got a 503, so a
+	// worker must discard it instead of running unacknowledged work.
+	dropped atomic.Bool
 }
 
 // admissionError is the typed rejection a full or slow queue returns;

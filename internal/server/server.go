@@ -23,6 +23,8 @@ import (
 	"rvpsim/internal/obs"
 	"rvpsim/internal/server/shutdown"
 	"rvpsim/internal/simerr"
+	"rvpsim/internal/vfs"
+	"rvpsim/internal/wal"
 )
 
 // Config sizes the service. Zero values take the documented defaults.
@@ -79,6 +81,14 @@ type Config struct {
 	FlightRecorderSize int
 	// TracerCapacity bounds the daemon's retained spans (default 4096).
 	TracerCapacity int
+	// FS is the filesystem seam all durability I/O (job store, sweep
+	// journals, checkpoints) goes through. Nil means the real
+	// filesystem; tests inject vfs.Mem/vfs.Fault to simulate hostile
+	// storage.
+	FS vfs.FS
+	// StorageProbeEvery is how often a storage-degraded daemon probes
+	// the disk for recovery (default 2s).
+	StorageProbeEvery time.Duration
 }
 
 func (c *Config) setDefaults() error {
@@ -127,6 +137,9 @@ func (c *Config) setDefaults() error {
 	if c.TracerCapacity <= 0 {
 		c.TracerCapacity = 4096
 	}
+	if c.StorageProbeEvery <= 0 {
+		c.StorageProbeEvery = 2 * time.Second
+	}
 	return nil
 }
 
@@ -169,13 +182,22 @@ type Server struct {
 
 	inflight atomic.Int64
 
+	// storageDegraded is set when a durable append fails persistently:
+	// the daemon stops accepting work (503 + Retry-After, /readyz not
+	// ready) instead of crashing or silently dropping records, and a
+	// background probe clears the flag when the disk takes durable
+	// writes again.
+	storageDegraded atomic.Bool
+	walMet          *wal.Metrics
+
 	mSubmitted, mDeduped           *obs.Counter
 	mShedQueue, mShedBreaker       *obs.Counter
-	mShedDraining                  *obs.Counter
+	mShedDraining, mShedStorage    *obs.Counter
 	mSucceeded, mFailed, mRequeued *obs.Counter
 	mBreakerTrips                  *obs.Counter
 	gDepth, gInflight, gWorkers    *obs.Gauge
 	gBreakerOpen, gDraining        *obs.Gauge
+	gStorageDegraded               *obs.Gauge
 	gvBreaker                      *obs.GaugeVec
 	hWaitMS, hRunMS                *obs.Histogram
 }
@@ -186,7 +208,8 @@ func New(cfg Config) (*Server, error) {
 	if err := cfg.setDefaults(); err != nil {
 		return nil, err
 	}
-	store, err := OpenStore(StorePath(cfg.StateDir))
+	walMet := wal.NewMetrics(cfg.Registry)
+	store, err := OpenStoreFS(StorePath(cfg.StateDir), cfg.FS, walMet)
 	if err != nil {
 		return nil, err
 	}
@@ -194,6 +217,7 @@ func New(cfg Config) (*Server, error) {
 		cfg:      cfg,
 		reg:      cfg.Registry,
 		store:    store,
+		walMet:   walMet,
 		breaker:  newBreaker(cfg.BreakerThreshold, cfg.BreakerCooloff),
 		log:      cfg.Logger,
 		stopPick: make(chan struct{}),
@@ -220,7 +244,7 @@ func New(cfg Config) (*Server, error) {
 			// status reads don't claim a dead daemon is running it.
 			rec.State = StateQueued
 			if err := store.Append(rec); err != nil {
-				store.Close()
+				_ = store.Close() // already failing; surface the append error
 				return nil, err
 			}
 		}
@@ -238,7 +262,47 @@ func New(cfg Config) (*Server, error) {
 		s.wg.Add(1)
 		go s.worker()
 	}
+	s.wg.Add(1)
+	go s.storageProbe()
 	return s, nil
+}
+
+// noteStorageFailure flips the daemon into storage-degraded mode after
+// a failed durable append. From here the daemon sheds new work with 503
+// + Retry-After and reports not-ready, rather than crashing or
+// acknowledging writes it cannot persist; the probe loop clears the
+// mode once the disk recovers.
+func (s *Server) noteStorageFailure(err error) {
+	if s.storageDegraded.CompareAndSwap(false, true) {
+		s.gStorageDegraded.Set(1)
+		s.log.Error("storage degraded: durable append failed; shedding new work until the disk recovers", "error", err)
+	}
+}
+
+// storageProbe periodically checks a degraded daemon's disk and
+// restores service when durable writes succeed again (e.g. space was
+// freed after ENOSPC).
+func (s *Server) storageProbe() {
+	defer s.wg.Done()
+	t := time.NewTicker(s.cfg.StorageProbeEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stopPick:
+			return
+		case <-t.C:
+			if !s.storageDegraded.Load() {
+				continue
+			}
+			if err := s.store.Probe(); err != nil {
+				s.log.Debug("storage probe failed; staying degraded", "error", err)
+				continue
+			}
+			s.storageDegraded.Store(false)
+			s.gStorageDegraded.Set(0)
+			s.log.Info("storage recovered: accepting work again")
+		}
+	}
 }
 
 func (s *Server) initMetrics() {
@@ -247,6 +311,7 @@ func (s *Server) initMetrics() {
 	s.mShedQueue = s.reg.Counter("srv_shed_queue_total", "submissions shed by queue admission control (429)")
 	s.mShedBreaker = s.reg.Counter("srv_shed_breaker_total", "submissions shed by an open circuit breaker (503)")
 	s.mShedDraining = s.reg.Counter("srv_shed_draining_total", "submissions shed while draining (503)")
+	s.mShedStorage = s.reg.Counter("srv_shed_storage_total", "submissions shed while storage-degraded (503)")
 	s.mSucceeded = s.reg.Counter("srv_jobs_succeeded_total", "jobs that reached a successful terminal state")
 	s.mFailed = s.reg.Counter("srv_jobs_failed_total", "jobs that reached a failed terminal state")
 	s.mRequeued = s.reg.Counter("srv_jobs_requeued_total", "in-flight jobs checkpointed and requeued by a drain")
@@ -257,6 +322,7 @@ func (s *Server) initMetrics() {
 	s.gBreakerOpen = s.reg.Gauge("srv_breaker_open", "circuit breakers currently open")
 	s.gvBreaker = s.reg.GaugeVec("srv_breaker_state", "per-workload breaker state (0 closed, 1 half-open, 2 open)", "key")
 	s.gDraining = s.reg.Gauge("srv_draining", "1 while the daemon is draining")
+	s.gStorageDegraded = s.reg.Gauge("srv_storage_degraded", "1 while durable appends are failing and new work is shed")
 	s.hWaitMS = s.reg.Histogram("srv_queue_wait_ms", "queue wait per job, milliseconds", obs.ExpBuckets(2, 2, 14))
 	s.hRunMS = s.reg.Histogram("srv_job_run_ms", "run time per job attempt, milliseconds", obs.ExpBuckets(2, 2, 16))
 }
@@ -399,6 +465,12 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		reject(w, http.StatusServiceUnavailable, "draining: not accepting new jobs", 10*time.Second)
 		return
 	}
+	if s.storageDegraded.Load() {
+		s.mShedStorage.Inc()
+		reject(w, http.StatusServiceUnavailable,
+			"storage degraded: cannot persist new jobs", 2*s.cfg.StorageProbeEvery)
+		return
+	}
 	bkey := breakerKey(spec)
 	if ok, retryAfter := s.breaker.Allow(bkey); !ok {
 		s.mShedBreaker.Inc()
@@ -434,7 +506,15 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	// (A crash between fsync and response just means the client retries
 	// its key and finds the job already there.)
 	if err := s.store.Append(rec); err != nil {
-		reject(w, http.StatusInternalServerError, "persisting job: "+err.Error(), 0)
+		// The job is already in the channel; mark it abandoned so a
+		// worker discards it instead of running unrecorded work, flip
+		// into degraded mode, and tell the client to retry elsewhere or
+		// later — an unpersisted acceptance must never be acknowledged.
+		j.dropped.Store(true)
+		s.noteStorageFailure(err)
+		s.mShedStorage.Inc()
+		reject(w, http.StatusServiceUnavailable,
+			"storage degraded: persisting job failed: "+err.Error(), 2*s.cfg.StorageProbeEvery)
 		return
 	}
 	s.mSubmitted.Inc()
@@ -494,16 +574,20 @@ type readyStatus struct {
 	// wait histogram (obs quantile estimate).
 	P99WaitMS   int64 `json:"p99_wait_ms"`
 	BreakerOpen int   `json:"breakers_open"`
+	// StorageDegraded is true while durable appends are failing: the
+	// daemon is alive but shedding new work until the disk recovers.
+	StorageDegraded bool `json:"storage_degraded"`
 }
 
 func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	st := readyStatus{
-		Ready:       !s.draining.Load(),
-		Draining:    s.draining.Load(),
-		QueueDepth:  s.queue.depthNow(),
-		Inflight:    s.inflight.Load(),
-		P99WaitMS:   s.hWaitMS.Snapshot().Quantile(0.99),
-		BreakerOpen: s.breaker.OpenCount(),
+		Ready:           !s.draining.Load() && !s.storageDegraded.Load(),
+		Draining:        s.draining.Load(),
+		QueueDepth:      s.queue.depthNow(),
+		Inflight:        s.inflight.Load(),
+		P99WaitMS:       s.hWaitMS.Snapshot().Quantile(0.99),
+		BreakerOpen:     s.breaker.OpenCount(),
+		StorageDegraded: s.storageDegraded.Load(),
 	}
 	code := http.StatusOK
 	if !st.Ready {
@@ -535,6 +619,12 @@ func (s *Server) runJob(j *job) {
 	wait := time.Since(j.enqueued)
 	s.queue.noteDequeue(j, wait)
 	s.gDepth.Set(int64(s.queue.depthNow()))
+	if j.dropped.Load() {
+		// Admission rolled this job back (its acceptance never became
+		// durable and the client was told 503); running it would do
+		// unacknowledged work.
+		return
+	}
 	s.hWaitMS.Observe(wait.Milliseconds())
 
 	// Queue wait is retroactive (measured from the enqueue timestamp);
@@ -557,6 +647,7 @@ func (s *Server) runJob(j *job) {
 	rec.Result, rec.Error = nil, nil
 	if err := s.store.Append(rec); err != nil {
 		s.log.Error("recording job start failed", "job", j.id, "error", err)
+		s.noteStorageFailure(err)
 	}
 	s.inflight.Add(1)
 	s.gInflight.Set(s.inflight.Load())
@@ -578,6 +669,8 @@ func (s *Server) runJob(j *job) {
 		WatchdogCycles:  s.cfg.WatchdogCycles,
 		Tracer:          s.tracer,
 		TraceParent:     wsp.Context(),
+		FS:              s.cfg.FS,
+		WALMetrics:      s.walMet,
 	}
 	if s.tel != nil {
 		// The heartbeat and checkpoint hooks run on simulation
@@ -610,6 +703,7 @@ func (s *Server) runJob(j *job) {
 		s.mSucceeded.Inc()
 		if serr := s.store.Append(rec); serr != nil {
 			s.log.Error("recording job success failed", "job", j.id, "error", serr)
+			s.noteStorageFailure(serr)
 			return // keep the state dir: the result is not durable
 		}
 		// The result is durable; the simulation scratch state is now
@@ -626,6 +720,7 @@ func (s *Server) runJob(j *job) {
 		s.mRequeued.Inc()
 		if serr := s.store.Append(rec); serr != nil {
 			s.log.Error("recording job requeue failed", "job", j.id, "error", serr)
+			s.noteStorageFailure(serr)
 		}
 		s.tel.publish(j.id, JobEvent{Type: EvRequeued, Attempt: rec.Attempts})
 		s.log.Info("job checkpointed and requeued by drain", "job", j.id)
@@ -651,6 +746,7 @@ func (s *Server) runJob(j *job) {
 		s.updateBreakerGauges()
 		if serr := s.store.Append(rec); serr != nil {
 			s.log.Error("recording job failure failed", "job", j.id, "error", serr)
+			s.noteStorageFailure(serr)
 			return
 		}
 		os.RemoveAll(s.jobDir(j.id))

@@ -1,0 +1,103 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"testing"
+	"time"
+
+	"rvpsim/internal/vfs"
+)
+
+// TestSubmitENOSPCDegradesAndRecovers is the graceful-degradation
+// contract end to end: when the disk stops taking durable writes the
+// daemon sheds submissions with 503 + Retry-After and flips /readyz —
+// it does not crash and does not run unacknowledged work — and once
+// space returns the storage probe restores service without a restart.
+func TestSubmitENOSPCDegradesAndRecovers(t *testing.T) {
+	fault := vfs.NewFault(vfs.OS)
+	srv, ts := newTestServer(t, func(c *Config) {
+		c.FS = fault
+		c.StorageProbeEvery = 20 * time.Millisecond
+	})
+
+	// Healthy baseline: a job submits and completes.
+	resp := postJob(t, ts, runBody, "healthy")
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("healthy submit: %d", resp.StatusCode)
+	}
+	st := decodeStatus(t, resp)
+	waitTerminal(t, ts, st.ID)
+
+	// Pull the disk.
+	fault.SetPersistent(vfs.ENOSPC)
+	resp = postJob(t, ts, runBody, "doomed")
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("submit under ENOSPC: %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatalf("503 under ENOSPC carries no Retry-After")
+	}
+	resp.Body.Close()
+	if !srv.storageDegraded.Load() {
+		t.Fatalf("server not marked degraded after failed append")
+	}
+
+	// Further submissions shed immediately (degraded flag, not a fresh
+	// disk failure each time).
+	resp = postJob(t, ts, runBody, "doomed2")
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("second submit under ENOSPC: %d, want 503", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	// readyz reflects the degradation.
+	code, ready := getReadyz(t, ts.URL)
+	if code != http.StatusServiceUnavailable || !ready.StorageDegraded || ready.Ready {
+		t.Fatalf("readyz under ENOSPC: %d %+v", code, ready)
+	}
+
+	// Space returns; the probe must restore service.
+	fault.SetPersistent(nil)
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		code, ready = getReadyz(t, ts.URL)
+		if code == http.StatusOK && ready.Ready && !ready.StorageDegraded {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon never recovered: %d %+v", code, ready)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	resp = postJob(t, ts, runBody, "recovered")
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit after recovery: %d", resp.StatusCode)
+	}
+	st = decodeStatus(t, resp)
+	fin := waitTerminal(t, ts, st.ID)
+	if fin.State != StateSucceeded {
+		t.Fatalf("post-recovery job ended %s: %+v", fin.State, fin.Error)
+	}
+
+	// The doomed submissions must not have silently run: their keys map
+	// to nothing.
+	if _, ok := srv.store.ByKey("doomed"); ok {
+		t.Fatalf("shed submission landed in the store")
+	}
+}
+
+func getReadyz(t *testing.T, base string) (int, readyStatus) {
+	t.Helper()
+	resp, err := http.Get(base + "/readyz")
+	if err != nil {
+		t.Fatalf("GET /readyz: %v", err)
+	}
+	defer resp.Body.Close()
+	var st readyStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatalf("readyz body: %v", err)
+	}
+	return resp.StatusCode, st
+}

@@ -1,0 +1,308 @@
+package vfs
+
+import (
+	"errors"
+	"io/fs"
+	"os"
+	"sync"
+	"syscall"
+)
+
+// Op names one syscall class the injector can target.
+type Op string
+
+const (
+	OpOpen     Op = "open"
+	OpRead     Op = "read"
+	OpWrite    Op = "write"
+	OpSync     Op = "sync"
+	OpClose    Op = "close"
+	OpTruncate Op = "truncate"
+	OpRename   Op = "rename"
+	OpRemove   Op = "remove"
+	OpMkdir    Op = "mkdir"
+	OpSyncDir  Op = "syncdir"
+)
+
+// ErrCrashed is what every operation returns once a Fault has crashed:
+// the process is "dead", nothing further reaches the disk.
+var ErrCrashed = errors.New("vfs: simulated crash")
+
+// ErrInjected marks every injected failure so tests can tell a planted
+// error from a real one.
+var ErrInjected = errors.New("vfs: injected fault")
+
+// Kind is what an injection does to its operation.
+type Kind int
+
+const (
+	// KindErr fails the operation with the planned error; nothing
+	// reaches the inner FS.
+	KindErr Kind = iota
+	// KindShortWrite applies only a prefix of a write, then fails — the
+	// torn-write signature. On non-write operations it degrades to
+	// KindErr.
+	KindShortWrite
+	// KindFlip applies the operation with one bit flipped in the written
+	// data and reports success — silent media corruption. On non-write
+	// operations it degrades to KindErr.
+	KindFlip
+	// KindCrash fails this operation and every operation after it with
+	// ErrCrashed: the crash point of a crash-simulation run.
+	KindCrash
+)
+
+// Plan is one scheduled injection.
+type Plan struct {
+	// At is the 0-based index (over counted operations) to inject at.
+	At int64
+	// Kind is what happens there.
+	Kind Kind
+	// Err is the error to return (default ErrInjected wrapped in a
+	// PathError-ish message). For KindFlip it is ignored.
+	Err error
+}
+
+// Fault wraps an FS and injects failures on a deterministic per-op
+// schedule. Operations are counted in call order across the whole FS
+// (reads are not counted by default — recovery-path reads are exercised
+// separately — so op indices line up with the mutation sequence a WAL
+// actually performs).
+type Fault struct {
+	inner FS
+
+	mu         sync.Mutex
+	n          int64
+	plans      map[int64]Plan
+	crashed    bool
+	persistent error // every mutating op fails with this until cleared
+	countReads bool
+	ops        []Op // audit trail of counted ops, for harness messages
+}
+
+// NewFault wraps inner with an empty schedule.
+func NewFault(inner FS) *Fault {
+	return &Fault{inner: inner, plans: map[int64]Plan{}}
+}
+
+// FailAt schedules plan p (replacing any previous plan at the same
+// index).
+func (f *Fault) FailAt(p Plan) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.plans[p.At] = p
+}
+
+// CrashAt schedules a crash at op index i.
+func (f *Fault) CrashAt(i int64) { f.FailAt(Plan{At: i, Kind: KindCrash}) }
+
+// SetPersistent makes every subsequent mutating operation fail with err
+// — the "disk is full / pulled" mode. Clear with SetPersistent(nil).
+// Reads still succeed: a full disk still serves status queries.
+func (f *Fault) SetPersistent(err error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.persistent = err
+}
+
+// ENOSPC is the canonical persistent-failure error tests inject.
+var ENOSPC error = syscall.ENOSPC
+
+// Ops returns the count of operations observed so far (the schedule
+// domain for a crash-at-every-point loop).
+func (f *Fault) Ops() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.n
+}
+
+// Trace returns the op kinds counted so far, in order.
+func (f *Fault) Trace() []Op {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]Op(nil), f.ops...)
+}
+
+// step counts one operation and returns the plan to apply, if any.
+func (f *Fault) step(op Op) (Plan, bool, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashed {
+		return Plan{}, false, ErrCrashed
+	}
+	i := f.n
+	f.n++
+	f.ops = append(f.ops, op)
+	if p, ok := f.plans[i]; ok {
+		if p.Kind == KindCrash {
+			f.crashed = true
+			return Plan{}, false, ErrCrashed
+		}
+		if p.Err == nil {
+			p.Err = &fs.PathError{Op: string(op), Path: "<injected>", Err: ErrInjected}
+		}
+		return p, true, nil
+	}
+	if f.persistent != nil {
+		return Plan{}, false, &fs.PathError{Op: string(op), Path: "<injected>", Err: f.persistent}
+	}
+	return Plan{}, false, nil
+}
+
+// OpenFile implements FS. Opens that can create or truncate count as
+// mutations; read-only opens count only with countReads.
+func (f *Fault) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	writable := flag&(os.O_CREATE|os.O_TRUNC|os.O_WRONLY|os.O_RDWR|os.O_APPEND) != 0
+	if writable {
+		p, ok, err := f.step(OpOpen)
+		if err != nil {
+			return nil, err
+		}
+		if ok && p.Kind != KindFlip {
+			return nil, p.Err
+		}
+	}
+	inner, err := f.inner.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{f: f, inner: inner, writable: writable}, nil
+}
+
+// Open implements FS. Read-only opens are not counted.
+func (f *Fault) Open(name string) (File, error) {
+	f.mu.Lock()
+	dead := f.crashed
+	f.mu.Unlock()
+	if dead {
+		return nil, ErrCrashed
+	}
+	inner, err := f.inner.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{f: f, inner: inner}, nil
+}
+
+func (f *Fault) mutate(op Op, fn func() error) error {
+	p, ok, err := f.step(op)
+	if err != nil {
+		return err
+	}
+	if ok && p.Kind != KindFlip {
+		return p.Err
+	}
+	return fn()
+}
+
+// MkdirAll implements FS.
+func (f *Fault) MkdirAll(path string, perm os.FileMode) error {
+	return f.mutate(OpMkdir, func() error { return f.inner.MkdirAll(path, perm) })
+}
+
+// Rename implements FS.
+func (f *Fault) Rename(oldpath, newpath string) error {
+	return f.mutate(OpRename, func() error { return f.inner.Rename(oldpath, newpath) })
+}
+
+// Remove implements FS.
+func (f *Fault) Remove(name string) error {
+	return f.mutate(OpRemove, func() error { return f.inner.Remove(name) })
+}
+
+// Stat implements FS (never counted or failed: metadata reads are not
+// on the durability path).
+func (f *Fault) Stat(name string) (fs.FileInfo, error) { return f.inner.Stat(name) }
+
+// ReadDir implements FS (never counted or failed).
+func (f *Fault) ReadDir(name string) ([]fs.DirEntry, error) { return f.inner.ReadDir(name) }
+
+// SyncDir implements FS.
+func (f *Fault) SyncDir(dir string) error {
+	return f.mutate(OpSyncDir, func() error { return f.inner.SyncDir(dir) })
+}
+
+// faultFile threads file operations back through the schedule.
+type faultFile struct {
+	f     *Fault
+	inner File
+	// writable marks handles whose close can lose buffered data;
+	// read-only closes are not counted or failed.
+	writable bool
+}
+
+func (ff *faultFile) Read(b []byte) (int, error) {
+	ff.f.mu.Lock()
+	dead := ff.f.crashed
+	ff.f.mu.Unlock()
+	if dead {
+		return 0, ErrCrashed
+	}
+	return ff.inner.Read(b)
+}
+
+func (ff *faultFile) Write(b []byte) (int, error) {
+	p, ok, err := ff.f.step(OpWrite)
+	if err != nil {
+		return 0, err
+	}
+	if ok {
+		switch p.Kind {
+		case KindShortWrite:
+			// Deterministic torn write: half the payload lands (at least
+			// one byte, so "torn" differs from "failed before writing").
+			k := len(b) / 2
+			if k == 0 && len(b) > 0 {
+				k = 1
+			}
+			if _, werr := ff.inner.Write(b[:k]); werr != nil {
+				return 0, werr
+			}
+			return k, p.Err
+		case KindFlip:
+			// Silent corruption: the write "succeeds" but one bit lies.
+			mut := append([]byte(nil), b...)
+			if len(mut) > 0 {
+				mut[len(mut)/2] ^= 0x40
+			}
+			if n, werr := ff.inner.Write(mut); werr != nil {
+				return n, werr
+			}
+			return len(b), nil
+		default:
+			return 0, p.Err
+		}
+	}
+	return ff.inner.Write(b)
+}
+
+func (ff *faultFile) Seek(offset int64, whence int) (int64, error) {
+	return ff.inner.Seek(offset, whence)
+}
+
+func (ff *faultFile) Sync() error {
+	return ff.f.mutate(OpSync, ff.inner.Sync)
+}
+
+func (ff *faultFile) Truncate(size int64) error {
+	return ff.f.mutate(OpTruncate, func() error { return ff.inner.Truncate(size) })
+}
+
+func (ff *faultFile) Close() error {
+	// Close is counted (a failed close can lose buffered data on real
+	// kernels) but a crashed FS still releases handles without error
+	// spam: the data-loss story is told by Crash itself.
+	ff.f.mu.Lock()
+	dead := ff.f.crashed
+	ff.f.mu.Unlock()
+	if dead {
+		_ = ff.inner.Close()
+		return ErrCrashed
+	}
+	if !ff.writable {
+		return ff.inner.Close()
+	}
+	return ff.f.mutate(OpClose, ff.inner.Close)
+}
+
+func (ff *faultFile) Name() string { return ff.inner.Name() }

@@ -1,0 +1,465 @@
+package vfs
+
+import (
+	"io"
+	"io/fs"
+	"os"
+	"path"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Mem is an in-memory FS that models the durability contract of a real
+// POSIX filesystem, not the convenient fiction of one:
+//
+//   - File content written but never fsync'd is lost on Crash. Content
+//     up to the last successful Sync survives.
+//   - Namespace operations — create, rename, remove — take effect
+//     immediately in the live view but survive a crash only once the
+//     parent directory has been fsync'd (SyncDir) after them. A rename
+//     without a directory sync can roll back to the old file.
+//   - Everything is path-keyed and deterministic; there is no
+//     background writeback, so a given operation sequence always leaves
+//     the same post-crash state.
+//
+// This is deliberately the strict reading of POSIX (the one ext4 in
+// its default mode mostly spares you, and a power loss does not): code
+// that recovers correctly on Mem recovers correctly anywhere. Crash
+// flips the live state back to the durable state; the same Mem is then
+// re-opened by the recovery path under test, exactly like a process
+// restarting on the disk its predecessor died on.
+type Mem struct {
+	mu sync.Mutex
+	// live is the view syscalls see; durable is what a crash leaves.
+	live    map[string]*memNode
+	durable map[string]*memNode
+	// liveDirs / durableDirs are the directory namespaces.
+	liveDirs    map[string]bool
+	durableDirs map[string]bool
+}
+
+// memNode is one file's content. data is the live content; synced is
+// the content as of the last successful Sync. A node can be referenced
+// from both namespaces (live and durable) under different names during
+// an un-fsync'd rename.
+type memNode struct {
+	data   []byte
+	synced []byte
+}
+
+// NewMem returns an empty Mem with "/" durable.
+func NewMem() *Mem {
+	return &Mem{
+		live:        map[string]*memNode{},
+		durable:     map[string]*memNode{},
+		liveDirs:    map[string]bool{"/": true},
+		durableDirs: map[string]bool{"/": true},
+	}
+}
+
+// clean canonicalizes a path ("a//b/../c" and "a/c" must collide).
+func clean(p string) string {
+	p = path.Clean("/" + filepath.ToSlash(p))
+	return p
+}
+
+// Crash reverts the live state to the durable state: unsynced file
+// content and un-directory-synced namespace changes vanish, exactly as
+// on power loss. The Mem remains usable — recovery code then re-opens
+// it.
+func (m *Mem) Crash() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.live = make(map[string]*memNode, len(m.durable))
+	for p, n := range m.durable {
+		// The surviving content is the synced content.
+		m.live[p] = &memNode{data: append([]byte(nil), n.synced...), synced: append([]byte(nil), n.synced...)}
+	}
+	m.durable = make(map[string]*memNode, len(m.live))
+	for p, n := range m.live {
+		m.durable[p] = n
+	}
+	m.liveDirs = map[string]bool{}
+	for d := range m.durableDirs {
+		m.liveDirs[d] = true
+	}
+}
+
+// SyncAll makes the entire current live state durable (content and
+// namespace). Tests use it to establish a known-good baseline before
+// the faulty region of a scenario.
+func (m *Mem) SyncAll() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.durable = make(map[string]*memNode, len(m.live))
+	for p, n := range m.live {
+		n.synced = append([]byte(nil), n.data...)
+		m.durable[p] = n
+	}
+	m.durableDirs = map[string]bool{}
+	for d := range m.liveDirs {
+		m.durableDirs[d] = true
+	}
+}
+
+func (m *Mem) dirExists(dir string) bool {
+	return m.liveDirs[dir]
+}
+
+func (m *Mem) pathErr(op, name string, err error) error {
+	return &fs.PathError{Op: op, Path: name, Err: err}
+}
+
+// OpenFile implements FS.
+func (m *Mem) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	p := clean(name)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.liveDirs[p] {
+		return nil, m.pathErr("open", name, errIsDir)
+	}
+	n, ok := m.live[p]
+	switch {
+	case !ok && flag&os.O_CREATE == 0:
+		return nil, m.pathErr("open", name, fs.ErrNotExist)
+	case !ok:
+		if !m.dirExists(path.Dir(p)) {
+			return nil, m.pathErr("open", name, fs.ErrNotExist)
+		}
+		n = &memNode{}
+		m.live[p] = n
+		// Deliberately NOT added to durable: the entry survives a crash
+		// only after SyncDir on the parent (or Sync on the file, which
+		// on journaling filesystems also persists the inode's linkage —
+		// modeled in memFile.Sync).
+	}
+	if flag&os.O_TRUNC != 0 {
+		n.data = nil
+	}
+	f := &memFile{m: m, node: n, path: p, name: name, writable: flag&(os.O_WRONLY|os.O_RDWR) != 0}
+	if flag&os.O_APPEND != 0 {
+		f.off = int64(len(n.data))
+	}
+	return f, nil
+}
+
+// Open implements FS.
+func (m *Mem) Open(name string) (File, error) {
+	return m.OpenFile(name, os.O_RDONLY, 0)
+}
+
+// MkdirAll implements FS. Directories become durable on SyncDir of the
+// parent; MkdirAll itself only updates the live namespace.
+func (m *Mem) MkdirAll(dir string, perm os.FileMode) error {
+	p := clean(dir)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, isFile := m.live[p]; isFile {
+		return m.pathErr("mkdir", dir, errNotDir)
+	}
+	for cur := p; ; cur = path.Dir(cur) {
+		m.liveDirs[cur] = true
+		if cur == "/" {
+			break
+		}
+	}
+	return nil
+}
+
+// Rename implements FS. The live namespace changes immediately; the
+// durable namespace changes only on SyncDir.
+func (m *Mem) Rename(oldpath, newpath string) error {
+	op, np := clean(oldpath), clean(newpath)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n, ok := m.live[op]
+	if !ok {
+		return &os.LinkError{Op: "rename", Old: oldpath, New: newpath, Err: fs.ErrNotExist}
+	}
+	if !m.dirExists(path.Dir(np)) {
+		return &os.LinkError{Op: "rename", Old: oldpath, New: newpath, Err: fs.ErrNotExist}
+	}
+	delete(m.live, op)
+	m.live[np] = n
+	return nil
+}
+
+// Remove implements FS.
+func (m *Mem) Remove(name string) error {
+	p := clean(name)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.liveDirs[p] {
+		for other := range m.live {
+			if strings.HasPrefix(other, p+"/") {
+				return m.pathErr("remove", name, errNotEmpty)
+			}
+		}
+		delete(m.liveDirs, p)
+		return nil
+	}
+	if _, ok := m.live[p]; !ok {
+		return m.pathErr("remove", name, fs.ErrNotExist)
+	}
+	delete(m.live, p)
+	return nil
+}
+
+// Stat implements FS.
+func (m *Mem) Stat(name string) (fs.FileInfo, error) {
+	p := clean(name)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.liveDirs[p] {
+		return memInfo{name: path.Base(p), dir: true}, nil
+	}
+	if n, ok := m.live[p]; ok {
+		return memInfo{name: path.Base(p), size: int64(len(n.data))}, nil
+	}
+	return nil, m.pathErr("stat", name, fs.ErrNotExist)
+}
+
+// ReadDir implements FS.
+func (m *Mem) ReadDir(name string) ([]fs.DirEntry, error) {
+	p := clean(name)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if !m.liveDirs[p] {
+		return nil, m.pathErr("readdir", name, fs.ErrNotExist)
+	}
+	var out []fs.DirEntry
+	seen := map[string]bool{}
+	prefix := p + "/"
+	if p == "/" {
+		prefix = "/"
+	}
+	for fp, n := range m.live {
+		if !strings.HasPrefix(fp, prefix) {
+			continue
+		}
+		rest := strings.TrimPrefix(fp, prefix)
+		if i := strings.IndexByte(rest, '/'); i >= 0 {
+			continue // deeper than one level; the dir entry covers it
+		}
+		if !seen[rest] {
+			seen[rest] = true
+			out = append(out, memEntry{memInfo{name: rest, size: int64(len(n.data))}})
+		}
+	}
+	for dp := range m.liveDirs {
+		if !strings.HasPrefix(dp, prefix) || dp == p {
+			continue
+		}
+		rest := strings.TrimPrefix(dp, prefix)
+		if i := strings.IndexByte(rest, '/'); i >= 0 {
+			rest = rest[:i]
+		}
+		if !seen[rest] {
+			seen[rest] = true
+			out = append(out, memEntry{memInfo{name: rest, dir: true}})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name() < out[j].Name() })
+	return out, nil
+}
+
+// SyncDir implements FS: every live namespace fact one level under dir
+// (file entries, renames, removals, child directories) becomes durable.
+func (m *Mem) SyncDir(dir string) error {
+	p := clean(dir)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if !m.liveDirs[p] {
+		return m.pathErr("syncdir", dir, fs.ErrNotExist)
+	}
+	prefix := p + "/"
+	if p == "/" {
+		prefix = "/"
+	}
+	direct := func(fp string) bool {
+		return strings.HasPrefix(fp, prefix) && !strings.Contains(strings.TrimPrefix(fp, prefix), "/")
+	}
+	// Removals and renames-away first: durable entries directly under
+	// dir that no longer exist live.
+	for fp := range m.durable {
+		if direct(fp) {
+			if _, ok := m.live[fp]; !ok {
+				delete(m.durable, fp)
+			}
+		}
+	}
+	for dp := range m.durableDirs {
+		if direct(dp) && !m.liveDirs[dp] {
+			delete(m.durableDirs, dp)
+		}
+	}
+	// Creations and renames-in.
+	for fp, n := range m.live {
+		if direct(fp) {
+			m.durable[fp] = n
+		}
+	}
+	for dp := range m.liveDirs {
+		if direct(dp) {
+			m.durableDirs[dp] = true
+		}
+	}
+	return nil
+}
+
+// memFile is one open handle.
+type memFile struct {
+	m        *Mem
+	node     *memNode
+	path     string
+	name     string
+	off      int64
+	writable bool
+	closed   bool
+}
+
+func (f *memFile) Read(b []byte) (int, error) {
+	f.m.mu.Lock()
+	defer f.m.mu.Unlock()
+	if f.closed {
+		return 0, fs.ErrClosed
+	}
+	if f.off >= int64(len(f.node.data)) {
+		return 0, io.EOF
+	}
+	n := copy(b, f.node.data[f.off:])
+	f.off += int64(n)
+	return n, nil
+}
+
+func (f *memFile) Write(b []byte) (int, error) {
+	f.m.mu.Lock()
+	defer f.m.mu.Unlock()
+	if f.closed {
+		return 0, fs.ErrClosed
+	}
+	if !f.writable {
+		return 0, &fs.PathError{Op: "write", Path: f.name, Err: errReadOnly}
+	}
+	for int64(len(f.node.data)) < f.off {
+		f.node.data = append(f.node.data, 0)
+	}
+	f.node.data = append(f.node.data[:f.off], append(append([]byte(nil), b...), f.node.data[min64(f.off+int64(len(b)), int64(len(f.node.data))):]...)...)
+	f.off += int64(len(b))
+	return len(b), nil
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func (f *memFile) Seek(offset int64, whence int) (int64, error) {
+	f.m.mu.Lock()
+	defer f.m.mu.Unlock()
+	if f.closed {
+		return 0, fs.ErrClosed
+	}
+	switch whence {
+	case io.SeekStart:
+		f.off = offset
+	case io.SeekCurrent:
+		f.off += offset
+	case io.SeekEnd:
+		f.off = int64(len(f.node.data)) + offset
+	}
+	if f.off < 0 {
+		f.off = 0
+	}
+	return f.off, nil
+}
+
+// Sync makes the file's current content durable. Like a journaling
+// filesystem's fsync, it also persists the file's own directory entry
+// (but not renames of other files, and not entries elsewhere in the
+// tree) — without this, a brand-new WAL file would need a separate
+// directory sync before its very first record counted, which matches no
+// deployed filesystem and would make every historical state dir
+// "unrecoverable" retroactively.
+func (f *memFile) Sync() error {
+	f.m.mu.Lock()
+	defer f.m.mu.Unlock()
+	if f.closed {
+		return fs.ErrClosed
+	}
+	f.node.synced = append([]byte(nil), f.node.data...)
+	if cur, ok := f.m.live[f.path]; ok && cur == f.node {
+		f.m.durable[f.path] = f.node
+		for d := path.Dir(f.path); ; d = path.Dir(d) {
+			f.m.durableDirs[d] = true
+			if d == "/" {
+				break
+			}
+		}
+	}
+	return nil
+}
+
+func (f *memFile) Truncate(size int64) error {
+	f.m.mu.Lock()
+	defer f.m.mu.Unlock()
+	if f.closed {
+		return fs.ErrClosed
+	}
+	if !f.writable {
+		return &fs.PathError{Op: "truncate", Path: f.name, Err: errReadOnly}
+	}
+	for int64(len(f.node.data)) < size {
+		f.node.data = append(f.node.data, 0)
+	}
+	f.node.data = f.node.data[:size]
+	return nil
+}
+
+func (f *memFile) Close() error {
+	f.m.mu.Lock()
+	defer f.m.mu.Unlock()
+	if f.closed {
+		return fs.ErrClosed
+	}
+	f.closed = true
+	return nil
+}
+
+func (f *memFile) Name() string { return f.name }
+
+// memInfo / memEntry implement fs.FileInfo / fs.DirEntry.
+type memInfo struct {
+	name string
+	size int64
+	dir  bool
+}
+
+func (i memInfo) Name() string { return i.name }
+func (i memInfo) Size() int64  { return i.size }
+func (i memInfo) Mode() fs.FileMode {
+	if i.dir {
+		return fs.ModeDir | 0o755
+	}
+	return 0o644
+}
+func (i memInfo) ModTime() time.Time { return time.Time{} }
+func (i memInfo) IsDir() bool        { return i.dir }
+func (i memInfo) Sys() any           { return nil }
+
+type memEntry struct{ memInfo }
+
+func (e memEntry) Type() fs.FileMode          { return e.Mode().Type() }
+func (e memEntry) Info() (fs.FileInfo, error) { return e.memInfo, nil }
+
+var (
+	errIsDir    = fs.ErrInvalid
+	errNotDir   = fs.ErrInvalid
+	errNotEmpty = fs.ErrInvalid
+	errReadOnly = fs.ErrPermission
+)

@@ -1,0 +1,184 @@
+package vfs
+
+import (
+	"errors"
+	"io/fs"
+	"os"
+	"testing"
+)
+
+// writeAll is a test helper: create/truncate path and write data.
+func writeAll(t *testing.T, fsys FS, path string, data string) File {
+	t.Helper()
+	f, err := fsys.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		t.Fatalf("open %s: %v", path, err)
+	}
+	if _, err := f.Write([]byte(data)); err != nil {
+		t.Fatalf("write %s: %v", path, err)
+	}
+	return f
+}
+
+func readAll(t *testing.T, fsys FS, path string) (string, error) {
+	t.Helper()
+	b, err := ReadFile(fsys, path)
+	return string(b), err
+}
+
+// TestMemUnsyncedContentLostOnCrash pins the core durability rule: file
+// content survives a crash only up to the last successful Sync.
+func TestMemUnsyncedContentLostOnCrash(t *testing.T) {
+	m := NewMem()
+	f := writeAll(t, m, "/a.txt", "durable")
+	if err := f.Sync(); err != nil {
+		t.Fatalf("sync: %v", err)
+	}
+	if _, err := f.Write([]byte(" lost")); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	// Live view sees everything; the crash rolls back to the sync.
+	if got, _ := readAll(t, m, "/a.txt"); got != "durable lost" {
+		t.Fatalf("live content = %q", got)
+	}
+	m.Crash()
+	if got, err := readAll(t, m, "/a.txt"); err != nil || got != "durable" {
+		t.Fatalf("post-crash content = %q, %v; want %q", got, err, "durable")
+	}
+}
+
+// TestMemNeverSyncedFileVanishesOnCrash: a file created and written but
+// never fsync'd has no durable existence at all.
+func TestMemNeverSyncedFileVanishesOnCrash(t *testing.T) {
+	m := NewMem()
+	f := writeAll(t, m, "/ghost.txt", "boo")
+	_ = f.Close()
+	m.Crash()
+	if _, err := readAll(t, m, "/ghost.txt"); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("ghost file survived the crash: err=%v", err)
+	}
+}
+
+// TestMemFileSyncPersistsOwnDirEntry: like a journaling filesystem,
+// fsync of a fresh file persists the file's own directory entry, so a
+// brand-new WAL's first record counts without a separate SyncDir.
+func TestMemFileSyncPersistsOwnDirEntry(t *testing.T) {
+	m := NewMem()
+	if err := m.MkdirAll("/state", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	f := writeAll(t, m, "/state/log", "rec1\n")
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	_ = f.Close()
+	m.Crash()
+	if got, err := readAll(t, m, "/state/log"); err != nil || got != "rec1\n" {
+		t.Fatalf("post-crash = %q, %v", got, err)
+	}
+}
+
+// TestMemRenameNeedsSyncDir: a rename is immediately visible live but
+// survives a crash only after SyncDir on the directory.
+func TestMemRenameNeedsSyncDir(t *testing.T) {
+	for _, synced := range []bool{false, true} {
+		m := NewMem()
+		f := writeAll(t, m, "/old", "v1")
+		if err := f.Sync(); err != nil {
+			t.Fatal(err)
+		}
+		_ = f.Close()
+		if err := m.Rename("/old", "/new"); err != nil {
+			t.Fatalf("rename: %v", err)
+		}
+		if synced {
+			if err := m.SyncDir("/"); err != nil {
+				t.Fatalf("syncdir: %v", err)
+			}
+		}
+		m.Crash()
+		_, errNew := readAll(t, m, "/new")
+		_, errOld := readAll(t, m, "/old")
+		if synced && (errNew != nil || errOld == nil) {
+			t.Fatalf("synced rename did not survive: new=%v old=%v", errNew, errOld)
+		}
+		if !synced && errOld != nil {
+			t.Fatalf("un-synced rename destroyed the old durable entry: old=%v", errOld)
+		}
+	}
+}
+
+// TestMemRemoveNeedsSyncDir: an un-directory-synced remove resurrects
+// the file on crash.
+func TestMemRemoveNeedsSyncDir(t *testing.T) {
+	m := NewMem()
+	f := writeAll(t, m, "/doomed", "v1")
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	_ = f.Close()
+	if err := m.Remove("/doomed"); err != nil {
+		t.Fatalf("remove: %v", err)
+	}
+	m.Crash()
+	if got, err := readAll(t, m, "/doomed"); err != nil || got != "v1" {
+		t.Fatalf("un-synced remove should roll back on crash: %q, %v", got, err)
+	}
+
+	// And with the SyncDir, the removal is final.
+	if err := m.Remove("/doomed"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SyncDir("/"); err != nil {
+		t.Fatal(err)
+	}
+	m.Crash()
+	if _, err := readAll(t, m, "/doomed"); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("synced remove rolled back: err=%v", err)
+	}
+}
+
+// TestMemTruncateAndSeek exercises the in-place update paths WALs use
+// for tail repair.
+func TestMemTruncateAndSeek(t *testing.T) {
+	m := NewMem()
+	f := writeAll(t, m, "/log", "aaaa\nbbbb\ntorn")
+	if err := f.Truncate(10); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	_ = f.Close()
+	m.Crash()
+	if got, _ := readAll(t, m, "/log"); got != "aaaa\nbbbb\n" {
+		t.Fatalf("after truncate+sync+crash: %q", got)
+	}
+}
+
+// TestWriteFileAtomicMem: the atomic-write helper leaves either nothing
+// (pre-rename crash has no durable target) or the complete new content.
+func TestWriteFileAtomicMem(t *testing.T) {
+	m := NewMem()
+	if err := m.MkdirAll("/d", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SyncDir("/"); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFileAtomic(m, "/d/ckpt", []byte("v1"), 0o644); err != nil {
+		t.Fatalf("WriteFileAtomic: %v", err)
+	}
+	m.Crash()
+	if got, err := readAll(t, m, "/d/ckpt"); err != nil || got != "v1" {
+		t.Fatalf("atomic write not durable: %q, %v", got, err)
+	}
+	// No temp file lingers.
+	if _, err := m.Stat("/d/ckpt.tmp"); err == nil {
+		t.Fatalf("temp file left behind")
+	}
+}

@@ -1,0 +1,83 @@
+package wal
+
+import (
+	"time"
+
+	"rvpsim/internal/obs"
+)
+
+// Metrics is the engine's shared instrument set. One Metrics typically
+// serves every WAL in a process (the counters aggregate across logs);
+// all methods are nil-safe so unwired code paths cost one branch.
+type Metrics struct {
+	mAppends      *obs.Counter
+	mAppendErrors *obs.Counter
+	mRepairs      *obs.Counter
+	mReplayed     *obs.Counter
+	mScrubbed     *obs.Counter
+	mScrubCorrupt *obs.Counter
+	mQuarantined  *obs.Counter
+	hFsyncUS      *obs.Histogram
+}
+
+// NewMetrics registers the wal_* instruments on reg.
+func NewMetrics(reg *obs.Registry) *Metrics {
+	return &Metrics{
+		mAppends:      reg.Counter("wal_appends_total", "records durably appended across all WALs"),
+		mAppendErrors: reg.Counter("wal_append_errors_total", "appends failed (write, fsync, or rollback error); the record was not acknowledged"),
+		mRepairs:      reg.Counter("wal_repairs_total", "torn-tail repairs performed on open"),
+		mReplayed:     reg.Counter("wal_records_replayed_total", "records replayed from disk on open"),
+		mScrubbed:     reg.Counter("wal_scrub_files_total", "log files scrubbed"),
+		mScrubCorrupt: reg.Counter("wal_scrub_corrupt_records_total", "damaged records found by scrubs"),
+		mQuarantined:  reg.Counter("wal_scrub_quarantined_total", "files quarantined by scrubs"),
+		hFsyncUS:      reg.Histogram("wal_fsync_us", "append fsync latency, microseconds", obs.ExpBuckets(16, 2, 16)),
+	}
+}
+
+func (m *Metrics) appends(n int64) {
+	if m != nil {
+		m.mAppends.Add(n)
+	}
+}
+
+func (m *Metrics) appendErrors(n int64) {
+	if m != nil {
+		m.mAppendErrors.Add(n)
+	}
+}
+
+func (m *Metrics) repairs(n int64) {
+	if m != nil {
+		m.mRepairs.Add(n)
+	}
+}
+
+func (m *Metrics) replayed(n int64) {
+	if m != nil {
+		m.mReplayed.Add(n)
+	}
+}
+
+func (m *Metrics) scrubbed(n int64) {
+	if m != nil {
+		m.mScrubbed.Add(n)
+	}
+}
+
+func (m *Metrics) scrubCorrupt(n int64) {
+	if m != nil {
+		m.mScrubCorrupt.Add(n)
+	}
+}
+
+func (m *Metrics) quarantined(n int64) {
+	if m != nil {
+		m.mQuarantined.Add(n)
+	}
+}
+
+func (m *Metrics) fsync(d time.Duration) {
+	if m != nil {
+		m.hFsyncUS.Observe(d.Microseconds())
+	}
+}

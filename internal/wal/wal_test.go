@@ -1,0 +1,352 @@
+package wal
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"testing"
+
+	"rvpsim/internal/simerr"
+	"rvpsim/internal/vfs"
+)
+
+type testRec struct {
+	N int    `json:"n"`
+	S string `json:"s"`
+}
+
+func openCollect(t *testing.T, fsys vfs.FS, path string) (*WAL, *[]testRec) {
+	t.Helper()
+	var recs []testRec
+	w, err := Open(path, Options{FS: fsys}, func(raw json.RawMessage) error {
+		var r testRec
+		if err := json.Unmarshal(raw, &r); err != nil {
+			return err
+		}
+		recs = append(recs, r)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return w, &recs
+}
+
+// TestRoundTrip: append, close, reopen, replay.
+func TestRoundTrip(t *testing.T) {
+	m := vfs.NewMem()
+	w, _ := openCollect(t, m, "/state/log.jsonl")
+	for i := 0; i < 5; i++ {
+		if err := w.Append(testRec{N: i, S: "x"}); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	w2, recs := openCollect(t, m, "/state/log.jsonl")
+	defer w2.Close()
+	if len(*recs) != 5 || w2.Records() != 5 || w2.Truncated != 0 {
+		t.Fatalf("reopen: %d records, Records()=%d, Truncated=%d", len(*recs), w2.Records(), w2.Truncated)
+	}
+	for i, r := range *recs {
+		if r.N != i {
+			t.Fatalf("record %d = %+v", i, r)
+		}
+	}
+}
+
+// TestAppendDurableAcrossCrash: a nil-returning Append survives
+// Mem.Crash — the acknowledgment IS the durability claim.
+func TestAppendDurableAcrossCrash(t *testing.T) {
+	m := vfs.NewMem()
+	w, _ := openCollect(t, m, "/state/log.jsonl")
+	if err := w.Append(testRec{N: 1}); err != nil {
+		t.Fatal(err)
+	}
+	m.Crash()
+	w2, recs := openCollect(t, m, "/state/log.jsonl")
+	defer w2.Close()
+	if len(*recs) != 1 || (*recs)[0].N != 1 {
+		t.Fatalf("acknowledged record lost: %+v", *recs)
+	}
+}
+
+// TestTailRepairDurable: a torn tail is truncated on open, the repair
+// itself survives a crash, and the damage is counted.
+func TestTailRepairDurable(t *testing.T) {
+	m := vfs.NewMem()
+	w, _ := openCollect(t, m, "/log.jsonl")
+	_ = w.Append(testRec{N: 1})
+	_ = w.Append(testRec{N: 2})
+	_ = w.Close()
+
+	// Tear the tail: append garbage directly.
+	f, err := m.OpenFile("/log.jsonl", os.O_WRONLY|os.O_RDWR, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Seek(0, 2); err != nil {
+		t.Fatal(err)
+	}
+	_, _ = f.Write([]byte(`{"crc":1,"rec":{"n"`)) // torn, unterminated
+	_ = f.Sync()
+	_ = f.Close()
+
+	w2, recs := openCollect(t, m, "/log.jsonl")
+	if len(*recs) != 2 || w2.Truncated != 1 {
+		t.Fatalf("repair: %d records, Truncated=%d", len(*recs), w2.Truncated)
+	}
+	_ = w2.Append(testRec{N: 3})
+	_ = w2.Close()
+	m.Crash()
+
+	w3, recs3 := openCollect(t, m, "/log.jsonl")
+	defer w3.Close()
+	if len(*recs3) != 3 || w3.Truncated != 0 {
+		t.Fatalf("post-crash reopen: %d records, Truncated=%d (torn bytes resurrected?)", len(*recs3), w3.Truncated)
+	}
+}
+
+// TestInteriorDamageRefusesOpen: damage with valid records after it is
+// a typed error, never a silent truncation, and the file is untouched.
+func TestInteriorDamageRefusesOpen(t *testing.T) {
+	m := vfs.NewMem()
+	w, _ := openCollect(t, m, "/log.jsonl")
+	for i := 0; i < 3; i++ {
+		_ = w.Append(testRec{N: i})
+	}
+	_ = w.Close()
+
+	data, err := vfs.ReadFile(m, "/log.jsonl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a byte inside the first record.
+	mut := append([]byte(nil), data...)
+	mut[10] ^= 0x01
+	f, _ := m.OpenFile("/log.jsonl", os.O_WRONLY|os.O_TRUNC, 0o644)
+	_, _ = f.Write(mut)
+	_ = f.Sync()
+	_ = f.Close()
+
+	_, err = Open("/log.jsonl", Options{FS: m}, nil)
+	if err == nil {
+		t.Fatalf("interior damage opened silently")
+	}
+	var ce *CorruptError
+	if !errors.As(err, &ce) {
+		t.Fatalf("error type %T (%v), want *CorruptError", err, err)
+	}
+	if !errors.Is(err, simerr.ErrCorrupt) {
+		t.Fatalf("CorruptError does not wrap simerr.ErrCorrupt: %v", err)
+	}
+	if ce.Line != 1 {
+		t.Fatalf("damage reported at line %d, want 1", ce.Line)
+	}
+	after, _ := vfs.ReadFile(m, "/log.jsonl")
+	if string(after) != string(mut) {
+		t.Fatalf("refusing open still modified the file")
+	}
+}
+
+// TestENOSPCHeals: appends fail while the disk is full, the failed
+// bytes are rolled back, and the log takes appends again when space
+// returns — with no phantom or torn records in between.
+func TestENOSPCHeals(t *testing.T) {
+	m := vfs.NewMem()
+	fault := vfs.NewFault(m)
+	w, _ := openCollect(t, fault, "/log.jsonl")
+	if err := w.Append(testRec{N: 1}); err != nil {
+		t.Fatal(err)
+	}
+
+	fault.SetPersistent(vfs.ENOSPC)
+	for i := 0; i < 3; i++ {
+		if err := w.Append(testRec{N: 100 + i}); err == nil {
+			t.Fatalf("append %d succeeded under ENOSPC", i)
+		}
+	}
+	if err := w.Probe(); err == nil {
+		t.Fatalf("probe succeeded under ENOSPC")
+	}
+
+	fault.SetPersistent(nil)
+	if err := w.Probe(); err != nil {
+		t.Fatalf("probe after space returned: %v", err)
+	}
+	if err := w.Append(testRec{N: 2}); err != nil {
+		t.Fatalf("append after space returned: %v", err)
+	}
+	_ = w.Close()
+
+	w2, recs := openCollect(t, m, "/log.jsonl")
+	defer w2.Close()
+	if len(*recs) != 2 || (*recs)[0].N != 1 || (*recs)[1].N != 2 {
+		t.Fatalf("post-heal log: %+v (failed appends leaked?)", *recs)
+	}
+	if w2.Truncated != 0 {
+		t.Fatalf("post-heal log still torn: Truncated=%d", w2.Truncated)
+	}
+}
+
+// TestFlipDetectedOnReopen: a silently-corrupted write (the disk lied)
+// is caught by the CRC on the next open — as interior damage once valid
+// appends follow it, which is exactly the never-silent contract.
+func TestFlipDetectedOnReopen(t *testing.T) {
+	m := vfs.NewMem()
+	fault := vfs.NewFault(m)
+	w, _ := openCollect(t, fault, "/log.jsonl")
+	_ = w.Append(testRec{N: 1})
+	// The very next counted op is the second append's write: flip it.
+	fault.FailAt(vfs.Plan{At: fault.Ops(), Kind: vfs.KindFlip})
+	if err := w.Append(testRec{N: 2}); err != nil {
+		t.Fatalf("flipped append must look successful: %v", err)
+	}
+	if err := w.Append(testRec{N: 3}); err != nil {
+		t.Fatal(err)
+	}
+	_ = w.Close()
+
+	_, err := Open("/log.jsonl", Options{FS: m}, nil)
+	var ce *CorruptError
+	if !errors.As(err, &ce) {
+		t.Fatalf("flipped record not detected: err=%v", err)
+	}
+	if ce.Line != 2 {
+		t.Fatalf("damage at line %d, want 2", ce.Line)
+	}
+}
+
+// TestLegacyFormatCompat: a file hand-built in the historical envelope
+// format (predating internal/wal) replays cleanly — the engine IS the
+// compat decoder.
+func TestLegacyFormatCompat(t *testing.T) {
+	m := vfs.NewMem()
+	var legacy []byte
+	for i := 0; i < 3; i++ {
+		payload := []byte(fmt.Sprintf(`{"n":%d,"s":"legacy"}`, i))
+		line, err := json.Marshal(struct {
+			CRC uint32          `json:"crc"`
+			Rec json.RawMessage `json:"rec"`
+		}{crc32.ChecksumIEEE(payload), payload})
+		if err != nil {
+			t.Fatal(err)
+		}
+		legacy = append(legacy, append(line, '\n')...)
+	}
+	f, err := m.OpenFile("/legacy.jsonl", os.O_WRONLY|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _ = f.Write(legacy)
+	_ = f.Sync()
+	_ = f.Close()
+
+	w, recs := openCollect(t, m, "/legacy.jsonl")
+	if len(*recs) != 3 || w.Truncated != 0 {
+		t.Fatalf("legacy replay: %d records, Truncated=%d", len(*recs), w.Truncated)
+	}
+	// And what the engine appends stays in the same format: re-parse
+	// with the hand-rolled decoder.
+	if err := w.Append(testRec{N: 3, S: "new"}); err != nil {
+		t.Fatal(err)
+	}
+	_ = w.Close()
+	data, _ := vfs.ReadFile(m, "/legacy.jsonl")
+	lines := 0
+	for _, line := range splitLines(data) {
+		var env struct {
+			CRC uint32          `json:"crc"`
+			Rec json.RawMessage `json:"rec"`
+		}
+		if err := json.Unmarshal(line, &env); err != nil {
+			t.Fatalf("line %d not legacy-parseable: %v", lines, err)
+		}
+		if crc32.ChecksumIEEE(env.Rec) != env.CRC {
+			t.Fatalf("line %d fails legacy CRC", lines)
+		}
+		lines++
+	}
+	if lines != 4 {
+		t.Fatalf("file has %d lines, want 4", lines)
+	}
+}
+
+func splitLines(data []byte) [][]byte {
+	var out [][]byte
+	start := 0
+	for i, b := range data {
+		if b == '\n' {
+			out = append(out, data[start:i])
+			start = i + 1
+		}
+	}
+	return out
+}
+
+// TestScrubRepairQuarantine exercises the fsck primitives end to end.
+func TestScrubRepairQuarantine(t *testing.T) {
+	m := vfs.NewMem()
+	w, _ := openCollect(t, m, "/state/log.jsonl")
+	for i := 0; i < 3; i++ {
+		_ = w.Append(testRec{N: i})
+	}
+	_ = w.Close()
+	clean, err := Scrub(m, "/state/log.jsonl", nil)
+	if err != nil || !clean.Clean() || clean.Records != 3 {
+		t.Fatalf("clean scrub: %+v, %v", clean, err)
+	}
+
+	// Torn tail: RepairTail fixes it and preserves the cut bytes.
+	f, _ := m.OpenFile("/state/log.jsonl", os.O_WRONLY|os.O_RDWR, 0o644)
+	_, _ = f.Seek(0, 2)
+	_, _ = f.Write([]byte("garbage"))
+	_ = f.Sync()
+	_ = f.Close()
+	rep, err := Scrub(m, "/state/log.jsonl", nil)
+	if err != nil || rep.Clean() || rep.Interior {
+		t.Fatalf("torn scrub: %+v, %v", rep, err)
+	}
+	rep, err = RepairTail(m, "/state/log.jsonl", "/q", nil)
+	if err != nil || !rep.Repaired {
+		t.Fatalf("RepairTail: %+v, %v", rep, err)
+	}
+	if cut, err := vfs.ReadFile(m, "/q/log.jsonl.tail"); err != nil || string(cut) != "garbage" {
+		t.Fatalf("cut bytes not preserved: %q, %v", cut, err)
+	}
+	w2, recs := openCollect(t, m, "/state/log.jsonl")
+	if len(*recs) != 3 || w2.Truncated != 0 {
+		t.Fatalf("after repair: %d records, Truncated=%d", len(*recs), w2.Truncated)
+	}
+	_ = w2.Close()
+
+	// Interior damage: RepairTail refuses; Quarantine moves the file.
+	data, _ := vfs.ReadFile(m, "/state/log.jsonl")
+	mut := append([]byte(nil), data...)
+	mut[8] ^= 0x01
+	f, _ = m.OpenFile("/state/log.jsonl", os.O_WRONLY|os.O_TRUNC, 0o644)
+	_, _ = f.Write(mut)
+	_ = f.Sync()
+	_ = f.Close()
+	rep, err = Scrub(m, "/state/log.jsonl", nil)
+	if err != nil || !rep.Interior {
+		t.Fatalf("interior scrub: %+v, %v", rep, err)
+	}
+	if _, err := RepairTail(m, "/state/log.jsonl", "/q", nil); !errors.Is(err, simerr.ErrCorrupt) {
+		t.Fatalf("RepairTail accepted interior damage: %v", err)
+	}
+	dst, err := Quarantine(m, "/state/log.jsonl", "/q", nil)
+	if err != nil {
+		t.Fatalf("Quarantine: %v", err)
+	}
+	if moved, err := vfs.ReadFile(m, dst); err != nil || string(moved) != string(mut) {
+		t.Fatalf("quarantined bytes differ: %v", err)
+	}
+	if _, err := m.Stat("/state/log.jsonl"); err == nil {
+		t.Fatalf("damaged file still in place after quarantine")
+	}
+}
