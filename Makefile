@@ -4,11 +4,11 @@
 
 GO ?= go
 
-.PHONY: all ci vet build test race determinism lockstep bench bench-smoke fmt-check fuzz-smoke faults staticcheck govulncheck serve-smoke obs-smoke fleet-smoke storage-faults fsck-smoke sync-vet
+.PHONY: all ci vet build test race determinism lockstep bench bench-parallel bench-smoke fmt-check fuzz-smoke faults staticcheck govulncheck serve-smoke obs-smoke fleet-smoke storage-faults fsck-smoke sync-vet pgo release
 
 all: ci
 
-ci: fmt-check vet sync-vet staticcheck govulncheck build race determinism faults storage-faults fuzz-smoke bench-smoke serve-smoke obs-smoke fleet-smoke fsck-smoke
+ci: fmt-check vet sync-vet staticcheck govulncheck build race determinism faults storage-faults fuzz-smoke bench-smoke bench-parallel serve-smoke obs-smoke fleet-smoke fsck-smoke
 
 vet:
 	$(GO) vet ./...
@@ -35,8 +35,13 @@ lockstep:
 # Full benchmark sweep through the regression harness: 3 averaged
 # repetitions of every benchmark, appended to BENCH_pipeline.json and
 # compared against the previous recorded run (>10% IPS drop fails).
+# The machine-saturation trajectory runs after it: one simulator per
+# worker at 1, 2 and NumCPU workers appended to BENCH_parallel.json,
+# gating both scaling efficiency at full width (>= 0.75x linear) and
+# aggregate per-machine throughput vs the previous entry.
 bench:
 	$(GO) run ./cmd/benchreg -compare
+	$(GO) run ./cmd/benchreg -parallel -compare
 
 # CI fast path: one short BenchmarkSimulator repetition through the same
 # harness, written to a throwaway file — proves the benchmark and the
@@ -44,6 +49,12 @@ bench:
 bench-smoke:
 	$(GO) run ./cmd/benchreg -smoke -out BENCH_smoke.json
 	@rm -f BENCH_smoke.json
+
+# CI fast path for the saturation benchmark: one short repetition of
+# BenchmarkSimulatorParallel through the harness to a throwaway file.
+bench-parallel:
+	$(GO) run ./cmd/benchreg -smoke -parallel -out BENCH_parallel_smoke.json
+	@rm -f BENCH_parallel_smoke.json
 
 # Short fuzzing pass: 30s per native fuzz target. Long exploratory runs
 # stay manual (go test -fuzz FuzzAssemble -fuzztime 10m ./internal/asm).
@@ -183,3 +194,24 @@ fsck-smoke:
 
 fmt-check:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+# Profile-guided optimization. `make pgo` captures a CPU profile of a
+# representative sweep (the saturation benchmark plus one figure sweep)
+# into default.pgo; `make release` then builds the binaries with that
+# profile applied. The profile is a local artifact (gitignored): release
+# falls back to a plain build when it is absent, so CI stays hermetic.
+pgo:
+	@tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
+	$(GO) test -run '^$$' -bench 'BenchmarkSimulatorParallel|BenchmarkFigure5' \
+		-benchtime 3x -count 1 -cpuprofile default.pgo -o "$$tmp/bench.test" .; \
+	echo "wrote default.pgo; run 'make release' to build with it"
+
+release:
+	@mkdir -p bin
+	@if [ -f default.pgo ]; then \
+		echo "building with profile-guided optimization (default.pgo)"; \
+		$(GO) build -pgo=default.pgo -o bin/ ./cmd/...; \
+	else \
+		echo "default.pgo not found; plain build (run 'make pgo' first to enable PGO)"; \
+		$(GO) build -o bin/ ./cmd/...; \
+	fi

@@ -11,9 +11,13 @@ package rvpsim_test
 // shows up here as thousands of allocations and fails loudly.
 
 import (
+	"sync"
 	"testing"
 
 	"rvpsim"
+	"rvpsim/internal/core"
+	"rvpsim/internal/pipeline"
+	"rvpsim/internal/workloads"
 )
 
 const (
@@ -51,5 +55,62 @@ func TestZeroAllocsPerCommit(t *testing.T) {
 	// not real per-commit allocation: one alloc per commit would read 1.0.
 	if perCommit > 0.001 {
 		t.Fatalf("steady-state allocation regression: %.6f allocs/commit (want ~0)", perCommit)
+	}
+}
+
+// TestZeroAllocsPerCommitParallel is the same marginal-cost guard on the
+// machine-saturation path: several goroutines each drive a private,
+// reused simulator (the recycled-runState arena sweeps rely on), so any
+// per-commit allocation OR cross-worker allocator contention structure
+// (a shared pool, a global free list) that sneaks into the loop shows up
+// as a nonzero delta. Workers each run to completion inside one
+// AllocsPerRun body; the counter is process-wide, so the delta is
+// normalized by total extra instructions across all workers.
+func TestZeroAllocsPerCommitParallel(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector instrumentation allocates; guard is meaningless under -race")
+	}
+	if testing.Short() {
+		t.Skip("simulates 4.8M instructions; skipped with -short")
+	}
+	const workers = 4
+	prog, err := workloads.ByName("li")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := pipeline.BaselineConfig()
+	sims := make([]*pipeline.Sim, workers)
+	preds := make([]*core.DynamicRVP, workers)
+	for i := range sims {
+		sims[i] = pipeline.MustNew(cfg)
+		preds[i] = core.MustDynamicRVP(core.DefaultCounterConfig())
+		// One warmup run so every worker's runState arena exists before
+		// measurement — steady state, as in a sweep's second cell onward.
+		if _, err := sims[i].Run(prog, preds[i], allocGuardShort); err != nil {
+			t.Fatal(err)
+		}
+	}
+	measure := func(insts uint64) float64 {
+		return testing.AllocsPerRun(3, func() {
+			var wg sync.WaitGroup
+			for i := 0; i < workers; i++ {
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					if _, err := sims[i].Run(prog, preds[i], insts); err != nil {
+						t.Error(err)
+					}
+				}(i)
+			}
+			wg.Wait()
+		})
+	}
+	short := measure(allocGuardShort)
+	long := measure(allocGuardLong)
+	perCommit := (long - short) / float64(workers*(allocGuardLong-allocGuardShort))
+	t.Logf("parallel allocs: short=%.0f long=%.0f -> %.6f allocs/commit (%d workers)",
+		short, long, perCommit, workers)
+	if perCommit > 0.001 {
+		t.Fatalf("parallel steady-state allocation regression: %.6f allocs/commit (want ~0)", perCommit)
 	}
 }

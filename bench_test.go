@@ -23,12 +23,19 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"runtime"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
 	"rvpsim"
+	"rvpsim/internal/core"
+	"rvpsim/internal/obs"
+	"rvpsim/internal/pipeline"
 	"rvpsim/internal/server"
 	"rvpsim/internal/stats"
+	"rvpsim/internal/workloads"
 )
 
 const benchInsts = 300_000
@@ -176,6 +183,55 @@ func BenchmarkSimulator(b *testing.B) {
 		insts += st.Committed
 	}
 	b.ReportMetric(float64(insts)/b.Elapsed().Seconds(), "sim_insts/s")
+}
+
+// BenchmarkSimulatorParallel measures aggregate machine throughput: W
+// goroutines, each owning a private simulator and predictor (reused
+// across iterations, exercising the recycled-runState path sweeps use),
+// all committing against one shared metrics registry. Sub-benchmarks at
+// 1, 2, and GOMAXPROCS workers expose the scaling curve; benchreg
+// distills sim_insts_per_machine/s per point and gates the full-width
+// scaling efficiency (IPS at GOMAXPROCS over GOMAXPROCS x IPS at 1)
+// against benchreg.MinScalingEfficiency.
+func BenchmarkSimulatorParallel(b *testing.B) {
+	prog, err := workloads.ByName("li")
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := pipeline.BaselineConfig()
+	cpus := runtime.GOMAXPROCS(0)
+	widths := []int{1, 2}
+	if cpus > 2 {
+		widths = append(widths, cpus)
+	}
+	reg := obs.NewRegistry()
+	for _, w := range widths {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			var insts atomic.Uint64
+			var wg sync.WaitGroup
+			b.ResetTimer()
+			for i := 0; i < w; i++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					sim := pipeline.MustNew(cfg)
+					sim.SetObserver(obs.NewObserverWith(reg))
+					pred := core.MustDynamicRVP(core.DefaultCounterConfig())
+					for n := 0; n < b.N; n++ {
+						st, err := sim.Run(prog, pred, benchInsts)
+						if err != nil {
+							b.Error(err)
+							return
+						}
+						insts.Add(st.Committed)
+					}
+				}()
+			}
+			wg.Wait()
+			b.ReportMetric(float64(insts.Load())/b.Elapsed().Seconds(), "sim_insts_per_machine/s")
+			b.ReportMetric(float64(cpus), "machine_cpus")
+		})
+	}
 }
 
 // BenchmarkServeObserved guards the service-layer observability cost:

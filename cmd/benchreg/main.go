@@ -6,6 +6,7 @@
 //	benchreg [-out BENCH_pipeline.json] [-bench pattern] [-benchtime 3x]
 //	         [-count 3] [-label text] [-insts 300000]
 //	         [-compare] [-threshold 0.10] [-smoke]
+//	         [-parallel] [-machine-threshold 0.10]
 //
 // Default mode measures and appends. With -compare, the new run is
 // additionally checked against the previous entry that carries
@@ -14,6 +15,15 @@
 // record. -smoke is the CI fast path: one short BenchmarkSimulator
 // repetition written to a throwaway file, proving the harness and the
 // benchmark both still work without perturbing the tracked trajectory.
+//
+// -parallel switches to the machine-saturation trajectory: it runs
+// BenchmarkSimulatorParallel (one simulator per worker at 1, 2 and
+// GOMAXPROCS workers), records aggregate sim_insts_per_machine/s per
+// point into BENCH_parallel.json (unless -out overrides it), and with
+// -compare gates both the scaling efficiency at full width (absolute,
+// benchreg.MinScalingEfficiency) and the per-machine throughput against
+// the previous parallel entry (-machine-threshold). -smoke -parallel is
+// the CI fast path for this mode.
 package main
 
 import (
@@ -26,19 +36,36 @@ import (
 
 func main() {
 	var (
-		out       = flag.String("out", "BENCH_pipeline.json", "trajectory file to append to")
-		dir       = flag.String("dir", ".", "package directory holding bench_test.go")
-		pattern   = flag.String("bench", ".", "benchmark pattern (-bench regexp)")
-		benchtime = flag.String("benchtime", "3x", "per-benchmark time or iteration budget")
-		count     = flag.Int("count", 3, "repetitions to average")
-		label     = flag.String("label", "", "free-form label recorded on the run")
-		insts     = flag.Uint64("insts", 300_000, "instructions per BenchmarkSimulator iteration (bench_test.go benchInsts)")
-		compare   = flag.Bool("compare", false, "fail (exit 1) on IPS regression vs the previous recorded run")
-		threshold = flag.Float64("threshold", 0.10, "fractional IPS regression threshold for -compare")
-		smoke     = flag.Bool("smoke", false, "CI smoke: one short BenchmarkSimulator rep to a throwaway file")
-		verbose   = flag.Bool("v", false, "echo raw go test -bench output")
+		out        = flag.String("out", "", "trajectory file to append to (default BENCH_pipeline.json, or BENCH_parallel.json with -parallel)")
+		dir        = flag.String("dir", ".", "package directory holding bench_test.go")
+		pattern    = flag.String("bench", "", "benchmark pattern (-bench regexp; default . or ^BenchmarkSimulatorParallel$ with -parallel)")
+		benchtime  = flag.String("benchtime", "3x", "per-benchmark time or iteration budget")
+		count      = flag.Int("count", 3, "repetitions to average")
+		label      = flag.String("label", "", "free-form label recorded on the run")
+		insts      = flag.Uint64("insts", 300_000, "instructions per BenchmarkSimulator iteration (bench_test.go benchInsts)")
+		compare    = flag.Bool("compare", false, "fail (exit 1) on IPS regression vs the previous recorded run")
+		threshold  = flag.Float64("threshold", 0.10, "fractional IPS regression threshold for -compare")
+		machineThr = flag.Float64("machine-threshold", 0.10, "fractional per-machine IPS regression threshold for -parallel -compare")
+		parallel   = flag.Bool("parallel", false, "measure machine saturation (BenchmarkSimulatorParallel) instead of the single-simulator suite")
+		smoke      = flag.Bool("smoke", false, "CI smoke: one short repetition to a throwaway file")
+		verbose    = flag.Bool("v", false, "echo raw go test -bench output")
 	)
 	flag.Parse()
+
+	if *out == "" {
+		if *parallel {
+			*out = "BENCH_parallel.json"
+		} else {
+			*out = "BENCH_pipeline.json"
+		}
+	}
+	if *pattern == "" {
+		if *parallel {
+			*pattern = "^BenchmarkSimulatorParallel$"
+		} else {
+			*pattern = "."
+		}
+	}
 
 	opts := benchreg.Options{
 		Dir:       *dir,
@@ -49,7 +76,11 @@ func main() {
 		SimInsts:  *insts,
 	}
 	if *smoke {
-		opts.Pattern = "^BenchmarkSimulator$"
+		if *parallel {
+			opts.Pattern = "^BenchmarkSimulatorParallel$"
+		} else {
+			opts.Pattern = "^BenchmarkSimulator$"
+		}
 		opts.Benchtime = "1x"
 		opts.Count = 1
 		if opts.Label == "" {
@@ -73,6 +104,7 @@ func main() {
 		os.Exit(1)
 	}
 	prev := f.LastWithSim()
+	prevPar := f.LastWithParallel()
 	f.Runs = append(f.Runs, run)
 	if err := f.Save(*out); err != nil {
 		fmt.Fprintln(os.Stderr, "benchreg:", err)
@@ -91,10 +123,28 @@ func main() {
 		fmt.Printf("benchreg: serve path: %.1f bare vs %.1f observed jobs/s (%.1f%% observability overhead, limit %.0f%%)\n",
 			run.Serve.BareJPS, run.Serve.ObservedJPS, run.Serve.OverheadFrac*100, benchreg.ServeOverheadLimit*100)
 	}
+	if run.Parallel != nil {
+		for _, pt := range run.Parallel.Points {
+			fmt.Printf("benchreg: parallel: %d worker(s): %.0f sim_insts_per_machine/s\n", pt.Workers, pt.IPS)
+		}
+		if run.Parallel.Efficiency > 0 {
+			fmt.Printf("benchreg: parallel: scaling efficiency %.2f at %d workers (floor %.2f)\n",
+				run.Parallel.Efficiency, run.Parallel.CPUs, benchreg.MinScalingEfficiency)
+		}
+		if prevPar != nil && prevPar.Parallel.MachineIPS() > 0 {
+			fmt.Printf("benchreg: parallel: previous %s: %.0f sim_insts_per_machine/s (%+.1f%%)\n",
+				prevPar.GitSHA, prevPar.Parallel.MachineIPS(),
+				(run.Parallel.MachineIPS()/prevPar.Parallel.MachineIPS()-1)*100)
+		}
+	}
 	fmt.Printf("benchreg: recorded run %d in %s\n", len(f.Runs), *out)
 
 	if *compare {
 		if err := benchreg.Compare(prev, &run, *threshold); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := benchreg.CompareParallel(prevPar, &run, *machineThr); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

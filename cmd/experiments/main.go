@@ -3,7 +3,8 @@
 //
 // Usage:
 //
-//	experiments [-n insts] [-profile insts] [-serial] [-md report.md]
+//	experiments [-n insts] [-profile insts] [-serial] [-workers n]
+//	            [-warmup insts] [-md report.md]
 //	            [-only fig1,fig3,...] [-manifest dir] [-metrics out.prom]
 //	            [-pprof dir] [-heartbeat seconds] [-watchdog cycles]
 //	            [-resume dir] [-ckpt-every insts]
@@ -61,6 +62,8 @@ func run() int {
 	n := flag.Uint64("n", 2_000_000, "committed-instruction budget per run")
 	prof := flag.Uint64("profile", 0, "profiling budget (default n/4)")
 	serial := flag.Bool("serial", false, "run workloads serially")
+	workers := flag.Int("workers", 0, "parallel sweep worker count (0 = one per core)")
+	warmup := flag.Uint64("warmup", 0, "fast-forward each workload this many instructions once, fork the warmed state into every cell (0 = cold start)")
 	md := flag.String("md", "", "also write a markdown report to this file")
 	only := flag.String("only", "", "comma-separated subset: fig1,tab1,fig3,fig4,fig5,fig6,tab2,fig7,fig8,ext")
 	manifestDir := flag.String("manifest", "", "write one JSON run manifest per figure into this directory")
@@ -84,6 +87,8 @@ func run() int {
 		opts.ProfileInsts = *n / 4
 	}
 	opts.Parallel = !*serial
+	opts.MaxWorkers = *workers
+	opts.WarmupInsts = *warmup
 	opts.WatchdogCycles = *watchdog
 	opts.Context = ctx
 	if *resumeDir != "" {
@@ -303,6 +308,8 @@ type manifestConfig struct {
 	ProfileInsts uint64  `json:"profile_insts"`
 	Threshold    float64 `json:"threshold"`
 	Parallel     bool    `json:"parallel"`
+	MaxWorkers   int     `json:"max_workers,omitempty"`
+	WarmupInsts  uint64  `json:"warmup_insts,omitempty"`
 }
 
 // writeManifest records one figure's run: config, revision, wall clock,
@@ -322,6 +329,8 @@ func writeManifest(dir, key, gitRev string, opts exp.Options, start time.Time, e
 			ProfileInsts: opts.ProfileInsts,
 			Threshold:    opts.Threshold,
 			Parallel:     opts.Parallel,
+			MaxWorkers:   opts.MaxWorkers,
+			WarmupInsts:  opts.WarmupInsts,
 		},
 		Results: tables,
 		Metrics: &snap,

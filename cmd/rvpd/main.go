@@ -47,6 +47,7 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -61,7 +62,7 @@ func run() int {
 	addr := flag.String("addr", "127.0.0.1:8080", "listen address (use :0 for an ephemeral port)")
 	addrFile := flag.String("addr-file", "", "write the bound address to this file once listening")
 	state := flag.String("state", "rvpd-state", "state directory: job store, journals, checkpoints")
-	workers := flag.Int("workers", 2, "worker-pool size")
+	workers := flag.Int("workers", 0, "worker-pool size (0 = one per core)")
 	queueDepth := flag.Int("queue", 64, "bounded queue depth (admission limit)")
 	maxWait := flag.Duration("max-wait", 30*time.Second, "shed submissions when recent p99 queue wait exceeds this")
 	jobTimeout := flag.Duration("job-timeout", 10*time.Minute, "per-job deadline")
@@ -92,6 +93,9 @@ func run() int {
 	}
 	logger := slog.New(handler).With("service", "rvpd")
 
+	if *workers <= 0 {
+		*workers = runtime.GOMAXPROCS(0)
+	}
 	srv, err := server.New(server.Config{
 		StateDir:         *state,
 		Workers:          *workers,

@@ -15,6 +15,8 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strconv"
+	"strings"
 
 	"rvpsim/internal/simerr"
 )
@@ -43,6 +45,56 @@ type ServeMetrics struct {
 	OverheadFrac float64 `json:"overhead_frac"`       // 1 - observed/bare
 }
 
+// MinScalingEfficiency is the absolute gate on parallel scaling: with
+// the machine saturated (one simulator per core), aggregate throughput
+// must be at least this fraction of perfect linear scaling over the
+// single-worker point. On a single-core machine the saturated and
+// single-worker points coincide, so the gate is trivially met there and
+// bites only where real parallelism exists.
+const MinScalingEfficiency = 0.75
+
+// ParallelPoint is the aggregate machine throughput at one worker
+// count, taken from one BenchmarkSimulatorParallel sub-benchmark.
+type ParallelPoint struct {
+	Workers int     `json:"workers"`
+	IPS     float64 `json:"ips"` // summed committed sim insts / wall second
+}
+
+// ParallelMetrics is the machine-saturation measurement, taken from
+// BenchmarkSimulatorParallel (recorded to BENCH_parallel.json).
+type ParallelMetrics struct {
+	CPUs       int             `json:"cpus"`                 // GOMAXPROCS at measurement time
+	Points     []ParallelPoint `json:"points"`               // ascending worker counts
+	Efficiency float64         `json:"efficiency,omitempty"` // IPS(CPUs) / (CPUs * IPS(1))
+}
+
+// IPSAt returns the aggregate throughput measured at a worker count, 0
+// when that point was not measured.
+func (p *ParallelMetrics) IPSAt(workers int) float64 {
+	for _, pt := range p.Points {
+		if pt.Workers == workers {
+			return pt.IPS
+		}
+	}
+	return 0
+}
+
+// MachineIPS returns the aggregate throughput with the machine
+// saturated: the point at CPUs workers, falling back to the
+// largest measured worker count.
+func (p *ParallelMetrics) MachineIPS() float64 {
+	if v := p.IPSAt(p.CPUs); v > 0 {
+		return v
+	}
+	best, ips := 0, 0.0
+	for _, pt := range p.Points {
+		if pt.Workers > best {
+			best, ips = pt.Workers, pt.IPS
+		}
+	}
+	return ips
+}
+
 // FigureTime is the wall time of one figure/table benchmark.
 type FigureTime struct {
 	Name        string  `json:"name"`
@@ -61,15 +113,16 @@ type SweepRecord struct {
 // Run is one trajectory entry: where (git SHA), when, and what was
 // measured.
 type Run struct {
-	GitSHA     string        `json:"git_sha"`
-	Timestamp  string        `json:"timestamp"` // RFC 3339, UTC
-	GoVersion  string        `json:"go_version,omitempty"`
-	Label      string        `json:"label,omitempty"`
-	Iterations int           `json:"iterations,omitempty"`
-	Sim        *SimMetrics   `json:"sim,omitempty"`
-	Serve      *ServeMetrics `json:"serve,omitempty"`
-	Figures    []FigureTime  `json:"figures,omitempty"`
-	Sweeps     []SweepRecord `json:"sweeps,omitempty"`
+	GitSHA     string           `json:"git_sha"`
+	Timestamp  string           `json:"timestamp"` // RFC 3339, UTC
+	GoVersion  string           `json:"go_version,omitempty"`
+	Label      string           `json:"label,omitempty"`
+	Iterations int              `json:"iterations,omitempty"`
+	Sim        *SimMetrics      `json:"sim,omitempty"`
+	Serve      *ServeMetrics    `json:"serve,omitempty"`
+	Parallel   *ParallelMetrics `json:"parallel,omitempty"`
+	Figures    []FigureTime     `json:"figures,omitempty"`
+	Sweeps     []SweepRecord    `json:"sweeps,omitempty"`
 }
 
 // File is the whole trajectory.
@@ -125,6 +178,48 @@ func (f *File) LastWithSim() *Run {
 	return nil
 }
 
+// LastWithParallel returns the most recent run carrying parallel
+// (machine-saturation) metrics, or nil.
+func (f *File) LastWithParallel() *Run {
+	for i := len(f.Runs) - 1; i >= 0; i-- {
+		if f.Runs[i].Parallel != nil {
+			return &f.Runs[i]
+		}
+	}
+	return nil
+}
+
+// CompareParallel gates the machine-saturation metrics with their own
+// threshold, independent of the single-simulator gate. Two checks: cur's
+// scaling efficiency must clear MinScalingEfficiency absolutely, and the
+// aggregate per-machine IPS must not drop more than threshold against
+// prev (compared only when both runs measured the same CPU count, so a
+// trajectory moved between machines never trips a false regression).
+// Either run lacking parallel metrics compares clean where it is needed.
+func CompareParallel(prev, cur *Run, threshold float64) error {
+	if cur == nil || cur.Parallel == nil {
+		return nil
+	}
+	p := cur.Parallel
+	if p.Efficiency > 0 && p.Efficiency < MinScalingEfficiency {
+		return fmt.Errorf("benchreg: parallel scaling efficiency %.2f below %.2f (%d workers: %.0f insts/s vs %d x %.0f linear)",
+			p.Efficiency, MinScalingEfficiency, p.CPUs, p.MachineIPS(), p.CPUs, p.IPSAt(1))
+	}
+	if prev == nil || prev.Parallel == nil || prev.Parallel.CPUs != p.CPUs {
+		return nil
+	}
+	pm, cm := prev.Parallel.MachineIPS(), p.MachineIPS()
+	if pm <= 0 {
+		return nil
+	}
+	drop := 1 - cm/pm
+	if drop > threshold {
+		return fmt.Errorf("benchreg: per-machine IPS regression %.1f%% (%.0f -> %.0f insts/s at %d workers, threshold %.0f%%)",
+			drop*100, pm, cm, p.CPUs, threshold*100)
+	}
+	return nil
+}
+
 // Compare checks cur against prev: an IPS drop larger than threshold
 // (fractional, e.g. 0.10 = 10%) is a regression error. Either run
 // lacking sim metrics compares clean. When cur carries serve metrics,
@@ -164,6 +259,7 @@ func BuildRun(p *Parsed, simInsts uint64, gitSHA, timestamp, goVersion, label st
 	}
 	sort.Strings(names)
 	var serve ServeMetrics
+	var par ParallelMetrics
 	for _, name := range names {
 		b := p.Benchmarks[name]
 		switch name {
@@ -172,6 +268,16 @@ func BuildRun(p *Parsed, simInsts uint64, gitSHA, timestamp, goVersion, label st
 			continue
 		case "BenchmarkServeObserved/observed":
 			serve.ObservedJPS = b.Metric("jobs/s")
+			continue
+		}
+		if w, ok := parallelWorkers(name); ok {
+			par.Points = append(par.Points, ParallelPoint{
+				Workers: w,
+				IPS:     b.Metric("sim_insts_per_machine/s"),
+			})
+			if c := int(b.Metric("machine_cpus")); c > par.CPUs {
+				par.CPUs = c
+			}
 			continue
 		}
 		if name == "BenchmarkSimulator" {
@@ -194,5 +300,27 @@ func BuildRun(p *Parsed, simInsts uint64, gitSHA, timestamp, goVersion, label st
 		serve.OverheadFrac = 1 - serve.ObservedJPS/serve.BareJPS
 		run.Serve = &serve
 	}
+	if len(par.Points) > 0 {
+		sort.Slice(par.Points, func(i, j int) bool { return par.Points[i].Workers < par.Points[j].Workers })
+		if one, sat := par.IPSAt(1), par.IPSAt(par.CPUs); one > 0 && sat > 0 && par.CPUs > 0 {
+			par.Efficiency = sat / (float64(par.CPUs) * one)
+		}
+		run.Parallel = &par
+	}
 	return run
+}
+
+// parallelWorkers extracts N from a "BenchmarkSimulatorParallel/workers=N"
+// benchmark name.
+func parallelWorkers(name string) (int, bool) {
+	const prefix = "BenchmarkSimulatorParallel/workers="
+	s, ok := strings.CutPrefix(name, prefix)
+	if !ok {
+		return 0, false
+	}
+	w, err := strconv.Atoi(s)
+	if err != nil || w <= 0 {
+		return 0, false
+	}
+	return w, true
 }

@@ -1,0 +1,128 @@
+package benchreg
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+const parallelOutput = `goos: linux
+goarch: amd64
+pkg: rvpsim
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkSimulatorParallel/workers=1-8 	       3	  30000000 ns/op	         8.000 machine_cpus	  10000000 sim_insts_per_machine/s
+BenchmarkSimulatorParallel/workers=2-8 	       3	  32000000 ns/op	         8.000 machine_cpus	  19000000 sim_insts_per_machine/s
+BenchmarkSimulatorParallel/workers=8-8 	       3	  40000000 ns/op	         8.000 machine_cpus	  68000000 sim_insts_per_machine/s
+PASS
+ok  	rvpsim	1.2s
+`
+
+func TestParallelWorkers(t *testing.T) {
+	cases := []struct {
+		name string
+		w    int
+		ok   bool
+	}{
+		{"BenchmarkSimulatorParallel/workers=1", 1, true},
+		{"BenchmarkSimulatorParallel/workers=16", 16, true},
+		{"BenchmarkSimulatorParallel/workers=0", 0, false},
+		{"BenchmarkSimulatorParallel/workers=x", 0, false},
+		{"BenchmarkSimulatorParallel", 0, false},
+		{"BenchmarkSimulator", 0, false},
+	}
+	for _, c := range cases {
+		w, ok := parallelWorkers(c.name)
+		if ok != c.ok || (ok && w != c.w) {
+			t.Errorf("parallelWorkers(%q) = (%d, %v), want (%d, %v)", c.name, w, ok, c.w, c.ok)
+		}
+	}
+}
+
+func TestBuildRunParallel(t *testing.T) {
+	p, err := ParseBenchOutput(strings.NewReader(parallelOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := BuildRun(p, 300_000, "abc123", "2026-08-05T00:00:00Z", "go1.x", "test", 8)
+	if run.Parallel == nil {
+		t.Fatal("no parallel metrics")
+	}
+	if run.Parallel.CPUs != 8 {
+		t.Errorf("CPUs = %d, want 8", run.Parallel.CPUs)
+	}
+	if len(run.Parallel.Points) != 3 {
+		t.Fatalf("points = %+v", run.Parallel.Points)
+	}
+	for i, want := range []ParallelPoint{{1, 10e6}, {2, 19e6}, {8, 68e6}} {
+		got := run.Parallel.Points[i]
+		if got.Workers != want.Workers || math.Abs(got.IPS-want.IPS) > 1 {
+			t.Errorf("point %d = %+v, want %+v", i, got, want)
+		}
+	}
+	// Efficiency = IPS(8) / (8 * IPS(1)) = 68e6 / 80e6.
+	if want := 0.85; math.Abs(run.Parallel.Efficiency-want) > 1e-9 {
+		t.Errorf("efficiency = %v, want %v", run.Parallel.Efficiency, want)
+	}
+	if got := run.Parallel.MachineIPS(); math.Abs(got-68e6) > 1 {
+		t.Errorf("MachineIPS = %v, want 68e6", got)
+	}
+	// Parallel sub-benchmarks must not leak into the figure list.
+	for _, f := range run.Figures {
+		if strings.HasPrefix(f.Name, "BenchmarkSimulatorParallel") {
+			t.Errorf("parallel point recorded as figure: %+v", f)
+		}
+	}
+}
+
+func TestCompareParallel(t *testing.T) {
+	mk := func(eff, machineIPS float64, cpus int) *Run {
+		return &Run{Parallel: &ParallelMetrics{
+			CPUs:       cpus,
+			Points:     []ParallelPoint{{1, machineIPS / (eff * float64(cpus))}, {cpus, machineIPS}},
+			Efficiency: eff,
+		}}
+	}
+	prev := mk(0.90, 70e6, 8)
+
+	if err := CompareParallel(prev, mk(0.85, 68e6, 8), 0.10); err != nil {
+		t.Errorf("healthy run flagged: %v", err)
+	}
+	if err := CompareParallel(prev, mk(0.50, 68e6, 8), 0.10); err == nil {
+		t.Error("efficiency below floor not flagged")
+	}
+	if err := CompareParallel(prev, mk(0.85, 50e6, 8), 0.10); err == nil {
+		t.Error("20% machine-IPS regression not flagged")
+	}
+	// Different machine width: efficiency still gated, regression not.
+	if err := CompareParallel(mk(0.90, 300e6, 32), mk(0.85, 68e6, 8), 0.10); err != nil {
+		t.Errorf("cross-machine comparison flagged: %v", err)
+	}
+	// Missing data on either side is not an error.
+	if err := CompareParallel(nil, mk(0.85, 68e6, 8), 0.10); err != nil {
+		t.Errorf("nil prev flagged: %v", err)
+	}
+	if err := CompareParallel(prev, &Run{}, 0.10); err != nil {
+		t.Errorf("cur without parallel flagged: %v", err)
+	}
+	// Single-core machines have no meaningful efficiency sample; a zero
+	// value must not trip the floor.
+	if err := CompareParallel(nil, &Run{Parallel: &ParallelMetrics{CPUs: 1, Points: []ParallelPoint{{1, 10e6}}}}, 0.10); err != nil {
+		t.Errorf("single-point run flagged: %v", err)
+	}
+}
+
+func TestLastWithParallel(t *testing.T) {
+	f := &File{Runs: []Run{
+		{GitSHA: "a", Parallel: &ParallelMetrics{CPUs: 8}},
+		{GitSHA: "b"},
+		{GitSHA: "c", Parallel: &ParallelMetrics{CPUs: 4}},
+		{GitSHA: "d"},
+	}}
+	got := f.LastWithParallel()
+	if got == nil || got.GitSHA != "c" {
+		t.Fatalf("LastWithParallel = %+v, want run c", got)
+	}
+	if (&File{}).LastWithParallel() != nil {
+		t.Fatal("empty file should return nil")
+	}
+}

@@ -205,3 +205,26 @@ func (p *Predictor) UpdateTarget(op isa.Op, pc, target, predictedTarget int, pre
 
 // Config returns the predictor's configuration.
 func (p *Predictor) Config() Config { return p.cfg }
+
+// Reset clears all prediction state and statistics, as if freshly built.
+// Configuration (and therefore every table's size) is unchanged, which
+// lets a simulator reuse one predictor across runs instead of
+// reallocating its tables.
+func (p *Predictor) Reset() {
+	for i := range p.pht {
+		p.pht[i] = 0
+	}
+	p.history = 0
+	for i := range p.btbTags {
+		p.btbTags[i] = 0
+		p.btbTgts[i] = 0
+		p.btbValid[i] = false
+		p.btbLRU[i] = 0
+	}
+	for i := range p.ras {
+		p.ras[i] = 0
+	}
+	p.rasTop = 0
+	p.CondSeen, p.CondMispred, p.TargetMiss = 0, 0, 0
+	p.RASCorrect, p.RASWrong, p.UncondSeen = 0, 0, 0
+}

@@ -16,6 +16,7 @@ import (
 	"errors"
 	"io/fs"
 	"runtime"
+	"strconv"
 	"sync"
 	"time"
 
@@ -37,6 +38,16 @@ import (
 type Options struct {
 	// Insts is the committed-instruction budget per measurement run.
 	Insts uint64
+	// WarmupInsts, when positive, fast-forwards each workload through
+	// this many committed instructions on the architectural emulator
+	// before the measured (timed) phase of every run. The warmup is paid
+	// once per workload and its warmed state is forked copy-on-write
+	// into every (predictor, config) cell — valid because the committed
+	// stream is architecturally determined, so one functional warmup
+	// serves any machine configuration. Microarchitectural state (caches,
+	// predictors) still starts cold in each cell. Zero (the default)
+	// keeps the historical cold-start methodology.
+	WarmupInsts uint64
 	// ProfileInsts is the budget for the profiling pass.
 	ProfileInsts uint64
 	// Threshold is the profiler's predictability threshold (paper: 0.80,
@@ -130,6 +141,8 @@ type Runner struct {
 	programs  map[string]*program.Program
 	profiles  map[string]*profile.Profile
 	injectors map[string]*faultinject.Injector
+	warmups   map[string]*pipeline.WarmState
+	simPools  map[pipeline.Config]*sync.Pool
 	journal   *Journal
 	warnings  []string
 }
@@ -153,6 +166,44 @@ func NewRunner(opts Options) *Runner {
 		programs:  map[string]*program.Program{},
 		profiles:  map[string]*profile.Profile{},
 		injectors: map[string]*faultinject.Injector{},
+		warmups:   map[string]*pipeline.WarmState{},
+		simPools:  map[pipeline.Config]*sync.Pool{},
+	}
+}
+
+// simFor takes a simulator for cfg from the per-configuration pool,
+// constructing one only when the pool is empty. A pooled Sim retains its
+// run buffers (capacity rings, decode tables, the pendingPred pool —
+// several MB), so a worker draining a sweep recycles them run after run
+// instead of hammering the shared allocator; reuse is proven
+// byte-identical to a fresh Sim by pipeline's TestSimReuseDeterminism.
+// Callers must return the Sim with putSim and re-arm every hook they
+// need: a pooled Sim's observer/fault/progress/checkpoint hooks are
+// whatever the previous cell left behind.
+func (r *Runner) simFor(cfg pipeline.Config) (*pipeline.Sim, error) {
+	r.mu.Lock()
+	pool, ok := r.simPools[cfg]
+	if !ok {
+		pool = &sync.Pool{}
+		r.simPools[cfg] = pool
+	}
+	r.mu.Unlock()
+	if sim, ok := pool.Get().(*pipeline.Sim); ok {
+		return sim, nil
+	}
+	return pipeline.New(cfg)
+}
+
+// putSim returns a simulator taken with simFor to its pool.
+func (r *Runner) putSim(cfg pipeline.Config, sim *pipeline.Sim) {
+	if sim == nil {
+		return
+	}
+	r.mu.Lock()
+	pool := r.simPools[cfg]
+	r.mu.Unlock()
+	if pool != nil {
+		pool.Put(sim)
 	}
 }
 
@@ -280,6 +331,40 @@ func (r *Runner) count(name, help string) {
 	}
 }
 
+// warmState returns the memoised warm state for a workload, executing
+// the functional warmup on first use. One warmup serves every cell
+// (predictor × config) of that workload: the fast-forward is
+// architectural only, so its result is valid for all of them. Nil when
+// warmup is disabled.
+func (r *Runner) warmState(p *program.Program) (*pipeline.WarmState, error) {
+	if r.opts.WarmupInsts == 0 {
+		return nil, nil
+	}
+	r.mu.Lock()
+	if w, ok := r.warmups[p.Name]; ok {
+		r.mu.Unlock()
+		return w, nil
+	}
+	r.mu.Unlock()
+	wsp := r.opts.Tracer.Start(r.opts.TraceParent, "warmup:"+p.Name)
+	w, err := pipeline.Warmup(p, r.opts.WarmupInsts)
+	wsp.EndErr(err)
+	if err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	if prior, ok := r.warmups[p.Name]; ok {
+		// Lost a race with a concurrent warmup of the same workload; keep
+		// the first so every cell forks the identical state.
+		r.mu.Unlock()
+		return prior, nil
+	}
+	r.warmups[p.Name] = w
+	r.mu.Unlock()
+	r.count("exp_warmup_runs", "functional warmups executed (once per workload)")
+	return w, nil
+}
+
 // run simulates one workload under one predictor and machine config.
 // The scope names the experiment asking (see runKey).
 func (r *Runner) run(scope, name string, cfg pipeline.Config, pred core.Predictor) (pipeline.Stats, error) {
@@ -302,6 +387,12 @@ func (r *Runner) runOn(scope string, p *program.Program, cfg pipeline.Config, pr
 		cfg.WatchdogCycles = r.opts.WatchdogCycles
 	}
 	key := runKey(scope, p.Name, pred.Name(), cfg)
+	if r.opts.WarmupInsts > 0 {
+		// A warmed cell measures a different instruction window, so its
+		// journal entries and checkpoints must not collide with cold runs
+		// (or runs under a different warmup budget) of the same cell.
+		key += "|warmup=" + strconv.FormatUint(r.opts.WarmupInsts, 10)
+	}
 	label := p.Name + "/" + pred.Name()
 	r.mu.Lock()
 	journal := r.journal
@@ -329,22 +420,42 @@ func (r *Runner) runOn(scope string, p *program.Program, cfg pipeline.Config, pr
 		ctx, cancel = context.WithTimeout(ctx, r.opts.RunTimeout)
 		defer cancel()
 	}
+	// The cell's simulator comes from the per-config pool and goes back
+	// when the cell finishes (any exit path). Every hook is set
+	// unconditionally — a pooled Sim carries whatever the previous cell
+	// armed, so "not configured" must be written as explicitly as
+	// "configured". A failed checkpoint resume reuses the same Sim for
+	// the from-scratch rerun.
+	var sim *pipeline.Sim
+	defer func() { r.putSim(cfg, sim) }()
 	newSim := func() (*pipeline.Sim, error) {
-		sim, err := pipeline.New(cfg)
-		if err != nil {
-			return nil, err
+		if sim == nil {
+			s, err := r.simFor(cfg)
+			if err != nil {
+				return nil, err
+			}
+			sim = s
 		}
 		if r.opts.Registry != nil {
 			sim.SetObserver(obs.NewObserverWith(r.opts.Registry))
+		} else {
+			sim.SetObserver(nil)
 		}
 		if inj != nil {
 			sim.SetFaults(inj)
+		} else {
+			// A plain nil, not the typed-nil *Injector, so the pipeline's
+			// `faults != nil` fast path stays off.
+			sim.SetFaults(nil)
 		}
 		if r.opts.OnProgress != nil && r.opts.ProgressEvery > 0 {
 			sim.SetProgress(r.opts.ProgressEvery, func(committed uint64, cycles int64) {
 				r.opts.OnProgress(label, committed, cycles)
 			})
+		} else {
+			sim.SetProgress(0, nil)
 		}
+		sim.SetCheckpoint(0, nil)
 		return sim, nil
 	}
 
@@ -375,7 +486,6 @@ func (r *Runner) runOn(scope string, p *program.Program, cfg pipeline.Config, pr
 		})
 	}
 
-	var sim *pipeline.Sim
 	var st pipeline.Stats
 	var err error
 	sp := r.opts.Tracer.Start(r.opts.TraceParent, "sim:"+label)
@@ -414,11 +524,21 @@ func (r *Runner) runOn(scope string, p *program.Program, cfg pipeline.Config, pr
 		}
 	}
 	if !ran {
+		warm, werr := r.warmState(p)
+		if werr != nil {
+			err = werr
+			return pipeline.Stats{}, err
+		}
 		if sim, err = newSim(); err != nil {
 			return pipeline.Stats{}, err
 		}
 		arm(sim)
-		st, err = sim.RunContext(ctx, p, pred, r.opts.Insts)
+		if warm != nil {
+			r.count("exp_warmup_forks", "measured runs started from a forked warm state")
+			st, err = sim.RunWarmedContext(ctx, warm, p, pred, r.opts.Insts)
+		} else {
+			st, err = sim.RunContext(ctx, p, pred, r.opts.Insts)
+		}
 	}
 	if err != nil {
 		// Checkpoint-then-exit: a cancelled or timed-out run leaves its

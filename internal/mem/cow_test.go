@@ -1,0 +1,161 @@
+package mem
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"rvpsim/internal/simerr"
+)
+
+// Tests for the copy-on-write fork path: ForkMemory must read through to
+// the shared image, privatize pages on first write without disturbing
+// the image or sibling forks, include shared pages in snapshots and
+// Footprint, and tolerate any number of concurrent forks.
+
+// cowImage builds a snapshot with two resident pages: word 0 of page 0
+// holds 11, word 0 of page 1 holds 22.
+func cowImage(t *testing.T) MemoryState {
+	t.Helper()
+	m := NewMemory()
+	m.WriteWord(0, 11)
+	m.WriteWord(pageWords*8, 22) // word addresses are byte-scaled by 8
+	return m.Snapshot()
+}
+
+func TestForkMemoryReadsThrough(t *testing.T) {
+	snap := cowImage(t)
+	f, err := ForkMemory(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := f.ReadWord(0); got != 11 {
+		t.Fatalf("fork read page0 = %d, want 11", got)
+	}
+	if got := f.ReadWord(pageWords * 8); got != 22 {
+		t.Fatalf("fork read page1 = %d, want 22", got)
+	}
+	// Reads alone must not privatize: the fork still owns zero pages.
+	if f.resident != 0 {
+		t.Fatalf("read-only fork has %d resident pages, want 0", f.resident)
+	}
+	if got := f.Footprint(); got != 2 {
+		t.Fatalf("Footprint() = %d, want 2 (both shared pages counted)", got)
+	}
+}
+
+func TestForkMemoryCopyOnWriteIsolation(t *testing.T) {
+	snap := cowImage(t)
+	a, err := ForkMemory(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ForkMemory(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Writing through fork A privatizes the page for A only.
+	a.WriteWord(8, 33) // word 1 of page 0
+	if got := a.ReadWord(0); got != 11 {
+		t.Fatalf("fork A lost shared word after COW copy: got %d, want 11", got)
+	}
+	if got := a.ReadWord(8); got != 33 {
+		t.Fatalf("fork A write not visible: got %d, want 33", got)
+	}
+	if got := b.ReadWord(8); got != 0 {
+		t.Fatalf("fork A's write leaked into fork B: got %d, want 0", got)
+	}
+	if snap.Pages[0][1] != 0 {
+		t.Fatalf("fork A's write mutated the shared image: got %d, want 0", snap.Pages[0][1])
+	}
+	if a.resident != 1 {
+		t.Fatalf("fork A resident = %d, want 1 (only the dirtied page)", a.resident)
+	}
+	// Footprint counts the private copy once, not private+shared double.
+	if got := a.Footprint(); got != 2 {
+		t.Fatalf("fork A Footprint() = %d, want 2", got)
+	}
+
+	// Writing the SAME value as the shared image must still privatize
+	// (the fast path may not silently alias), and a fresh page outside
+	// the image works as usual.
+	b.WriteWord(pageWords*8, 22)
+	if b.resident != 1 {
+		t.Fatalf("fork B resident = %d, want 1", b.resident)
+	}
+	b.WriteWord(pageWords*2*8, 44)
+	if got := b.ReadWord(pageWords * 2 * 8); got != 44 {
+		t.Fatalf("fork B new page read = %d, want 44", got)
+	}
+}
+
+func TestForkMemorySnapshotIncludesShared(t *testing.T) {
+	snap := cowImage(t)
+	f, err := ForkMemory(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteWord(8, 33) // privatize page 0; page 1 stays shared-only
+	got := f.Snapshot()
+	if len(got.Pages) != 2 {
+		t.Fatalf("fork snapshot has %d pages, want 2 (private + shared)", len(got.Pages))
+	}
+	if got.Pages[0][0] != 11 || got.Pages[0][1] != 33 {
+		t.Fatalf("fork snapshot page0 = [%d %d ...], want [11 33 ...]",
+			got.Pages[0][0], got.Pages[0][1])
+	}
+	if got.Pages[1][0] != 22 {
+		t.Fatalf("fork snapshot page1[0] = %d, want 22", got.Pages[1][0])
+	}
+	// The snapshot must be a deep copy, not an alias of the shared image.
+	got.Pages[1][0] = 99
+	if snap.Pages[1][0] != 22 {
+		t.Fatal("fork snapshot aliases the shared image")
+	}
+}
+
+func TestForkMemoryValidatesGeometry(t *testing.T) {
+	_, err := ForkMemory(MemoryState{Pages: map[uint64][]uint64{0: make([]uint64, 3)}})
+	if !errors.Is(err, simerr.ErrCorrupt) {
+		t.Fatalf("ForkMemory(bad page) = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestForkMemoryConcurrentForks(t *testing.T) {
+	snap := cowImage(t)
+	const forks = 8
+	var wg sync.WaitGroup
+	errs := make([]error, forks)
+	for i := 0; i < forks; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			f, err := ForkMemory(snap)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			// Interleave shared reads with privatizing writes.
+			for j := 0; j < 1000; j++ {
+				if got := f.ReadWord(pageWords * 8); got != 22 {
+					t.Errorf("fork %d: shared read = %d, want 22", i, got)
+					return
+				}
+				f.WriteWord(0, uint64(i*1000+j))
+			}
+			if got := f.ReadWord(0); got != uint64(i*1000+999) {
+				t.Errorf("fork %d: private read = %d", i, got)
+			}
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if snap.Pages[0][0] != 11 {
+		t.Fatalf("concurrent forks mutated the shared image: %d", snap.Pages[0][0])
+	}
+}

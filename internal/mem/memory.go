@@ -40,13 +40,23 @@ type pageDir [dirSize][]uint64
 type Memory struct {
 	root     []*pageDir          // flat root directory (low 512 GiB)
 	high     map[uint64]*pageDir // overflow leaves beyond the flat span
-	resident int                 // allocated pages
+	resident int                 // allocated (owned) pages
 
 	// Last-page cache: the page most recently touched. lastPage == nil
 	// means the cache is empty (page number 0 is valid, so the page
-	// pointer, not the number, is the validity flag).
+	// pointer, not the number, is the validity flag). lastRO marks a
+	// cached page that aliases the shared copy-on-write image: reads may
+	// use it, writes must not (they go through ensure, which copies).
 	lastPN   uint64
 	lastPage []uint64
+	lastRO   bool
+
+	// shared is the copy-on-write backing image installed by ForkMemory.
+	// Pages are served from it read-only until first written, when ensure
+	// copies them into this Memory (shadowing the shared page). Neither
+	// the map nor its pages are ever mutated here, so any number of forks
+	// on any goroutines can share one image.
+	shared map[uint64][]uint64
 }
 
 // NewMemory returns an empty memory; unwritten locations read as zero.
@@ -91,13 +101,21 @@ func (m *Memory) ensure(pn uint64) []uint64 {
 	page := d[pn&(dirSize-1)]
 	if page == nil {
 		page = make([]uint64, pageWords)
+		if sp, ok := m.shared[pn]; ok {
+			// First write to a copy-on-write page: materialize a private
+			// copy; the shared image stays untouched for sibling forks.
+			copy(page, sp)
+		}
 		d[pn&(dirSize-1)] = page
 		m.resident++
 	}
 	return page
 }
 
-// forEachPage visits every resident page (order unspecified).
+// forEachPage visits every resident page (order unspecified): owned
+// pages first, then shared copy-on-write pages not shadowed by an owned
+// copy. Snapshots and clones of a forked memory are therefore complete
+// images, indistinguishable from those of a deep-copied memory.
 func (m *Memory) forEachPage(fn func(pn uint64, page []uint64)) {
 	for di, d := range m.root {
 		if d == nil {
@@ -116,6 +134,11 @@ func (m *Memory) forEachPage(fn func(pn uint64, page []uint64)) {
 			}
 		}
 	}
+	for pn, page := range m.shared {
+		if m.lookup(pn) == nil {
+			fn(pn, page)
+		}
+	}
 }
 
 // ReadWord reads the aligned 64-bit word at addr (low 3 bits ignored).
@@ -126,26 +149,40 @@ func (m *Memory) ReadWord(addr uint64) uint64 {
 	}
 	page := m.lookup(pn)
 	if page == nil {
+		if sp, ok := m.shared[pn]; ok {
+			m.lastPN, m.lastPage, m.lastRO = pn, sp, true
+			return sp[addr>>3&(pageWords-1)]
+		}
 		return 0
 	}
-	m.lastPN, m.lastPage = pn, page
+	m.lastPN, m.lastPage, m.lastRO = pn, page, false
 	return page[addr>>3&(pageWords-1)]
 }
 
 // WriteWord writes the aligned 64-bit word at addr.
 func (m *Memory) WriteWord(addr uint64, v uint64) {
 	pn := addr >> pageBits
-	if pn == m.lastPN && m.lastPage != nil {
+	if pn == m.lastPN && m.lastPage != nil && !m.lastRO {
 		m.lastPage[addr>>3&(pageWords-1)] = v
 		return
 	}
 	page := m.ensure(pn)
-	m.lastPN, m.lastPage = pn, page
+	m.lastPN, m.lastPage, m.lastRO = pn, page, false
 	page[addr>>3&(pageWords-1)] = v
 }
 
-// Footprint returns the number of resident simulated pages.
-func (m *Memory) Footprint() int { return m.resident }
+// Footprint returns the number of resident simulated pages: pages this
+// memory owns plus copy-on-write pages it still serves from a shared
+// image (a forked memory's footprint equals its deep-copied twin's).
+func (m *Memory) Footprint() int {
+	n := m.resident
+	for pn := range m.shared {
+		if m.lookup(pn) == nil {
+			n++
+		}
+	}
+	return n
+}
 
 // Clone returns an independent copy of the memory image.
 func (m *Memory) Clone() *Memory {
@@ -434,6 +471,18 @@ func (t *TLB) Access(addr uint64) bool {
 // Config returns the TLB configuration.
 func (t *TLB) Config() TLBConfig { return t.cfg }
 
+// Reset clears contents and statistics, as if freshly built.
+func (t *TLB) Reset() {
+	for i := range t.entries {
+		t.entries[i] = 0
+		t.valid[i] = false
+		t.stamp[i] = 0
+	}
+	t.clock = 0
+	t.lastHit = -1
+	t.Hits, t.Misses = 0, 0
+}
+
 // Hierarchy bundles the Table 1 memory system: split L1, unified L2, and
 // TLBs. AccessData/AccessInst return the access latency in cycles.
 type Hierarchy struct {
@@ -508,6 +557,18 @@ func MustNewHierarchy(cfg HierarchyConfig) *Hierarchy {
 		panic(err)
 	}
 	return h
+}
+
+// Reset clears every level's contents and statistics. Geometry is fixed
+// at construction, so a reset hierarchy is interchangeable with a newly
+// built one; simulators reuse theirs across runs instead of reallocating
+// ~100KB of tag arrays per run.
+func (h *Hierarchy) Reset() {
+	h.L1I.Reset()
+	h.L1D.Reset()
+	h.L2.Reset()
+	h.ITLB.Reset()
+	h.DTLB.Reset()
 }
 
 // AccessData returns the latency, in cycles, of a data access to addr.

@@ -318,8 +318,16 @@ func MustNew(cfg Config) *Sim {
 // canceled context can still charge: one batch.
 const commitBatch = 1024
 
-// newRunState builds the zeroed timing state for a fresh run.
+// newRunState builds the zeroed timing state for a fresh run. When this
+// Sim has run before, the previous run's state is recycled in place (see
+// resetRunState) instead of reallocated: the capacity rings alone are
+// ~3.5MB per run, and N simulators each reallocating them per run
+// serialize in the allocator long before they saturate N cores.
 func (s *Sim) newRunState(prog *program.Program, pred core.Predictor, st *emu.State) *runState {
+	if r := s.cur; r != nil {
+		s.resetRunState(r, prog, pred, st)
+		return r
+	}
 	cfg := s.cfg
 	r := &runState{
 		prog:        prog,
@@ -342,10 +350,73 @@ func (s *Sim) newRunState(prog *program.Program, pred core.Predictor, st *emu.St
 	if cfg.PredictPorts > 0 {
 		r.portCap = newCapRing(cfg.PredictPorts)
 	}
+	r.info = buildInfo(prog)
+	r.bindPred(pred)
+	return r
+}
 
-	// Decode every static instruction once; the loop indexes this table
-	// instead of re-deriving class/latency/sources per commit.
-	r.info = make([]instInfo, len(prog.Insts))
+// resetRunState recycles the previous run's buffers for a fresh run on
+// the same Sim: rings, queues, and dense per-instruction tables are
+// cleared in place, the pendingPred pool carries over (a per-worker
+// pool, never shared between Sims), and the decode table survives when
+// the program is the same. The result is indistinguishable from a
+// freshly allocated runState — TestSimReuseDeterminism proves a reused
+// Sim commits the byte-identical stream as a fresh one.
+func (s *Sim) resetRunState(r *runState, prog *program.Program, pred core.Predictor, st *emu.State) {
+	// Return every live prediction record to the free list. Refcounts are
+	// exact (a regPending slot and, under reissue, an activePreds entry),
+	// so each record lands in the pool exactly once.
+	for _, p := range r.activePreds {
+		r.release(p)
+	}
+	r.activePreds = r.activePreds[:0]
+	for i, p := range r.regPending {
+		if p != nil {
+			r.release(p)
+			r.regPending[i] = nil
+		}
+	}
+
+	if r.prog != prog {
+		r.lvReady = make([]int64, len(prog.Insts))
+		r.lvLast = make([]uint64, len(prog.Insts))
+		r.info = buildInfo(prog)
+	} else {
+		clear(r.lvReady)
+		clear(r.lvLast)
+	}
+	r.prog, r.pred, r.st = prog, pred, st
+
+	clear(r.intIQ)
+	clear(r.fpIQ)
+	clear(r.window)
+	r.intN, r.fpN, r.winN = 0, 0, 0
+	r.intIdx, r.fpIdx, r.winIdx = 0, 0, 0
+
+	// The rings must be cleared, not merely reused: a stale stamp from
+	// the prior run would alias a cycle of this one.
+	for _, c := range []*capRing{r.dispatchCap, r.issueCap, r.intCap, r.lsCap, r.fpCap, r.commitCap, r.portCap} {
+		if c != nil {
+			clear(c.ent)
+		}
+	}
+
+	r.stats = Stats{}
+	r.regReady = [isa.NumRegs]int64{}
+	r.specUntil = [isa.NumRegs]int64{}
+	r.fetchCycle, r.minFetch = 0, 0
+	r.fetchSlots, r.fetchBlocks = 0, 0
+	r.curLine = ^uint64(0)
+	r.lastDispatch, r.lastCommit, r.lastCycle = 0, 0, 0
+	r.lastCkpt, r.lastProg = 0, 0
+	r.coherent = true
+	r.bindPred(pred)
+}
+
+// buildInfo decodes every static instruction once; the loop indexes this
+// table instead of re-deriving class/latency/sources per commit.
+func buildInfo(prog *program.Program) []instInfo {
+	info := make([]instInfo, len(prog.Insts))
 	for i, in := range prog.Insts {
 		cls := isa.Classify(in.Op)
 		inf := instInfo{
@@ -356,11 +427,17 @@ func (s *Sim) newRunState(prog *program.Program, pred core.Predictor, st *emu.St
 		}
 		srcs := in.Sources(inf.srcs[:0])
 		inf.nsrc = uint8(len(srcs))
-		r.info[i] = inf
+		info[i] = inf
 	}
+	return info
+}
 
-	// Devirtualize the four built-in predictors (and skip the baseline's
-	// no-op calls entirely); anything else stays on the interface path.
+// bindPred devirtualizes the four built-in predictors (and skips the
+// baseline's no-op calls entirely); anything else stays on the interface
+// path. It also pre-sizes per-static-instruction predictor state so the
+// commit path never grows a slice mid-run.
+func (r *runState) bindPred(pred core.Predictor) {
+	r.predKind, r.drvp, r.srvp, r.lvp, r.grvp = predGeneric, nil, nil, nil, nil
 	switch p := pred.(type) {
 	case core.NoPredictor:
 		r.predKind = predNone
@@ -373,13 +450,9 @@ func (s *Sim) newRunState(prog *program.Program, pred core.Predictor, st *emu.St
 	case *core.GabbayRVP:
 		r.predKind, r.grvp = predGabbay, p
 	}
-
-	// Pre-size per-static-instruction predictor state so the commit path
-	// never grows a slice mid-run.
 	if sh, ok := pred.(core.SizeHinter); ok {
-		sh.SizeHint(len(prog.Insts))
+		sh.SizeHint(len(r.info))
 	}
-	return r
 }
 
 // decide dispatches Decide through the devirtualized fast path.
@@ -457,15 +530,36 @@ func (s *Sim) RunContext(ctx context.Context, prog *program.Program, pred core.P
 	if err != nil {
 		return Stats{}, simerr.New("emu", err)
 	}
-	s.hier, err = mem.NewHierarchy(s.cfg.Mem)
-	if err != nil {
-		return Stats{}, simerr.New("mem", err)
+	if err := s.startRun(pred); err != nil {
+		return Stats{}, err
 	}
-	s.bp = bpred.New(s.cfg.Bpred)
-	pred.Reset()
 	r := s.newRunState(prog, pred, st)
 	s.cur = r
 	return s.loop(ctx, r, maxInsts)
+}
+
+// startRun (re)builds the per-run microarchitectural subsystems. The
+// memory hierarchy and branch predictor are allocated once per Sim and
+// reset between runs: their geometry is fixed by the config, and reuse
+// keeps N parallel simulators from reallocating ~100KB of tag arrays
+// per run.
+func (s *Sim) startRun(pred core.Predictor) error {
+	if s.hier == nil {
+		h, err := mem.NewHierarchy(s.cfg.Mem)
+		if err != nil {
+			return simerr.New("mem", err)
+		}
+		s.hier = h
+	} else {
+		s.hier.Reset()
+	}
+	if s.bp == nil {
+		s.bp = bpred.New(s.cfg.Bpred)
+	} else {
+		s.bp.Reset()
+	}
+	pred.Reset()
+	return nil
 }
 
 // ResumeContext continues a run from a Snapshot: the simulator state is
@@ -491,14 +585,12 @@ func (s *Sim) ResumeContext(ctx context.Context, snap *Snapshot, prog *program.P
 	if err != nil {
 		return Stats{}, simerr.New("checkpoint", err)
 	}
-	s.hier, err = mem.NewHierarchy(s.cfg.Mem)
-	if err != nil {
-		return Stats{}, simerr.New("mem", err)
+	if err := s.startRun(pred); err != nil {
+		return Stats{}, err
 	}
 	if err := s.hier.Restore(snap.Mem); err != nil {
 		return Stats{}, simerr.New("checkpoint", err)
 	}
-	s.bp = bpred.New(s.cfg.Bpred)
 	if err := s.bp.Restore(snap.Bpred); err != nil {
 		return Stats{}, simerr.New("checkpoint", err)
 	}

@@ -254,6 +254,11 @@ func (s *Sim) restoreRunState(snap *Snapshot, prog *program.Program, pred core.P
 	cfg := s.cfg
 	t := &snap.Timing
 	r := s.newRunState(prog, pred, st)
+	// Not snapshot-coherent until the restore completes: newRunState may
+	// have recycled the previous run's state in place, so a failed
+	// restore must not leave a half-written state that Snapshot would
+	// happily serialize.
+	r.coherent = false
 
 	bad := func(what string) (*runState, error) {
 		return nil, simerr.New("checkpoint", fmt.Errorf("snapshot %s does not match the configuration: %w", what, simerr.ErrCorrupt))

@@ -13,6 +13,7 @@ import (
 	"net/http"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -32,7 +33,7 @@ type Config struct {
 	// StateDir holds the job store and per-job simulation state
 	// (required: it is what makes accepted jobs survive restarts).
 	StateDir string
-	// Workers is the fixed worker-pool size (default 2).
+	// Workers is the fixed worker-pool size (default one per core).
 	Workers int
 	// QueueDepth is the admission limit on queued jobs (default 64).
 	QueueDepth int
@@ -96,7 +97,7 @@ func (c *Config) setDefaults() error {
 		return simerr.Newf("server", "Config.StateDir is required: %v", simerr.ErrConfig)
 	}
 	if c.Workers <= 0 {
-		c.Workers = 2
+		c.Workers = runtime.GOMAXPROCS(0)
 	}
 	if c.QueueDepth <= 0 {
 		c.QueueDepth = 64
