@@ -4,11 +4,11 @@
 
 GO ?= go
 
-.PHONY: all ci vet build test race determinism lockstep bench bench-parallel bench-smoke fmt-check fuzz-smoke faults staticcheck govulncheck serve-smoke obs-smoke fleet-smoke storage-faults fsck-smoke sync-vet pgo release
+.PHONY: all ci vet build test race determinism lockstep bench bench-parallel bench-smoke fmt-check fuzz-smoke faults staticcheck govulncheck serve-smoke obs-smoke fleet-smoke storage-faults net-faults fsck-smoke sync-vet pgo release
 
 all: ci
 
-ci: fmt-check vet sync-vet staticcheck govulncheck build race determinism faults storage-faults fuzz-smoke bench-smoke bench-parallel serve-smoke obs-smoke fleet-smoke fsck-smoke
+ci: fmt-check vet sync-vet staticcheck govulncheck build race determinism faults storage-faults net-faults fuzz-smoke bench-smoke bench-parallel serve-smoke obs-smoke fleet-smoke fsck-smoke
 
 vet:
 	$(GO) vet ./...
@@ -171,8 +171,18 @@ storage-faults:
 	$(GO) test -race -count 1 ./internal/vfs/ ./internal/wal/ ./internal/wal/waltest/
 	$(GO) test -race -count 1 -run 'TornTailMatrix|ENOSPC' ./internal/server/ ./internal/exp/ ./internal/fleet/
 
+# Hostile-network suite under the race detector: the netfault seam's
+# own conformance tests, the client's retry/deadline/SSE-resume tests
+# against injected faults, the server's tenant/deadline/slow-loris
+# admission tests, and the fleet partition-chaos e2e (real workers
+# behind fault-injecting proxies, SIGKILL, byte-identical merge).
+net-faults:
+	$(GO) test -race -count 1 ./internal/netfault/ ./internal/client/
+	$(GO) test -race -count 1 -run 'Tenant|Deadline|SlowLoris|BreakerRetryAfter' ./internal/server/
+	$(GO) test -race -count 1 -run 'TestFleetPartitionChaos|TestDigestMismatched|TestLeaseFencing' ./internal/fleet/ -timeout 10m
+
 # Durability-layer errcheck: no discarded Sync/SyncDir/Close error in
-# the packages that own persistent state.
+# the packages that own persistent state or pooled connections.
 sync-vet:
 	$(GO) test -count 1 ./internal/tools/syncvet/
 

@@ -9,7 +9,7 @@
 //	rvpcoord [-addr host:port] [-addr-file path] [-state dir]
 //	         [-workers url,url,...] [-lease dur] [-heartbeat dur]
 //	         [-steal-age dur] [-poll dur] [-attempts n] [-insts n]
-//	         [-log-level level] [-log-json]
+//	         [-tenant name] [-log-level level] [-log-json]
 //
 // Endpoints: POST /v1/sweeps (submit a sweep spec), GET /v1/sweeps and
 // GET /v1/sweeps/{id} (status + merged table once done), POST
@@ -54,6 +54,7 @@ func run() int {
 	poll := flag.Duration("poll", 50*time.Millisecond, "idle scheduler poll cadence")
 	attempts := flag.Int("attempts", 3, "attempts per cell before it is marked failed")
 	insts := flag.Uint64("insts", 2_000_000, "default committed-instruction budget for sweeps that omit one")
+	tenant := flag.String("tenant", "fleet", "X-Rvp-Tenant stamped on every dispatch (empty = the workers' default tenant)")
 	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, error")
 	logJSON := flag.Bool("log-json", false, "emit logs as JSON instead of text")
 	flag.Parse()
@@ -86,6 +87,7 @@ func run() int {
 		Poll:         *poll,
 		CellAttempts: *attempts,
 		DefaultInsts: *insts,
+		Tenant:       *tenant,
 		Logger:       logger,
 	})
 	if err != nil {

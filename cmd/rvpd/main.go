@@ -8,7 +8,9 @@
 //	     [-queue depth] [-max-wait dur] [-job-timeout dur]
 //	     [-drain-timeout dur] [-breaker-threshold n] [-breaker-cooloff dur]
 //	     [-insts n] [-ckpt-every n] [-watchdog cycles] [-max-body bytes]
-//	     [-log-level level] [-log-json] [-progress-every n] [-no-telemetry]
+//	     [-body-read-timeout dur] [-tenant-queue n] [-tenant-rate r]
+//	     [-tenant-burst n] [-log-level level] [-log-json]
+//	     [-progress-every n] [-no-telemetry]
 //	     [-advertise coord-url] [-advertise-url worker-url]
 //
 // With -advertise, the daemon self-registers its bound address with a
@@ -73,6 +75,10 @@ func run() int {
 	ckptEvery := flag.Uint64("ckpt-every", 200_000, "in-flight checkpoint cadence in committed instructions (0 = off)")
 	watchdog := flag.Int("watchdog", 0, "abort a run if no instruction commits for N simulated cycles (0 = off)")
 	maxBody := flag.Int64("max-body", 1<<20, "maximum POST body size in bytes (larger gets 413)")
+	bodyReadTimeout := flag.Duration("body-read-timeout", 30*time.Second, "slow-loris guard: deadline for reading one submission body (408 past it)")
+	tenantQueue := flag.Int("tenant-queue", 0, "per-tenant queued-job quota (0 = only the shared queue limits)")
+	tenantRate := flag.Float64("tenant-rate", 0, "per-tenant sustained submissions/sec (0 = unlimited)")
+	tenantBurst := flag.Int("tenant-burst", 1, "per-tenant token-bucket burst")
 	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, error")
 	logJSON := flag.Bool("log-json", false, "emit logs as JSON instead of text")
 	progressEvery := flag.Uint64("progress-every", 100_000, "live-progress heartbeat cadence in committed instructions")
@@ -109,6 +115,10 @@ func run() int {
 		CheckpointEvery:  *ckptEvery,
 		WatchdogCycles:   *watchdog,
 		MaxBody:          *maxBody,
+		BodyReadTimeout:  *bodyReadTimeout,
+		TenantQueueDepth: *tenantQueue,
+		TenantRate:       *tenantRate,
+		TenantBurst:      *tenantBurst,
 		Logger:           logger,
 		ProgressEvery:    *progressEvery,
 		DisableTelemetry: *noTelemetry,

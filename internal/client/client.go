@@ -67,6 +67,7 @@ type Client struct {
 	backoff    Backoff
 	attempts   int
 	maxElapsed time.Duration
+	tenant     string
 	log        *slog.Logger
 	tracer     *obs.Tracer
 
@@ -93,6 +94,12 @@ func WithMaxAttempts(n int) Option { return func(c *Client) { c.attempts = n } }
 // resource (a fleet coordinator holding a cell lease, say) cap elapsed
 // time too. Zero leaves only the attempt cap and the caller's context.
 func WithMaxElapsed(d time.Duration) Option { return func(c *Client) { c.maxElapsed = d } }
+
+// WithTenant stamps every request with the tenant name (the server's
+// X-Rvp-Tenant header), so per-tenant quotas and rate limits attribute
+// the client's traffic correctly. Empty means the server's default
+// tenant.
+func WithTenant(t string) Option { return func(c *Client) { c.tenant = t } }
 
 // WithSeed makes the jitter deterministic (tests).
 func WithSeed(seed int64) Option {
@@ -159,6 +166,15 @@ func (c *Client) Submit(ctx context.Context, spec exp.JobSpec, key string) (serv
 	if key == "" {
 		key = NewIdempotencyKey()
 	}
+	// The job's propagated deadline is the caller's own deadline,
+	// captured before the retry budget below narrows the context: the
+	// elapsed cap bounds this submission, not the job's execution, and
+	// conflating the two would make the server kill every job slower
+	// than one retry budget.
+	var jobDeadline time.Time
+	if d, ok := ctx.Deadline(); ok {
+		jobDeadline = d
+	}
 	// The elapsed cap is a context deadline, not bookkeeping: it bounds
 	// in-flight requests and backoff sleeps alike, so a submission can
 	// never outlive its budget waiting on a slow transport or a server
@@ -187,7 +203,7 @@ func (c *Client) Submit(ctx context.Context, spec exp.JobSpec, key string) (serv
 			}
 		}
 		asp := c.tracer.Start(ssp.Context(), "submit_attempt")
-		st, status, err := c.trySubmit(ctx, body, key, asp.Context())
+		st, status, err := c.trySubmit(ctx, body, key, asp.Context(), jobDeadline)
 		asp.SetAttr("status", strconv.Itoa(status))
 		asp.EndErr(err)
 		switch {
@@ -265,12 +281,52 @@ func (c *Client) sleep(ctx context.Context, attempt int, retryAfter time.Duratio
 	}
 }
 
-func (c *Client) trySubmit(ctx context.Context, body []byte, key string, tctx obs.SpanContext) (server.JobStatus, int, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/jobs", bytes.NewReader(body))
+// newRequest builds one API request with the client's common headers:
+// tenant identity and — when ctx carries a deadline — the propagated
+// X-Rvp-Deadline, so the server can refuse or cancel work whose caller
+// has already given up. POST bodies are buffered ([]byte) and GetBody
+// is guaranteed non-nil, so any retry — ours or a transport-level
+// redirect/replay — rewinds a fresh reader instead of resending a
+// drained one.
+func (c *Client) newRequest(ctx context.Context, method, path string, body []byte) (*http.Request, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+	if err != nil {
+		return nil, err
+	}
+	if body != nil {
+		// http.NewRequest sets this for *bytes.Reader already; keep it
+		// explicit so the replayable-body contract survives refactors.
+		req.GetBody = func() (io.ReadCloser, error) {
+			return io.NopCloser(bytes.NewReader(body)), nil
+		}
+		req.ContentLength = int64(len(body))
+		req.Header.Set("Content-Type", "application/json")
+	}
+	if c.tenant != "" {
+		req.Header.Set(server.TenantHeader, c.tenant)
+	}
+	if d, ok := ctx.Deadline(); ok {
+		req.Header.Set(server.DeadlineHeader, strconv.FormatInt(d.UnixMicro(), 10))
+	}
+	return req, nil
+}
+
+func (c *Client) trySubmit(ctx context.Context, body []byte, key string, tctx obs.SpanContext, jobDeadline time.Time) (server.JobStatus, int, error) {
+	req, err := c.newRequest(ctx, http.MethodPost, "/v1/jobs", body)
 	if err != nil {
 		return server.JobStatus{}, 0, err
 	}
-	req.Header.Set("Content-Type", "application/json")
+	// newRequest stamped the request context's deadline (the retry
+	// budget); the job deadline the server enforces is the caller's.
+	if jobDeadline.IsZero() {
+		req.Header.Del(server.DeadlineHeader)
+	} else {
+		req.Header.Set(server.DeadlineHeader, strconv.FormatInt(jobDeadline.UnixMicro(), 10))
+	}
 	req.Header.Set("Idempotency-Key", key)
 	if tctx.Trace != "" {
 		req.Header.Set(server.TraceIDHeader, tctx.Trace)
@@ -311,7 +367,7 @@ func decodeError(resp *http.Response) error {
 
 // Status fetches one job's current state.
 func (c *Client) Status(ctx context.Context, id string) (server.JobStatus, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/jobs/"+id, nil)
+	req, err := c.newRequest(ctx, http.MethodGet, "/v1/jobs/"+id, nil)
 	if err != nil {
 		return server.JobStatus{}, err
 	}
@@ -417,11 +473,10 @@ func (c *Client) RegisterWorker(ctx context.Context, workerURL string) error {
 }
 
 func (c *Client) tryRegister(ctx context.Context, body []byte) (int, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/workers", bytes.NewReader(body))
+	req, err := c.newRequest(ctx, http.MethodPost, "/v1/workers", body)
 	if err != nil {
 		return 0, err
 	}
-	req.Header.Set("Content-Type", "application/json")
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return 0, err
@@ -437,7 +492,7 @@ func (c *Client) tryRegister(ctx context.Context, body []byte) (int, error) {
 // CheckEndpoint GETs one of the daemon's plumbing endpoints (/healthz,
 // /readyz, /metrics) and returns its body, failing on non-200.
 func (c *Client) CheckEndpoint(ctx context.Context, path string) (string, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+	req, err := c.newRequest(ctx, http.MethodGet, path, nil)
 	if err != nil {
 		return "", err
 	}

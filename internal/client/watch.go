@@ -27,7 +27,9 @@ import (
 func (c *Client) Watch(ctx context.Context, id string, after int64, fn func(server.JobEvent)) (server.JobEvent, error) {
 	var last server.JobEvent
 	last.Seq = after
+	attempt := 0
 	for {
+		before := last.Seq
 		ev, err := c.watchOnce(ctx, id, &last, fn)
 		if err == nil {
 			return ev, nil
@@ -39,11 +41,20 @@ func (c *Client) Watch(ctx context.Context, id string, after int64, fn func(serv
 		if errors.As(err, &he) && he.status != 0 && he.status < 500 {
 			return last, err
 		}
-		c.log.Debug("watch stream dropped; reconnecting", "job", id, "after", last.Seq, "error", err)
+		// Capped exponential backoff with jitter between reconnects; a
+		// connection that made progress (delivered events) resets the
+		// schedule, so a flaky-but-live stream isn't punished like a
+		// down server.
+		if last.Seq > before {
+			attempt = 0
+		}
+		delay := c.backoff.delay(attempt, c.rand)
+		attempt++
+		c.log.Debug("watch stream dropped; reconnecting", "job", id, "after", last.Seq, "delay", delay, "error", err)
 		select {
 		case <-ctx.Done():
 			return last, ctx.Err()
-		case <-time.After(c.backoff.Base):
+		case <-time.After(delay):
 		}
 	}
 }

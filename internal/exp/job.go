@@ -4,6 +4,7 @@ import (
 	"context"
 	"crypto/sha256"
 	"encoding/hex"
+	"encoding/json"
 	"fmt"
 	"sort"
 
@@ -193,6 +194,44 @@ type JobResult struct {
 	Stats *pipeline.Stats `json:"stats,omitempty"`
 	Table *stats.Table    `json:"table,omitempty"`
 	Text  string          `json:"text,omitempty"`
+	// Digest is the envelope's integrity seal (Seal/Verify): a content
+	// hash stamped by the producing daemon so a consumer — the fleet
+	// coordinator above all — can detect a result corrupted in transit
+	// before merging it.
+	Digest string `json:"digest,omitempty"`
+}
+
+// contentDigest hashes the result's payload fields canonically: the
+// fixed-order JSON encoding, which survives a wire round trip unchanged
+// (Go's encoder is deterministic for a fixed struct shape, and float
+// formatting round-trips exactly).
+func (r *JobResult) contentDigest() string {
+	body, err := json.Marshal(struct {
+		Stats *pipeline.Stats
+		Table *stats.Table
+		Text  string
+	}{r.Stats, r.Table, r.Text})
+	if err != nil {
+		// Only unmarshalable payloads fail, and JobResult holds none.
+		panic("exp: marshaling JobResult for digest: " + err.Error())
+	}
+	sum := sha256.Sum256(body)
+	return hex.EncodeToString(sum[:16])
+}
+
+// Seal stamps the result with its content digest. The producing daemon
+// seals just before persisting/serving the result.
+func (r *JobResult) Seal() { r.Digest = r.contentDigest() }
+
+// Verify reports whether the sealed digest matches the content. An
+// unsealed result (no digest) verifies trivially — it carries no claim
+// to check; every daemon in this tree seals, so fleet traffic is always
+// covered.
+func (r *JobResult) Verify() bool {
+	if r == nil || r.Digest == "" {
+		return true
+	}
+	return r.Digest == r.contentDigest()
 }
 
 // RunJob executes one job under the runner options. The spec's budgets

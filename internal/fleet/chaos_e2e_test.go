@@ -27,13 +27,15 @@ import (
 	"rvpsim/internal/testutil/leak"
 )
 
-// startWorker launches one rvpd and waits for its bound address.
-func startWorker(t *testing.T, bin, state, addrFile string) (*exec.Cmd, string, *bytes.Buffer) {
+// startWorker launches one rvpd and waits for its bound address. Extra
+// flags (tenant quotas, timeouts) append after the baseline set.
+func startWorker(t *testing.T, bin, state, addrFile string, extra ...string) (*exec.Cmd, string, *bytes.Buffer) {
 	t.Helper()
 	os.Remove(addrFile)
-	cmd := exec.Command(bin,
+	args := []string{
 		"-addr", "127.0.0.1:0", "-addr-file", addrFile,
-		"-state", state, "-workers", "1", "-drain-timeout", "1s")
+		"-state", state, "-workers", "1", "-drain-timeout", "1s"}
+	cmd := exec.Command(bin, append(args, extra...)...)
 	var logs bytes.Buffer
 	cmd.Stdout = &logs
 	cmd.Stderr = &logs

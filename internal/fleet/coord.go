@@ -68,6 +68,15 @@ type Config struct {
 	// StorageProbeEvery is how often a storage-degraded coordinator
 	// probes the disk for recovery (default 2s).
 	StorageProbeEvery time.Duration
+	// Transport, when set, builds the HTTP transport for each worker's
+	// client (nil uses the default transport). It is the network fault
+	// seam: chaos tests wrap every worker's dispatch path in a
+	// netfault injector without touching the worker process.
+	Transport func(workerURL string) http.RoundTripper
+	// Tenant stamps every dispatch with X-Rvp-Tenant so the fleet's
+	// load is attributed (and quota'd) under its own bucket on the
+	// workers (empty: the workers' default tenant).
+	Tenant string
 }
 
 func (c *Config) setDefaults() error {
@@ -232,6 +241,8 @@ type Coordinator struct {
 	mCellsDone, mCellsFailed        *obs.Counter
 	mCellRetries, mDispatchErrors   *obs.Counter
 	mShedStorage                    *obs.Counter
+	mDigestVerified, mDigestRejects *obs.Counter
+	mSpecRejects                    *obs.Counter
 	gWorkersLive, gWorkersTotal     *obs.Gauge
 	gReady, gLeased, gDone, gFailed *obs.Gauge
 	gStorageDegraded                *obs.Gauge
@@ -323,6 +334,9 @@ func (c *Coordinator) initMetrics() {
 	c.mCellRetries = c.reg.Counter("fleet_cell_retries_total", "failed cell attempts returned to the ready set")
 	c.mDispatchErrors = c.reg.Counter("fleet_dispatch_errors_total", "dispatches abandoned on transport/submission errors")
 	c.mShedStorage = c.reg.Counter("fleet_shed_storage_total", "sweep submissions shed while storage-degraded (503)")
+	c.mDigestVerified = c.reg.Counter("fleet_digest_verified_total", "cell results whose envelope digest verified before merge")
+	c.mDigestRejects = c.reg.Counter("fleet_digest_rejects_total", "cell results rejected for an envelope digest mismatch (corrupted in transit)")
+	c.mSpecRejects = c.reg.Counter("fleet_spec_rejects_total", "dispatches released because the worker echoed a different spec digest (request corrupted in transit)")
 	c.gWorkersLive = c.reg.Gauge("fleet_workers_live", "registered workers currently answering /readyz")
 	c.gWorkersTotal = c.reg.Gauge("fleet_workers_total", "registered workers")
 	c.gReady = c.reg.Gauge("fleet_cells_ready", "cells waiting for a worker")
@@ -420,13 +434,18 @@ func (c *Coordinator) AddWorker(url string) error {
 		c.mu.Unlock()
 		return nil
 	}
+	hc := &http.Client{Timeout: c.cfg.HTTPTimeout}
+	if c.cfg.Transport != nil {
+		hc.Transport = c.cfg.Transport(url)
+	}
 	w := &workerState{
 		url: url,
 		cl: client.New(url,
 			client.WithBackoff(c.cfg.Backoff),
 			client.WithMaxAttempts(c.cfg.SubmitAttempts),
 			client.WithMaxElapsed(c.cfg.Lease),
-			client.WithHTTPClient(&http.Client{Timeout: c.cfg.HTTPTimeout}),
+			client.WithHTTPClient(hc),
+			client.WithTenant(c.cfg.Tenant),
 			client.WithLogger(c.log.With("worker", url))),
 	}
 	c.workers[url] = w
@@ -765,9 +784,13 @@ func (c *Coordinator) leaseLocked(sw *sweepState, cell *cellState, w *workerStat
 		c.mLeases.Inc()
 	}
 	c.refreshGauges()
+	// The idempotency key carries the lease token: retries WITHIN one
+	// lease generation dedupe on the worker, while a new generation
+	// submits fresh — so a job poisoned by request corruption under the
+	// old key can never wedge the cell.
 	return leaseRef{
 		sweepID: sw.id, cellID: cell.id, tok: cell.tok, spec: cell.spec,
-		key: "fl-" + sw.id + "-" + cell.id,
+		key: fmt.Sprintf("fl-%s-%s-t%d", sw.id, cell.id, cell.tok),
 	}, true
 }
 
@@ -805,6 +828,21 @@ func (c *Coordinator) runCell(w *workerState, ref leaseRef) {
 		c.release(ref)
 		return
 	}
+	// The cell ID is the normalized spec digest, and the worker echoes
+	// its normalized spec back: a mismatch means the request (or the
+	// echo) was corrupted in transit, and polling this job could merge
+	// stats for a job we never asked for. Release and re-dispatch — the
+	// idempotency key is salted with the lease token, so the next lease
+	// generation submits the clean spec under a fresh key instead of
+	// rejoining the corrupted job.
+	if js.Spec.Digest() != ref.cellID {
+		c.mSpecRejects.Inc()
+		c.mDispatchErrors.Inc()
+		c.log.Warn("dispatch echoed a different spec digest; releasing cell",
+			"worker", w.url, "cell", ref.cellID, "echoed", js.Spec.Digest())
+		c.release(ref)
+		return
+	}
 	t := time.NewTicker(c.cfg.Heartbeat)
 	defer t.Stop()
 	for {
@@ -825,6 +863,19 @@ func (c *Coordinator) runCell(w *workerState, ref leaseRef) {
 		mine := c.renew(ref)
 		if st.Terminal() {
 			if st.State == server.StateSucceeded && st.Result != nil && st.Result.Stats != nil {
+				if !st.Result.Verify() {
+					// The worker sealed this result before persisting it, so
+					// a digest mismatch means the envelope was corrupted in
+					// transit. Never merge it; re-poll for a clean copy.
+					c.mDigestRejects.Inc()
+					c.log.Warn("cell result digest mismatch; discarding poll",
+						"worker", w.url, "cell", ref.cellID, "digest", st.Result.Digest)
+					if !mine {
+						return
+					}
+					continue
+				}
+				c.mDigestVerified.Inc()
 				c.complete(ref, w, *st.Result.Stats)
 			} else if mine {
 				msg := "job failed"

@@ -112,6 +112,25 @@ func (w *fakeWorker) status(rw http.ResponseWriter, r *http.Request) {
 			ID: r.PathValue("id"), State: server.StateFailed, Spec: spec,
 			Error: &server.ErrorInfo{Message: "injected failure"},
 		})
+	case "tamper":
+		// A corrupted-in-transit result: sealed over the true stats, then
+		// the stats mutated. The digest no longer matches the envelope.
+		st := fakeStats(spec.Digest())
+		res := exp.JobResult{Stats: &st}
+		res.Seal()
+		st.Cycles++
+		json.NewEncoder(rw).Encode(server.JobStatus{
+			ID: r.PathValue("id"), State: server.StateSucceeded, Spec: spec,
+			Result: &res,
+		})
+	case "sealed":
+		st := fakeStats(spec.Digest())
+		res := exp.JobResult{Stats: &st}
+		res.Seal()
+		json.NewEncoder(rw).Encode(server.JobStatus{
+			ID: r.PathValue("id"), State: server.StateSucceeded, Spec: spec,
+			Result: &res,
+		})
 	default: // done
 		st := fakeStats(spec.Digest())
 		json.NewEncoder(rw).Encode(server.JobStatus{

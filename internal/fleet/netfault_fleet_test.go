@@ -1,0 +1,158 @@
+// White-box audits of the fleet's two partition defenses:
+//
+//   - digest-verified merges: a cell result whose envelope digest does
+//     not match its content (corrupted in transit) is never committed,
+//     no matter how often the worker serves it;
+//   - lease-token fencing under an asymmetric partition: a stale owner
+//     whose heartbeats still reach the coordinator (renew calls arrive)
+//     but whose lease was stolen cannot renew, cannot fail the cell,
+//     and cannot double-count it — yet its deterministic success is
+//     still accepted, because a correct result is a correct result.
+package fleet
+
+import (
+	"testing"
+	"time"
+
+	"rvpsim/internal/testutil/leak"
+)
+
+func TestDigestMismatchedResultIsNeverMerged(t *testing.T) {
+	leak.Check(t)
+	// The worker reports success but every poll returns an envelope
+	// whose digest disagrees with its content.
+	w := newFakeWorker("tamper")
+	defer w.ts.Close()
+	c := testCoord(t, t.TempDir(), w.ts.URL)
+	defer c.Stop()
+
+	spec := SweepSpec{Workloads: []string{"go"}, Predictors: []string{"rvp"}, Insts: 5_000}
+	st, err := c.SubmitSweep(spec)
+	if err != nil {
+		t.Fatalf("SubmitSweep: %v", err)
+	}
+	rejects := c.Registry().Counter("fleet_digest_rejects_total", "")
+	waitFor(t, "repeated digest rejects", func() bool { return rejects.Value() >= 3 })
+
+	// Despite a steady stream of "successful" polls, nothing merged.
+	got, _ := c.Status(st.ID)
+	if got.Done != 0 {
+		t.Fatalf("corrupted result was merged: %+v", got)
+	}
+	if v := c.Registry().Counter("fleet_digest_verified_total", "").Value(); v != 0 {
+		t.Fatalf("fleet_digest_verified_total = %d while every envelope was corrupt", v)
+	}
+
+	// The corruption clears (transit fault, not worker state): the very
+	// same cell must now verify and complete.
+	w.setMode("sealed")
+	waitFor(t, "sweep done once the envelope verifies", func() bool {
+		got, _ := c.Status(st.ID)
+		return got.State == "done"
+	})
+	if v := c.Registry().Counter("fleet_digest_verified_total", "").Value(); v < 1 {
+		t.Errorf("fleet_digest_verified_total = %d, want >= 1", v)
+	}
+	got, _ = c.Status(st.ID)
+	if got.Done != 1 || got.Failed != 0 {
+		t.Errorf("status = %+v, want exactly one done cell", got)
+	}
+}
+
+func TestLeaseFencingUnderAsymmetricPartition(t *testing.T) {
+	leak.Check(t)
+	// The straggler hangs: its heartbeats (status polls -> renew) keep
+	// reaching the coordinator, but the cell makes no progress — the
+	// one-way partition where the control plane is healthy and the data
+	// plane is not. A second hanging worker steals the lease, and from
+	// then on the original owner's token is stale.
+	slow := newFakeWorker("hang")
+	defer slow.ts.Close()
+	dir := t.TempDir()
+	c, err := Open(Config{
+		StateDir:     dir,
+		Workers:      []string{slow.ts.URL},
+		Lease:        time.Hour, // expiry must not interfere with the audit
+		Heartbeat:    40 * time.Millisecond,
+		Poll:         10 * time.Millisecond,
+		StealAge:     120 * time.Millisecond,
+		CellAttempts: 2,
+	})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer c.Stop()
+
+	spec := SweepSpec{Workloads: []string{"go"}, Predictors: []string{"rvp"}, Insts: 5_000}
+	st, err := c.SubmitSweep(spec)
+	if err != nil {
+		t.Fatalf("SubmitSweep: %v", err)
+	}
+	waitFor(t, "straggler to hold the lease", func() bool {
+		got, _ := c.Status(st.ID)
+		return got.Leased == 1
+	})
+
+	// Capture the owner's lease token before the steal.
+	var stale leaseRef
+	c.mu.Lock()
+	for _, cell := range c.leases {
+		stale = leaseRef{sweepID: st.ID, cellID: cell.id, tok: cell.tok, spec: cell.spec}
+	}
+	c.mu.Unlock()
+	if stale.cellID == "" {
+		t.Fatalf("no lease found after Leased == 1")
+	}
+
+	// A second straggler steals the cell (StealAge passes, the thief is
+	// idle) — the steal bumps the token, fencing the original owner.
+	thief := newFakeWorker("hang")
+	defer thief.ts.Close()
+	if err := c.AddWorker(thief.ts.URL); err != nil {
+		t.Fatalf("AddWorker: %v", err)
+	}
+	steals := c.Registry().Counter("fleet_steals_total", "")
+	waitFor(t, "the steal", func() bool { return steals.Value() >= 1 })
+
+	// Fencing: the stale token can neither renew nor keep the lease.
+	if c.renew(stale) {
+		t.Errorf("stale owner renewed its lease after the steal")
+	}
+	if c.stillMine(stale) {
+		t.Errorf("stale owner still owns the lease after the steal")
+	}
+
+	// A stale failure report must not burn an attempt or fail the cell.
+	c.fail(stale, "stale owner cries wolf")
+	got, _ := c.Status(st.ID)
+	if got.Failed != 0 {
+		t.Fatalf("stale fail() failed the cell: %+v", got)
+	}
+	if retries := c.Registry().Counter("fleet_cell_retries_total", "").Value(); retries != 0 {
+		t.Errorf("stale fail() consumed a cell attempt: retries = %d", retries)
+	}
+
+	// But a stale SUCCESS still commits: the result is deterministic, so
+	// first writer wins regardless of who holds the lease now.
+	c.mu.Lock()
+	owner := c.workers[slow.ts.URL]
+	c.mu.Unlock()
+	c.complete(stale, owner, fakeStats(stale.cellID))
+	got, _ = c.Status(st.ID)
+	if got.Done != 1 {
+		t.Fatalf("stale owner's success was not committed: %+v", got)
+	}
+
+	// And the new owner's later completion of the same cell is a no-op.
+	c.mu.Lock()
+	thiefW := c.workers[thief.ts.URL]
+	c.mu.Unlock()
+	c.complete(leaseRef{sweepID: st.ID, cellID: stale.cellID, tok: stale.tok + 1, spec: stale.spec}, thiefW, fakeStats(stale.cellID))
+	got, _ = c.Status(st.ID)
+	if got.Done != 1 {
+		t.Fatalf("double-count after the thief reported the same cell: %+v", got)
+	}
+	if got.State != "done" {
+		t.Fatalf("sweep state = %s, want done", got.State)
+	}
+}

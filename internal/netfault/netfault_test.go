@@ -1,0 +1,409 @@
+package netfault
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"sync/atomic"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestScheduleDeterministic is the reproduction contract: one seed, one
+// schedule.
+func TestScheduleDeterministic(t *testing.T) {
+	kinds := []Kind{KindReset, KindLatency, KindFlip, KindPartition}
+	a := Schedule(42, 500, 12, kinds, time.Second)
+	b := Schedule(42, 500, 12, kinds, time.Second)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed, different schedules:\n%s\n%s", FormatPlans(a), FormatPlans(b))
+	}
+	if len(a) != 12 {
+		t.Fatalf("want 12 plans, got %d", len(a))
+	}
+	seen := map[int64]bool{}
+	for _, p := range a {
+		if p.At < 0 || p.At >= 500 {
+			t.Errorf("plan %s outside span", p)
+		}
+		if seen[p.At] {
+			t.Errorf("duplicate op index %d", p.At)
+		}
+		seen[p.At] = true
+		if p.Dur <= 0 || p.Dur > time.Second {
+			t.Errorf("plan %s duration outside (0, 1s]", p)
+		}
+	}
+	c := Schedule(43, 500, 12, kinds, time.Second)
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}
+
+// newBackend is a test origin that counts requests and serves a JSON
+// payload with a numeric field (so flips have a digit to corrupt).
+func newBackend(t *testing.T, retryAfter string) (*httptest.Server, *atomic.Int64, *atomic.Int64) {
+	t.Helper()
+	var hits, bodyBytes atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		n, _ := io.Copy(io.Discard, r.Body)
+		bodyBytes.Add(n)
+		if retryAfter != "" {
+			w.Header().Set("Retry-After", retryAfter)
+		}
+		fmt.Fprint(w, `{"value":1234567890,"pad":"abcdefghijklmnopqrstuvwxyz"}`)
+	}))
+	t.Cleanup(srv.Close)
+	return srv, &hits, &bodyBytes
+}
+
+func transportGet(t *testing.T, tr *Transport, url string) (*http.Response, error) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr.RoundTrip(req)
+}
+
+func TestTransportLatency(t *testing.T) {
+	srv, _, _ := newBackend(t, "")
+	inj := NewInjector()
+	inj.FailAt(Plan{At: 0, Kind: KindLatency, Dur: 80 * time.Millisecond})
+	tr := NewTransport(nil, inj)
+	start := time.Now()
+	resp, err := transportGet(t, tr, srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	drainClose(resp)
+	if d := time.Since(start); d < 80*time.Millisecond {
+		t.Fatalf("latency fault added only %v", d)
+	}
+	if got := inj.Trace(); len(got) != 1 || got[0] != OpRequest {
+		t.Fatalf("trace = %v", got)
+	}
+}
+
+func TestTransportResetDeliversRequestFirst(t *testing.T) {
+	srv, hits, bodyBytes := newBackend(t, "")
+	inj := NewInjector()
+	inj.FailAt(Plan{At: 0, Kind: KindReset})
+	tr := NewTransport(nil, inj)
+
+	body := bytes.Repeat([]byte("x"), 4096)
+	req, err := http.NewRequest(http.MethodPost, srv.URL, bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = tr.RoundTrip(req)
+	if !errors.Is(err, ErrInjected) || !errors.Is(err, syscall.ECONNRESET) {
+		t.Fatalf("want injected reset, got %v", err)
+	}
+	// The worst case for retrying clients: the server did the work.
+	if hits.Load() != 1 || bodyBytes.Load() != int64(len(body)) {
+		t.Fatalf("request not fully delivered before reset: hits=%d bytes=%d", hits.Load(), bodyBytes.Load())
+	}
+}
+
+func TestTransportPartitionDelaysThenDelivers(t *testing.T) {
+	srv, hits, _ := newBackend(t, "")
+	inj := NewInjector()
+	inj.FailAt(Plan{At: 0, Kind: KindPartition, Dur: 100 * time.Millisecond})
+	tr := NewTransport(nil, inj)
+	start := time.Now()
+	resp, err := transportGet(t, tr, srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	drainClose(resp)
+	if d := time.Since(start); d < 100*time.Millisecond {
+		t.Fatalf("partition healed too fast: %v", d)
+	}
+	if hits.Load() != 1 {
+		t.Fatalf("hits = %d", hits.Load())
+	}
+	// A second request after heal flows cleanly.
+	resp, err = transportGet(t, tr, srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	drainClose(resp)
+}
+
+func TestTransportPartitionRespectsContext(t *testing.T) {
+	srv, _, _ := newBackend(t, "")
+	inj := NewInjector()
+	inj.FailAt(Plan{At: 0, Kind: KindPartition, Dur: 5 * time.Second})
+	tr := NewTransport(nil, inj)
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, srv.URL, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	_, err = tr.RoundTrip(req)
+	if err == nil {
+		t.Fatal("expected context error inside partition")
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Fatal("context did not cut the partition wait short")
+	}
+}
+
+func TestTransportOneWayPartitionLosesResponse(t *testing.T) {
+	srv, hits, _ := newBackend(t, "")
+	inj := NewInjector()
+	inj.FailAt(Plan{At: 0, Kind: KindPartitionOneWay, Dur: 50 * time.Millisecond})
+	tr := NewTransport(nil, inj)
+	_, err := transportGet(t, tr, srv.URL)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("want injected loss, got %v", err)
+	}
+	if hits.Load() != 1 {
+		t.Fatalf("request should have reached the server: hits=%d", hits.Load())
+	}
+}
+
+func TestTransportTruncate(t *testing.T) {
+	srv, _, _ := newBackend(t, "")
+	inj := NewInjector()
+	inj.FailAt(Plan{At: 0, Kind: KindTruncate})
+	tr := NewTransport(nil, inj)
+	resp, err := transportGet(t, tr, srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("want unexpected EOF, got %v (read %d bytes)", err, len(raw))
+	}
+	if len(raw) == 0 || int64(len(raw)) >= resp.ContentLength && resp.ContentLength > 0 {
+		t.Fatalf("truncation delivered %d bytes of %d", len(raw), resp.ContentLength)
+	}
+}
+
+func TestTransportFlipCorruptsOneDigit(t *testing.T) {
+	srv, _, _ := newBackend(t, "")
+	clean, err := transportGet(t, NewTransport(nil, NewInjector()), srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := io.ReadAll(clean.Body)
+	clean.Body.Close()
+
+	inj := NewInjector()
+	inj.FailAt(Plan{At: 0, Kind: KindFlip})
+	resp, err := transportGet(t, NewTransport(nil, inj), srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("flip changed length: %d != %d", len(got), len(want))
+	}
+	diff := 0
+	for i := range got {
+		if got[i] != want[i] {
+			diff++
+		}
+	}
+	if diff != 1 {
+		t.Fatalf("flip changed %d bytes, want exactly 1\nwant %q\ngot  %q", diff, want, got)
+	}
+}
+
+func TestTransportDuplicateDeliversTwice(t *testing.T) {
+	srv, hits, bodyBytes := newBackend(t, "")
+	inj := NewInjector()
+	inj.FailAt(Plan{At: 0, Kind: KindDuplicate})
+	tr := NewTransport(nil, inj)
+	body := []byte(`{"k":1}`)
+	req, err := http.NewRequest(http.MethodPost, srv.URL, bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if req.GetBody == nil {
+		t.Fatal("bytes.Reader bodies must set GetBody")
+	}
+	resp, err := tr.RoundTrip(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	drainClose(resp)
+	if hits.Load() != 2 {
+		t.Fatalf("duplicate delivered %d times", hits.Load())
+	}
+	if bodyBytes.Load() != 2*int64(len(body)) {
+		t.Fatalf("duplicate bodies incomplete: %d bytes", bodyBytes.Load())
+	}
+}
+
+func TestTransportSlowLoris(t *testing.T) {
+	srv, _, _ := newBackend(t, "")
+	inj := NewInjector()
+	inj.FailAt(Plan{At: 0, Kind: KindSlowLoris, Dur: 5 * time.Millisecond})
+	tr := NewTransport(nil, inj)
+	resp, err := transportGet(t, tr, srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	start := time.Now()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ~59 bytes at ≤16 bytes/read with a 5ms pause each: ≥4 reads.
+	if d := time.Since(start); d < 15*time.Millisecond {
+		t.Fatalf("slow-loris body arrived too fast: %v for %d bytes", d, len(raw))
+	}
+}
+
+func TestTransportSkewsRetryAfter(t *testing.T) {
+	srv, _, _ := newBackend(t, "3")
+	inj := NewInjector()
+	inj.FailAt(Plan{At: 0, Kind: KindSkewRetryAfter, Skew: 10})
+	tr := NewTransport(nil, inj)
+	resp, err := transportGet(t, tr, srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	drainClose(resp)
+	if got := resp.Header.Get("Retry-After"); got != "30" {
+		t.Fatalf("Retry-After = %q, want 30", got)
+	}
+}
+
+// TestProxyForwardsCleanly: with an empty schedule the proxy is a
+// transparent pipe.
+func TestProxyForwardsCleanly(t *testing.T) {
+	srv, hits, _ := newBackend(t, "")
+	inj := NewInjector()
+	px, err := NewProxy(srv.Listener.Addr().String(), inj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer px.Close()
+	resp, err := http.Get(px.URL())
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if hits.Load() != 1 || !bytes.Contains(raw, []byte("1234567890")) {
+		t.Fatalf("proxy mangled a clean request: hits=%d body=%q", hits.Load(), raw)
+	}
+	if ops := inj.Ops(); ops < 2 { // at least accept + some reads/writes
+		t.Fatalf("injector counted %d ops", ops)
+	}
+}
+
+// TestProxyReadReset: a reset on the response path kills the request
+// but the next connection succeeds.
+func TestProxyReadReset(t *testing.T) {
+	srv, _, _ := newBackend(t, "")
+	inj := NewInjector()
+	// Op 0 is the accept; the first read of the response stream comes
+	// later. Schedule resets broadly over early ops to catch it.
+	for i := int64(1); i < 8; i++ {
+		inj.FailAt(Plan{At: i, Kind: KindReset})
+	}
+	px, err := NewProxy(srv.Listener.Addr().String(), inj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer px.Close()
+	hc := &http.Client{Timeout: 5 * time.Second}
+	if _, err := hc.Get(px.URL()); err == nil {
+		t.Fatal("expected the faulted connection to fail")
+	}
+	// The schedule is finite: a retrying client gets through once the
+	// planned resets are spent — the convergence contract chaos tests
+	// lean on.
+	var lastErr error
+	for attempt := 0; attempt < 10; attempt++ {
+		resp, err := hc.Get(px.URL())
+		if err == nil {
+			drainClose(resp)
+			return
+		}
+		lastErr = err
+	}
+	t.Fatalf("no request succeeded after the schedule drained: %v\ntrace: %v", lastErr, inj.Trace())
+}
+
+// TestProxyFlipCorruptsPayload: a flip on the response path reaches the
+// client as a changed byte, not a transport error.
+func TestProxyFlipCorruptsPayload(t *testing.T) {
+	srv, _, _ := newBackend(t, "")
+	inj := NewInjector()
+	px, err := NewProxy(srv.Listener.Addr().String(), inj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer px.Close()
+	hc := &http.Client{Timeout: 5 * time.Second}
+
+	resp, err := hc.Get(px.URL())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+
+	// Corrupt every read op for the next request. The proxy faults the
+	// raw TCP stream, so the flip may land in the HTTP headers (framing
+	// damage surfacing as a client error) or in the body (a changed
+	// byte); either way the payload must not arrive intact.
+	n := inj.Ops()
+	for i := n; i < n+16; i++ {
+		inj.FailAt(Plan{At: i, Kind: KindFlip})
+	}
+	resp, err = hc.Get(px.URL())
+	if err != nil {
+		return // framing corrupted: the client saw the damage
+	}
+	got, rerr := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if rerr == nil && bytes.Equal(got, want) {
+		t.Fatalf("flip left the payload intact: %q", got)
+	}
+}
+
+// TestConnPartitionBlocksThenHeals drives a wrapped pipe directly: a
+// full partition stalls both directions, then delivery resumes.
+func TestConnPartitionBlocksThenHeals(t *testing.T) {
+	srv, _, _ := newBackend(t, "")
+	inj := NewInjector()
+	px, err := NewProxy(srv.Listener.Addr().String(), inj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer px.Close()
+	// Partition the link at the first post-accept op.
+	inj.FailAt(Plan{At: 1, Kind: KindPartition, Dur: 120 * time.Millisecond})
+	hc := &http.Client{Timeout: 5 * time.Second}
+	start := time.Now()
+	resp, err := hc.Get(px.URL())
+	if err != nil {
+		t.Fatalf("partitioned request should heal and succeed: %v", err)
+	}
+	drainClose(resp)
+	if d := time.Since(start); d < 100*time.Millisecond {
+		t.Fatalf("request finished in %v, inside the partition window", d)
+	}
+}

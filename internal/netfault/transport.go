@@ -1,0 +1,226 @@
+package netfault
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// Transport wraps an http.RoundTripper and threads every round trip
+// through an Injector (one OpRequest per RoundTrip call). It is the
+// client-side fault surface: the retrying rvpc client and the fleet
+// coordinator's dispatch path take it via their HTTP-client options.
+type Transport struct {
+	inner http.RoundTripper
+	inj   *Injector
+}
+
+// NewTransport wraps inner (http.DefaultTransport when nil) with inj.
+func NewTransport(inner http.RoundTripper, inj *Injector) *Transport {
+	if inner == nil {
+		inner = http.DefaultTransport
+	}
+	return &Transport{inner: inner, inj: inj}
+}
+
+// RoundTrip implements http.RoundTripper.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	done := req.Context().Done()
+	// An active partition stalls the request like a retransmitting TCP
+	// stack would; the caller's context is the escape hatch.
+	if !t.inj.awaitHealed(OpRequest, done) {
+		return nil, req.Context().Err()
+	}
+	p, ok := t.inj.step(OpRequest)
+	if !ok {
+		return t.inner.RoundTrip(req)
+	}
+	switch p.Kind {
+	case KindLatency:
+		d := p.Dur
+		if d <= 0 {
+			d = 50 * time.Millisecond
+		}
+		if !sleepOr(d, done) {
+			return nil, req.Context().Err()
+		}
+		return t.inner.RoundTrip(req)
+
+	case KindReset:
+		// The request is delivered — the server does the work — but the
+		// response connection dies. This is the case that punishes clients
+		// whose retries resend a drained body.
+		resp, err := t.inner.RoundTrip(req)
+		if err != nil {
+			return nil, fmt.Errorf("%w (while injecting reset: %w)", err, ErrReset)
+		}
+		drainClose(resp)
+		return nil, ErrReset
+
+	case KindPartition:
+		// step armed the blackhole; deliver after heal (or die with the
+		// caller's context).
+		if !t.inj.awaitHealed(OpRequest, done) {
+			return nil, req.Context().Err()
+		}
+		return t.inner.RoundTrip(req)
+
+	case KindPartitionOneWay:
+		// The request reaches the server; the response never comes back.
+		resp, err := t.inner.RoundTrip(req)
+		if err == nil {
+			drainClose(resp)
+		}
+		if !t.inj.awaitHealed(OpRequest, done) {
+			return nil, req.Context().Err()
+		}
+		return nil, fmt.Errorf("%w (response lost to one-way partition)", ErrReset)
+
+	case KindTruncate:
+		resp, err := t.inner.RoundTrip(req)
+		if err != nil {
+			return nil, err
+		}
+		k := int64(64)
+		if resp.ContentLength > 1 {
+			k = resp.ContentLength / 2
+		}
+		resp.Body = &truncBody{inner: resp.Body, remaining: k}
+		return resp, nil
+
+	case KindFlip:
+		resp, err := t.inner.RoundTrip(req)
+		if err != nil {
+			return nil, err
+		}
+		resp.Body = &flipBody{inner: resp.Body}
+		return resp, nil
+
+	case KindDuplicate:
+		// At-least-once delivery: the request lands twice. Needs a
+		// rewindable body; without GetBody it degrades to a single
+		// delivery (nothing left to resend).
+		first, err := t.inner.RoundTrip(req)
+		if err != nil {
+			return nil, err
+		}
+		if req.Body != nil && req.GetBody == nil {
+			return first, nil
+		}
+		again := req.Clone(req.Context())
+		if req.GetBody != nil {
+			again.Body, err = req.GetBody()
+			if err != nil {
+				return first, nil
+			}
+		}
+		second, err := t.inner.RoundTrip(again)
+		if err != nil {
+			return first, nil
+		}
+		drainClose(first)
+		return second, nil
+
+	case KindSlowLoris:
+		resp, err := t.inner.RoundTrip(req)
+		if err != nil {
+			return nil, err
+		}
+		d := p.Dur
+		if d <= 0 {
+			d = 10 * time.Millisecond
+		}
+		resp.Body = &dripBody{inner: resp.Body, pause: d, done: done}
+		return resp, nil
+
+	case KindSkewRetryAfter:
+		resp, err := t.inner.RoundTrip(req)
+		if err != nil {
+			return nil, err
+		}
+		skew := p.Skew
+		if skew <= 0 {
+			skew = 10
+		}
+		if secs, aerr := strconv.Atoi(resp.Header.Get("Retry-After")); aerr == nil && secs > 0 {
+			resp.Header.Set("Retry-After", strconv.Itoa(int(float64(secs)*skew)))
+		}
+		return resp, nil
+
+	default:
+		return t.inner.RoundTrip(req)
+	}
+}
+
+// drainClose consumes and closes a response body so the underlying
+// connection can be reused.
+func drainClose(resp *http.Response) {
+	if resp == nil || resp.Body == nil {
+		return
+	}
+	_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
+	_ = resp.Body.Close()
+}
+
+// truncBody delivers a byte budget, then cuts the stream with the
+// unexpected-EOF a torn connection produces.
+type truncBody struct {
+	inner     io.ReadCloser
+	remaining int64
+}
+
+func (b *truncBody) Read(p []byte) (int, error) {
+	if b.remaining <= 0 {
+		return 0, io.ErrUnexpectedEOF
+	}
+	if int64(len(p)) > b.remaining {
+		p = p[:b.remaining]
+	}
+	n, err := b.inner.Read(p)
+	b.remaining -= int64(n)
+	if err == nil && b.remaining <= 0 {
+		err = io.ErrUnexpectedEOF
+	}
+	return n, err
+}
+
+func (b *truncBody) Close() error { return b.inner.Close() }
+
+// flipBody flips one bit in the first chunk read (see flipDigit).
+type flipBody struct {
+	inner   io.ReadCloser
+	flipped bool
+}
+
+func (b *flipBody) Read(p []byte) (int, error) {
+	n, err := b.inner.Read(p)
+	if n > 0 && !b.flipped {
+		flipDigit(p[:n])
+		b.flipped = true
+	}
+	return n, err
+}
+
+func (b *flipBody) Close() error { return b.inner.Close() }
+
+// dripBody trickles the body: a pause before every read, at most 16
+// bytes per read.
+type dripBody struct {
+	inner io.ReadCloser
+	pause time.Duration
+	done  <-chan struct{}
+}
+
+func (b *dripBody) Read(p []byte) (int, error) {
+	if !sleepOr(b.pause, b.done) {
+		return 0, io.ErrUnexpectedEOF
+	}
+	if len(p) > 16 {
+		p = p[:16]
+	}
+	return b.inner.Read(p)
+}
+
+func (b *dripBody) Close() error { return b.inner.Close() }

@@ -90,6 +90,23 @@ type Config struct {
 	// StorageProbeEvery is how often a storage-degraded daemon probes
 	// the disk for recovery (default 2s).
 	StorageProbeEvery time.Duration
+	// TenantQueueDepth caps how many jobs one tenant (X-Rvp-Tenant, or
+	// DefaultTenant) may hold queued at once, so a single tenant cannot
+	// fill the shared queue (0 disables: only the shared queue limits,
+	// which keeps single-tenant deployments on the plain admission
+	// path).
+	TenantQueueDepth int
+	// TenantRate is each tenant's sustained admission rate in jobs per
+	// second, enforced by a token bucket of TenantBurst capacity
+	// (default 0: no rate limit).
+	TenantRate float64
+	// TenantBurst is the token-bucket burst per tenant (default 1 when
+	// TenantRate is set).
+	TenantBurst int
+	// BodyReadTimeout bounds how long a submission may take to deliver
+	// its body, so slow-loris clients are cut with 408 instead of
+	// holding connections open indefinitely (default 30s; <0 disables).
+	BodyReadTimeout time.Duration
 }
 
 func (c *Config) setDefaults() error {
@@ -141,6 +158,12 @@ func (c *Config) setDefaults() error {
 	if c.StorageProbeEvery <= 0 {
 		c.StorageProbeEvery = 2 * time.Second
 	}
+	if c.TenantBurst <= 0 {
+		c.TenantBurst = 1
+	}
+	if c.BodyReadTimeout == 0 {
+		c.BodyReadTimeout = 30 * time.Second
+	}
 	return nil
 }
 
@@ -156,6 +179,7 @@ type Server struct {
 	store   *Store
 	queue   *queue
 	breaker *breaker
+	tenants *tenants
 	log     *slog.Logger
 
 	// tel and tracer are the observability layer: per-job event feeds
@@ -191,16 +215,18 @@ type Server struct {
 	storageDegraded atomic.Bool
 	walMet          *wal.Metrics
 
-	mSubmitted, mDeduped           *obs.Counter
-	mShedQueue, mShedBreaker       *obs.Counter
-	mShedDraining, mShedStorage    *obs.Counter
-	mSucceeded, mFailed, mRequeued *obs.Counter
-	mBreakerTrips                  *obs.Counter
-	gDepth, gInflight, gWorkers    *obs.Gauge
-	gBreakerOpen, gDraining        *obs.Gauge
-	gStorageDegraded               *obs.Gauge
-	gvBreaker                      *obs.GaugeVec
-	hWaitMS, hRunMS                *obs.Histogram
+	mSubmitted, mDeduped            *obs.Counter
+	mShedQueue, mShedBreaker        *obs.Counter
+	mShedDraining, mShedStorage     *obs.Counter
+	mSucceeded, mFailed, mRequeued  *obs.Counter
+	mBreakerTrips                   *obs.Counter
+	mBodyTimeouts, mDeadlineExpired *obs.Counter
+	gDepth, gInflight, gWorkers     *obs.Gauge
+	gBreakerOpen, gDraining         *obs.Gauge
+	gStorageDegraded                *obs.Gauge
+	gvBreaker, gvTenantQueued       *obs.GaugeVec
+	cvTenantSubmitted, cvTenantShed *obs.CounterVec
+	hWaitMS, hRunMS                 *obs.Histogram
 }
 
 // New opens the state directory, replays the job store, re-enqueues
@@ -229,6 +255,7 @@ func New(cfg Config) (*Server, error) {
 	}
 	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
 	s.initMetrics()
+	s.tenants = newTenants(cfg.TenantQueueDepth, cfg.TenantRate, cfg.TenantBurst, s.gvTenantQueued)
 	if store.Truncated > 0 {
 		s.log.Warn("jobstore: dropped damaged tail records", "count", store.Truncated)
 	}
@@ -249,9 +276,19 @@ func New(cfg Config) (*Server, error) {
 				return nil, err
 			}
 		}
+		tenant := rec.Tenant
+		if tenant == "" {
+			tenant = DefaultTenant
+		}
+		var deadline time.Time
+		if rec.DeadlineUS > 0 {
+			deadline = time.UnixMicro(rec.DeadlineUS)
+		}
+		s.tenants.force(tenant)
 		s.queue.force(&job{
 			id: rec.ID, spec: rec.Spec, breakerKey: breakerKey(rec.Spec),
 			enqueued: time.Now(), tctx: obs.SpanContext{Trace: rec.TraceID},
+			tenant: tenant, deadline: deadline,
 		})
 		s.tel.publish(rec.ID, JobEvent{Type: EvQueued, Attempt: rec.Attempts})
 		s.log.Info("recovered job", "job", rec.ID, "kind", rec.Spec.Kind, "trace", rec.TraceID)
@@ -317,11 +354,16 @@ func (s *Server) initMetrics() {
 	s.mFailed = s.reg.Counter("srv_jobs_failed_total", "jobs that reached a failed terminal state")
 	s.mRequeued = s.reg.Counter("srv_jobs_requeued_total", "in-flight jobs checkpointed and requeued by a drain")
 	s.mBreakerTrips = s.reg.Counter("srv_breaker_trips_total", "circuit-breaker open transitions")
+	s.mBodyTimeouts = s.reg.Counter("srv_body_timeouts_total", "submissions cut for exceeding the body-read timeout (slow-loris defense, 408)")
+	s.mDeadlineExpired = s.reg.Counter("srv_deadline_expired_total", "jobs abandoned or refused because the caller's propagated deadline passed")
 	s.gDepth = s.reg.Gauge("srv_queue_depth", "jobs currently queued")
 	s.gInflight = s.reg.Gauge("srv_inflight_jobs", "jobs currently running on workers")
 	s.gWorkers = s.reg.Gauge("srv_workers_total", "size of the worker pool (utilization = srv_inflight_jobs / this)")
 	s.gBreakerOpen = s.reg.Gauge("srv_breaker_open", "circuit breakers currently open")
 	s.gvBreaker = s.reg.GaugeVec("srv_breaker_state", "per-workload breaker state (0 closed, 1 half-open, 2 open)", "key")
+	s.gvTenantQueued = s.reg.GaugeVec("srv_tenant_queued", "jobs currently queued per tenant", "tenant")
+	s.cvTenantSubmitted = s.reg.CounterVec("srv_tenant_submitted_total", "jobs accepted per tenant", "tenant")
+	s.cvTenantShed = s.reg.CounterVec("srv_tenant_shed_total", "submissions shed by per-tenant quota or rate limit (429)", "tenant")
 	s.gDraining = s.reg.Gauge("srv_draining", "1 while the daemon is draining")
 	s.gStorageDegraded = s.reg.Gauge("srv_storage_degraded", "1 while durable appends are failing and new work is shed")
 	s.hWaitMS = s.reg.Histogram("srv_queue_wait_ms", "queue wait per job, milliseconds", obs.ExpBuckets(2, 2, 14))
@@ -352,6 +394,31 @@ const (
 	TraceIDHeader    = "X-Rvp-Trace-Id"
 	ParentSpanHeader = "X-Rvp-Parent-Span"
 )
+
+// TenantHeader names the caller's tenant for per-tenant quotas and
+// rate limits; anonymous callers are bucketed under DefaultTenant.
+// DeadlineHeader carries the caller's context deadline as unix
+// microseconds: the server refuses work it cannot start in time and
+// cancels runs whose caller has already given up, so orphaned work
+// never occupies a worker.
+const (
+	TenantHeader   = "X-Rvp-Tenant"
+	DeadlineHeader = "X-Rvp-Deadline"
+	DefaultTenant  = "default"
+)
+
+// parseDeadline reads a DeadlineHeader value (unix microseconds; empty
+// means no deadline).
+func parseDeadline(v string) (time.Time, error) {
+	if v == "" {
+		return time.Time{}, nil
+	}
+	us, err := strconv.ParseInt(v, 10, 64)
+	if err != nil || us <= 0 {
+		return time.Time{}, fmt.Errorf("invalid %s %q: want a positive unix-microsecond timestamp", DeadlineHeader, v)
+	}
+	return time.UnixMicro(us), nil
+}
 
 // Handler returns the service's HTTP API.
 func (s *Server) Handler() http.Handler {
@@ -422,13 +489,35 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			fmt.Sprintf("request body %d exceeds limit %d", r.ContentLength, s.cfg.MaxBody), 0)
 		return
 	}
+	// Slow-loris defense: the whole body must arrive within the read
+	// timeout. A trickling client costs one handler goroutine for at
+	// most that long and never reaches admission, so it cannot occupy a
+	// worker slot or the submit lock.
+	rc := http.NewResponseController(w)
+	if s.cfg.BodyReadTimeout > 0 {
+		_ = rc.SetReadDeadline(time.Now().Add(s.cfg.BodyReadTimeout))
+	}
 	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBody)
 	body, err := io.ReadAll(r.Body)
+	if s.cfg.BodyReadTimeout > 0 && err == nil {
+		// Clear the deadline so a keep-alive connection's next request
+		// does not inherit it. On a timed-out read the expired deadline
+		// deliberately stays armed: the server's post-handler body drain
+		// then fails instantly and the connection closes, instead of
+		// blocking forever on bytes the trickling client will never send.
+		_ = rc.SetReadDeadline(time.Time{})
+	}
 	if err != nil {
 		var mbe *http.MaxBytesError
 		if errors.As(err, &mbe) {
 			reject(w, http.StatusRequestEntityTooLarge,
 				fmt.Sprintf("request body exceeds limit %d", s.cfg.MaxBody), 0)
+			return
+		}
+		if errors.Is(err, os.ErrDeadlineExceeded) {
+			s.mBodyTimeouts.Inc()
+			reject(w, http.StatusRequestTimeout,
+				fmt.Sprintf("request body not delivered within %v", s.cfg.BodyReadTimeout), 0)
 			return
 		}
 		reject(w, http.StatusBadRequest, "reading body: "+err.Error(), 0)
@@ -438,6 +527,24 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	spec, err := DecodeJobRequest(body, s.cfg.DefaultInsts)
 	if err != nil {
 		reject(w, http.StatusBadRequest, err.Error(), 0)
+		return
+	}
+	tenant, err := tenantName(r.Header.Get(TenantHeader))
+	if err != nil {
+		reject(w, http.StatusBadRequest, err.Error(), 0)
+		return
+	}
+	deadline, err := parseDeadline(r.Header.Get(DeadlineHeader))
+	if err != nil {
+		reject(w, http.StatusBadRequest, err.Error(), 0)
+		return
+	}
+	if !deadline.IsZero() && !time.Now().Before(deadline) {
+		// The caller's own deadline has already passed; any work done
+		// now is orphaned by construction.
+		s.mDeadlineExpired.Inc()
+		reject(w, http.StatusBadRequest,
+			fmt.Sprintf("%s already expired at submission", DeadlineHeader), 0)
 		return
 	}
 	key := r.Header.Get("Idempotency-Key")
@@ -480,6 +587,15 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			fmt.Sprintf("circuit breaker open for %q", bkey), retryAfter)
 		return
 	}
+	// Per-tenant admission runs after the shared-fate checks: a quota or
+	// rate rejection is this tenant's own 429, with a Retry-After shaped
+	// by its own bucket, while the shared queue stays available to
+	// everyone else.
+	if terr := s.tenants.admit(tenant, s.queue.retryAfter()); terr != nil {
+		s.cvTenantShed.With(tenant).Inc()
+		reject(w, http.StatusTooManyRequests, terr.Error(), terr.retryAfter)
+		return
+	}
 
 	id := newJobID(key)
 	// The admission span is retroactive: it covers decode + dedup +
@@ -491,9 +607,14 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		tctx = s.tracer.Record(tctx, "admission", admitStart, time.Since(admitStart),
 			map[string]string{"job": id, "kind": spec.Kind})
 	}
-	rec := JobStatus{ID: id, Key: key, State: StateQueued, Spec: spec, TraceID: tctx.Trace}
-	j := &job{id: id, spec: spec, breakerKey: bkey, enqueued: time.Now(), tctx: tctx}
+	rec := JobStatus{ID: id, Key: key, State: StateQueued, Spec: spec, TraceID: tctx.Trace, Tenant: tenant}
+	if !deadline.IsZero() {
+		rec.DeadlineUS = deadline.UnixMicro()
+	}
+	j := &job{id: id, spec: spec, breakerKey: bkey, enqueued: time.Now(), tctx: tctx,
+		tenant: tenant, deadline: deadline}
 	if err := s.queue.admit(j); err != nil {
+		s.tenants.release(tenant) // the quota slot charged above never queued
 		var adm *admissionError
 		if errors.As(err, &adm) {
 			s.mShedQueue.Inc()
@@ -519,9 +640,10 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.mSubmitted.Inc()
+	s.cvTenantSubmitted.With(tenant).Inc()
 	s.gDepth.Set(int64(s.queue.depthNow()))
 	s.tel.publish(id, JobEvent{Type: EvQueued})
-	s.log.Info("job accepted", "job", id, "kind", spec.Kind, "trace", tctx.Trace)
+	s.log.Info("job accepted", "job", id, "kind", spec.Kind, "tenant", tenant, "trace", tctx.Trace)
 	writeJSON(w, http.StatusAccepted, rec)
 }
 
@@ -619,11 +741,20 @@ func (s *Server) worker() {
 func (s *Server) runJob(j *job) {
 	wait := time.Since(j.enqueued)
 	s.queue.noteDequeue(j, wait)
+	s.tenants.release(j.tenant)
 	s.gDepth.Set(int64(s.queue.depthNow()))
 	if j.dropped.Load() {
 		// Admission rolled this job back (its acceptance never became
 		// durable and the client was told 503); running it would do
 		// unacknowledged work.
+		return
+	}
+	if !j.deadline.IsZero() && !time.Now().Before(j.deadline) {
+		// The caller's deadline expired while the job sat queued: the
+		// caller has given up, so the work is orphaned before it starts.
+		// Record the terminal timeout without charging the workload's
+		// breaker — the queue wait, not the workload, ate the budget.
+		s.abandonExpired(j)
 		return
 	}
 	s.hWaitMS.Observe(wait.Milliseconds())
@@ -661,6 +792,13 @@ func (s *Server) runJob(j *job) {
 
 	ctx, cancel := context.WithTimeout(s.baseCtx, s.cfg.JobTimeout)
 	defer cancel()
+	if !j.deadline.IsZero() {
+		// The propagated caller deadline caps the run below JobTimeout:
+		// past it the caller is gone and further work is orphaned.
+		var dcancel context.CancelFunc
+		ctx, dcancel = context.WithDeadline(ctx, j.deadline)
+		defer dcancel()
+	}
 	opts := exp.Options{
 		Parallel:        true,
 		StateDir:        s.jobDir(j.id),
@@ -697,6 +835,10 @@ func (s *Server) runJob(j *job) {
 
 	switch {
 	case err == nil:
+		// Seal before persisting: every consumer — the fleet coordinator
+		// above all — can verify the result envelope against corruption
+		// in transit.
+		res.Seal()
 		rec.State = StateSucceeded
 		rec.Result = res
 		s.breaker.Success(j.breakerKey)
@@ -728,6 +870,13 @@ func (s *Server) runJob(j *job) {
 
 	default:
 		timeout := errors.Is(err, context.DeadlineExceeded)
+		// A run cut by the caller's propagated deadline is the caller's
+		// timeout, not evidence against the workload; it must not feed
+		// the breaker.
+		callerExpired := timeout && !j.deadline.IsZero() && !time.Now().Before(j.deadline)
+		if callerExpired {
+			s.mDeadlineExpired.Inc()
+		}
 		rec.State = StateFailed
 		rec.Error = errorInfo(err, timeout)
 		// Flight recorder: freeze the job's recent events into the
@@ -737,7 +886,7 @@ func (s *Server) runJob(j *job) {
 		if f, ok := s.tel.lookup(j.id); ok {
 			rec.Flight = &FlightRecord{SpecDigest: j.spec.Digest(), Events: f.events()}
 		}
-		if !simerr.IsTransient(err) {
+		if !simerr.IsTransient(err) && !callerExpired {
 			if tripped := s.breaker.Failure(j.breakerKey); tripped {
 				s.mBreakerTrips.Inc()
 				s.log.Warn("circuit breaker tripped", "key", j.breakerKey)
@@ -755,6 +904,35 @@ func (s *Server) runJob(j *job) {
 		s.log.Warn("job failed", "job", j.id, "attempt", rec.Attempts,
 			"trace", rec.TraceID, "error", err)
 	}
+}
+
+// abandonExpired records the terminal timeout of a job whose caller's
+// propagated deadline passed while it was still queued. The run never
+// starts: no worker time is spent on work nobody is waiting for, and
+// the workload's breaker is not charged.
+func (s *Server) abandonExpired(j *job) {
+	s.mDeadlineExpired.Inc()
+	s.mFailed.Inc()
+	rec, _ := s.store.Get(j.id)
+	rec.ID, rec.Spec = j.id, j.spec
+	if rec.TraceID == "" {
+		rec.TraceID = j.tctx.Trace
+	}
+	rec.State = StateFailed
+	rec.Result = nil
+	rec.Error = &ErrorInfo{
+		Message: fmt.Sprintf("caller deadline expired %v before the job reached a worker",
+			time.Since(j.deadline).Round(time.Millisecond)),
+		Timeout: true,
+	}
+	if err := s.store.Append(rec); err != nil {
+		s.log.Error("recording deadline abandonment failed", "job", j.id, "error", err)
+		s.noteStorageFailure(err)
+	}
+	os.RemoveAll(s.jobDir(j.id))
+	s.tel.publish(j.id, JobEvent{Type: EvFailed, Attempt: rec.Attempts, Error: rec.Error.Message})
+	s.log.Warn("job abandoned: caller deadline expired while queued",
+		"job", j.id, "tenant", j.tenant, "trace", rec.TraceID)
 }
 
 // handleTrace returns the daemon-side spans of one job's trace as a

@@ -1,0 +1,162 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"rvpsim/internal/obs"
+)
+
+// tenants enforces per-tenant admission on top of the global queue: a
+// queue-depth quota (one tenant cannot fill the shared queue) and a
+// token-bucket rate limit (one tenant cannot monopolize admission even
+// with a short queue). Both answer overload with the same typed
+// rejection the queue uses, so the HTTP layer maps them to 429 with a
+// per-tenant Retry-After.
+type tenants struct {
+	maxQueued int     // per-tenant cap on queued jobs (0 disables)
+	rate      float64 // token refill per second (0 disables the bucket)
+	burst     float64 // bucket capacity
+	now       func() time.Time
+
+	gQueued *obs.GaugeVec // srv_tenant_queued, updated under mu
+
+	mu sync.Mutex
+	m  map[string]*tenantState
+}
+
+type tenantState struct {
+	queued int
+	tokens float64
+	last   time.Time
+}
+
+func newTenants(maxQueued int, rate float64, burst int, gQueued *obs.GaugeVec) *tenants {
+	b := float64(burst)
+	if b < 1 {
+		b = 1
+	}
+	return &tenants{
+		maxQueued: maxQueued,
+		rate:      rate,
+		burst:     b,
+		now:       time.Now,
+		gQueued:   gQueued,
+		m:         map[string]*tenantState{},
+	}
+}
+
+// get returns the tenant's state, creating it with a full bucket. Caller
+// holds mu.
+func (t *tenants) get(name string) *tenantState {
+	st, ok := t.m[name]
+	if !ok {
+		st = &tenantState{tokens: t.burst, last: t.now()}
+		t.m[name] = st
+	}
+	return st
+}
+
+// refill advances the token bucket to now. Caller holds mu.
+func (t *tenants) refill(st *tenantState) {
+	now := t.now()
+	st.tokens += t.rate * now.Sub(st.last).Seconds()
+	if st.tokens > t.burst {
+		st.tokens = t.burst
+	}
+	st.last = now
+}
+
+// admit charges one submission to the tenant, or returns the typed
+// rejection. waitHint is the queue's drain estimate — the Retry-After a
+// quota rejection carries; a rate rejection instead carries the exact
+// time until the tenant's next token.
+func (t *tenants) admit(name string, waitHint time.Duration) *admissionError {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	st := t.get(name)
+	if t.maxQueued > 0 && st.queued >= t.maxQueued {
+		return &admissionError{
+			reason:     fmt.Sprintf("tenant %q queue quota (%d) exhausted", name, t.maxQueued),
+			retryAfter: waitHint,
+		}
+	}
+	if t.rate > 0 {
+		t.refill(st)
+		if st.tokens < 1 {
+			need := time.Duration((1 - st.tokens) / t.rate * float64(time.Second))
+			return &admissionError{
+				reason:     fmt.Sprintf("tenant %q rate limit (%.3g/s) exceeded", name, t.rate),
+				retryAfter: need,
+			}
+		}
+		st.tokens--
+	}
+	st.queued++
+	t.gQueued.With(name).Set(int64(st.queued))
+	return nil
+}
+
+// force counts a queued job past admission — recovery re-enqueues
+// already-accepted jobs, and their eventual dequeue releases them.
+func (t *tenants) force(name string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	st := t.get(name)
+	st.queued++
+	t.gQueued.With(name).Set(int64(st.queued))
+}
+
+// release returns a quota slot when a worker dequeues the tenant's job
+// (or admission rolls a failed enqueue back). Unknown names are a no-op
+// so tests driving the worker loop directly stay valid.
+func (t *tenants) release(name string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	st, ok := t.m[name]
+	if !ok {
+		return
+	}
+	if st.queued > 0 {
+		st.queued--
+	}
+	t.gQueued.With(name).Set(int64(st.queued))
+	// With no bucket to preserve, an idle tenant's state can go; a live
+	// bucket stays so deletion cannot refund spent tokens.
+	if st.queued == 0 && t.rate <= 0 {
+		delete(t.m, name)
+	}
+}
+
+// queuedNow reports the tenant's current queued count.
+func (t *tenants) queuedNow(name string) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if st, ok := t.m[name]; ok {
+		return st.queued
+	}
+	return 0
+}
+
+// tenantName extracts and validates the tenant header value; anonymous
+// callers land in DefaultTenant. Names are bounded and character-limited
+// so they are safe as metric label values and log fields.
+func tenantName(v string) (string, error) {
+	if v == "" {
+		return DefaultTenant, nil
+	}
+	if len(v) > 64 {
+		return "", fmt.Errorf("invalid %s: name longer than 64 bytes", TenantHeader)
+	}
+	for i := 0; i < len(v); i++ {
+		c := v[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '-', c == '_', c == '.':
+		default:
+			return "", fmt.Errorf("invalid %s: byte %q not in [A-Za-z0-9._-]", TenantHeader, c)
+		}
+	}
+	return v, nil
+}

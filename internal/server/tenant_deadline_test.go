@@ -1,0 +1,298 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"rvpsim/internal/faultinject"
+)
+
+// decodeInto decodes resp's JSON body into v (does not close the body).
+func decodeInto(resp *http.Response, v any) error {
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+// postJobHeaders is postJob with arbitrary extra headers.
+func postJobHeaders(t *testing.T, ts *httptest.Server, body, key string, hdr map[string]string) *http.Response {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/jobs", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("NewRequest: %v", err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if key != "" {
+		req.Header.Set("Idempotency-Key", key)
+	}
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatalf("POST /v1/jobs: %v", err)
+	}
+	return resp
+}
+
+// plugWorker submits a job big enough to occupy the single worker for
+// the rest of the test and waits until it is running.
+func plugWorker(t *testing.T, srv *Server, ts *httptest.Server) string {
+	t.Helper()
+	resp := postJob(t, ts, `{"kind":"run","workload":"m88ksim","predictor":"rvp","insts":6000000,"profile_insts":500000}`, "plug")
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("plug submit = %d", resp.StatusCode)
+	}
+	st := decodeStatus(t, resp)
+	deadline := time.Now().Add(30 * time.Second)
+	for srv.inflight.Load() != 1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("plug job never occupied the worker")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	return st.ID
+}
+
+func TestTenantQuotaSheds429(t *testing.T) {
+	srv, ts := newTestServer(t, func(c *Config) {
+		c.TenantQueueDepth = 1
+		c.DrainTimeout = time.Second // the plug job is cancelled at Close
+	})
+	plugWorker(t, srv, ts)
+
+	// Tenant A's first queued job fills its quota of 1.
+	resp := postJobHeaders(t, ts, runBody, "a1", map[string]string{TenantHeader: "tenant-a"})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("tenant-a first submit = %d, want 202", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	// Its second is shed with a per-tenant 429 + Retry-After.
+	resp = postJobHeaders(t, ts, runBody, "a2", map[string]string{TenantHeader: "tenant-a"})
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("tenant-a over quota = %d, want 429", resp.StatusCode)
+	}
+	ra, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+	if err != nil || ra < 1 {
+		t.Fatalf("quota 429 Retry-After = %q, want >= 1s", resp.Header.Get("Retry-After"))
+	}
+	resp.Body.Close()
+
+	// Tenant B is untouched by A's quota: the shared queue still has
+	// room.
+	resp = postJobHeaders(t, ts, runBody, "b1", map[string]string{TenantHeader: "tenant-b"})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("tenant-b submit = %d, want 202 (another tenant's quota leaked)", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	if shed := srv.Registry().CounterVec("srv_tenant_shed_total", "", "tenant").With("tenant-a").Value(); shed != 1 {
+		t.Errorf("srv_tenant_shed_total{tenant-a} = %d, want 1", shed)
+	}
+	if q := srv.tenants.queuedNow("tenant-a"); q != 1 {
+		t.Errorf("tenant-a queued = %d, want 1", q)
+	}
+}
+
+func TestTenantRateLimitSheds429(t *testing.T) {
+	_, ts := newTestServer(t, func(c *Config) {
+		c.TenantRate = 0.5 // one token per 2s
+		c.TenantBurst = 1
+	})
+
+	resp := postJobHeaders(t, ts, runBody, "r1", map[string]string{TenantHeader: "noisy"})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("first submit = %d, want 202", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	// The bucket is empty; the rejection's Retry-After is the time to
+	// the next token (~2s), never below the 1s floor.
+	resp = postJobHeaders(t, ts, runBody, "r2", map[string]string{TenantHeader: "noisy"})
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("second submit = %d, want 429", resp.StatusCode)
+	}
+	ra, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+	if err != nil || ra < 1 || ra > 3 {
+		t.Fatalf("rate 429 Retry-After = %q, want ~2s", resp.Header.Get("Retry-After"))
+	}
+	resp.Body.Close()
+
+	// Another tenant has its own bucket.
+	resp = postJobHeaders(t, ts, runBody, "q1", map[string]string{TenantHeader: "quiet"})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("other tenant = %d, want 202 (buckets shared across tenants)", resp.StatusCode)
+	}
+	resp.Body.Close()
+}
+
+func TestTenantHeaderValidation(t *testing.T) {
+	_, ts := newTestServer(t, nil)
+	for _, bad := range []string{"has space", "semi;colon", strings.Repeat("x", 65)} {
+		resp := postJobHeaders(t, ts, runBody, "", map[string]string{TenantHeader: bad})
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("tenant %q = %d, want 400", bad, resp.StatusCode)
+		}
+		resp.Body.Close()
+	}
+}
+
+func TestDeadlineHeaderValidation(t *testing.T) {
+	_, ts := newTestServer(t, nil)
+	for _, bad := range []string{"banana", "-1", "0"} {
+		resp := postJobHeaders(t, ts, runBody, "", map[string]string{DeadlineHeader: bad})
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("deadline %q = %d, want 400", bad, resp.StatusCode)
+		}
+		resp.Body.Close()
+	}
+	// A deadline already in the past is refused outright: the caller is
+	// gone before the work could start.
+	past := fmt.Sprintf("%d", time.Now().Add(-time.Second).UnixMicro())
+	resp := postJobHeaders(t, ts, runBody, "", map[string]string{DeadlineHeader: past})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("expired deadline = %d, want 400", resp.StatusCode)
+	}
+	resp.Body.Close()
+}
+
+func TestDeadlineExpiredWhileQueuedAbandonsJob(t *testing.T) {
+	srv, ts := newTestServer(t, func(c *Config) {
+		c.DrainTimeout = time.Second
+		c.BreakerThreshold = 1 // one breaker charge would open it
+	})
+	plugWorker(t, srv, ts)
+
+	// Queued behind the plug with a deadline the wait will blow through.
+	dl := time.Now().Add(200 * time.Millisecond)
+	resp := postJobHeaders(t, ts, runBody, "dl1",
+		map[string]string{DeadlineHeader: fmt.Sprintf("%d", dl.UnixMicro())})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit = %d, want 202", resp.StatusCode)
+	}
+	st := decodeStatus(t, resp)
+	if st.DeadlineUS != dl.UnixMicro() {
+		t.Fatalf("recorded DeadlineUS = %d, want %d", st.DeadlineUS, dl.UnixMicro())
+	}
+
+	final := waitTerminal(t, ts, st.ID)
+	if final.State != StateFailed || final.Error == nil || !final.Error.Timeout {
+		t.Fatalf("abandoned job = %+v, want failed with Timeout", final)
+	}
+	if !strings.Contains(final.Error.Message, "deadline expired") {
+		t.Fatalf("abandonment error = %q", final.Error.Message)
+	}
+	if n := srv.Registry().Counter("srv_deadline_expired_total", "").Value(); n < 1 {
+		t.Errorf("srv_deadline_expired_total = %d, want >= 1", n)
+	}
+	// The abandonment must not have charged the workload's breaker.
+	if open := srv.breaker.OpenCount(); open != 0 {
+		t.Errorf("breaker opened by a caller-deadline abandonment (open=%d)", open)
+	}
+}
+
+// TestBreakerRetryAfterMatchesCooloff: a breaker-open 503's Retry-After
+// must agree with the breaker's actual cooloff — never longer than the
+// configured cooloff, never below the 1s header floor.
+func TestBreakerRetryAfterMatchesCooloff(t *testing.T) {
+	cooloff := 5 * time.Second
+	srv, ts := newTestServer(t, func(c *Config) {
+		c.BreakerThreshold = 1
+		c.BreakerCooloff = cooloff
+		c.Faults = map[string]faultinject.Config{"li": {FailAfter: 1}}
+	})
+
+	resp := postJob(t, ts, `{"kind":"run","workload":"li","predictor":"rvp","insts":5000}`, "trip")
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("trip submit = %d", resp.StatusCode)
+	}
+	st := decodeStatus(t, resp)
+	if fin := waitTerminal(t, ts, st.ID); fin.State != StateFailed {
+		t.Fatalf("trip job = %+v, want failed", fin)
+	}
+
+	resp = postJob(t, ts, `{"kind":"run","workload":"li","predictor":"rvp","insts":5000}`, "after")
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("submit with open breaker = %d, want 503", resp.StatusCode)
+	}
+	defer resp.Body.Close()
+	ra, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+	if err != nil {
+		t.Fatalf("breaker 503 Retry-After = %q", resp.Header.Get("Retry-After"))
+	}
+	if ra < 1 || ra > int(cooloff/time.Second) {
+		t.Fatalf("Retry-After = %ds, want within [1, %v] (the remaining cooloff)", ra, cooloff)
+	}
+	var body apiError
+	if err := decodeInto(resp, &body); err != nil {
+		t.Fatalf("decoding 503 body: %v", err)
+	}
+	if body.RetryAfterSeconds != ra {
+		t.Fatalf("body retry_after_seconds = %d, header = %d; the two must agree", body.RetryAfterSeconds, ra)
+	}
+	if n := srv.Registry().Counter("srv_shed_breaker_total", "").Value(); n != 1 {
+		t.Errorf("srv_shed_breaker_total = %d, want 1", n)
+	}
+}
+
+// TestSlowLorisBodyTimeout: clients trickling their request bodies are
+// cut with 408 after BodyReadTimeout and never reach admission, while a
+// fast client sails past them — slow readers cost a handler goroutine
+// for a bounded time, not a worker slot.
+func TestSlowLorisBodyTimeout(t *testing.T) {
+	srv, ts := newTestServer(t, func(c *Config) {
+		c.BodyReadTimeout = 300 * time.Millisecond
+	})
+	tu, err := url.Parse(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Three slow-loris clients: headers promise a body that trickles in
+	// far slower than the read timeout.
+	const nSlow = 3
+	conns := make([]net.Conn, nSlow)
+	for i := range conns {
+		c, err := net.Dial("tcp", tu.Host)
+		if err != nil {
+			t.Fatalf("dial %d: %v", i, err)
+		}
+		defer c.Close()
+		conns[i] = c
+		fmt.Fprintf(c, "POST /v1/jobs HTTP/1.1\r\nHost: %s\r\nContent-Type: application/json\r\nContent-Length: 1000\r\n\r\n{", tu.Host)
+	}
+
+	// While they trickle, a fast client must be admitted immediately.
+	start := time.Now()
+	resp := postJob(t, ts, runBody, "fast")
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("fast submit = %d, want 202 while slow-loris clients trickle", resp.StatusCode)
+	}
+	resp.Body.Close()
+	if d := time.Since(start); d > 5*time.Second {
+		t.Fatalf("fast submit took %v behind slow-loris clients", d)
+	}
+
+	// Each slow client is eventually cut with 408.
+	for i, c := range conns {
+		_ = c.SetReadDeadline(time.Now().Add(10 * time.Second))
+		buf := make([]byte, 512)
+		n, err := c.Read(buf)
+		if err != nil {
+			t.Fatalf("slow conn %d read: %v", i, err)
+		}
+		if line := string(buf[:n]); !strings.Contains(line, "408") {
+			t.Fatalf("slow conn %d response = %q, want 408", i, line)
+		}
+	}
+	if n := srv.Registry().Counter("srv_body_timeouts_total", "").Value(); n != nSlow {
+		t.Errorf("srv_body_timeouts_total = %d, want %d", n, nSlow)
+	}
+}

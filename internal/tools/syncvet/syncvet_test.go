@@ -19,6 +19,8 @@ func TestDurabilityLayerDiscardsNoSyncErrors(t *testing.T) {
 		"internal/server",
 		"internal/exp",
 		"internal/fleet",
+		"internal/client",
+		"internal/netfault",
 		"cmd/rvpadmin",
 	}
 	for i, d := range dirs {
